@@ -1,0 +1,326 @@
+package malgraph
+
+import (
+	"context"
+	"fmt"
+
+	"malgraph/internal/analysis"
+	"malgraph/internal/attacker"
+	"malgraph/internal/behavior"
+	"malgraph/internal/codegen"
+	"malgraph/internal/collect"
+	"malgraph/internal/core"
+	"malgraph/internal/crawler"
+	"malgraph/internal/detect"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/graph"
+	"malgraph/internal/reports"
+	"malgraph/internal/world"
+	"malgraph/internal/xrand"
+)
+
+// Config controls a full pipeline run.
+type Config struct {
+	// Seed makes the whole run reproducible; 0 uses the library default.
+	Seed uint64
+	// Scale multiplies the paper's corpus-size targets; 1.0 ≈ 24k packages,
+	// 0.05 ≈ 1.2k. 0 defaults to 0.05.
+	Scale float64
+	// Detection enables the §VI-A Table X experiment (training 4 models ×
+	// 2 settings × DetectionIterations runs; the most expensive stage).
+	Detection bool
+	// DetectionIterations overrides the paper's 50 iterations (0 = 50 when
+	// Detection is set).
+	DetectionIterations int
+	// MinBehaviorGroup is the Table XI group-size threshold; 0 scales the
+	// paper's 100 by Scale.
+	MinBehaviorGroup int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 20240404
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.Detection && c.DetectionIterations <= 0 {
+		c.DetectionIterations = 50
+	}
+	if c.MinBehaviorGroup <= 0 {
+		c.MinBehaviorGroup = int(100*c.Scale + 0.5)
+		if c.MinBehaviorGroup < 3 {
+			c.MinBehaviorGroup = 3
+		}
+	}
+	return c
+}
+
+// Pipeline holds every intermediate product of a run, for callers that want
+// to go deeper than the Results summary.
+type Pipeline struct {
+	Config  Config
+	World   *world.World
+	Dataset *collect.Result
+	Reports []*reports.Report
+	Graph   *core.MalGraph
+	Crawl   crawler.Result
+}
+
+// Run executes the complete reproduction pipeline: build the simulated
+// world, run the §II-B collection, crawl and parse the report web, build
+// MALGRAPH, and compute every table and figure.
+func Run(cfg Config) (*Results, error) {
+	p, err := BuildPipeline(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Analyze()
+}
+
+// BuildPipeline runs every stage up to and including MALGRAPH construction.
+func BuildPipeline(ctx context.Context, cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	w, err := world.Build(world.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return nil, fmt.Errorf("malgraph: build world: %w", err)
+	}
+	ds, err := collect.Run(w.Sources, w.Fleet, w.Config.CollectAt)
+	if err != nil {
+		return nil, fmt.Errorf("malgraph: collect: %w", err)
+	}
+	cr := crawler.New(w.Web, w.Web, crawler.Config{MaxPages: 200000})
+	crawlRes := cr.Crawl(ctx, w.SeedURLs)
+	reportCorpus := reports.FromPages(crawlRes.Relevant, w.Config.CollectAt)
+	mg, err := core.Build(ds, reportCorpus, core.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("malgraph: build graph: %w", err)
+	}
+	return &Pipeline{
+		Config:  cfg,
+		World:   w,
+		Dataset: ds,
+		Reports: reportCorpus,
+		Graph:   mg,
+		Crawl:   crawlRes,
+	}, nil
+}
+
+// Analyze computes the Results for a built pipeline.
+func (p *Pipeline) Analyze() (*Results, error) {
+	r := &Results{
+		Seed:            p.Config.Seed,
+		Scale:           p.Config.Scale,
+		TotalPackages:   len(p.Dataset.Entries),
+		Available:       len(p.Dataset.Available()),
+		Missing:         len(p.Dataset.MissingEntries()),
+		TotalMR:         p.Dataset.TotalMR(),
+		CrawledPages:    p.Crawl.Fetched,
+		CrawledReports:  len(p.Reports),
+		GraphNodes:      p.Graph.G.NodeCount(),
+		GraphEdges:      p.Graph.G.EdgeCount(),
+		DuplicatedEdges: p.Graph.G.EdgeCount(graph.Duplicated),
+		SimilarEdges:    p.Graph.G.EdgeCount(graph.Similar),
+		DependencyEdges: p.Graph.G.EdgeCount(graph.Dependency),
+		CoexistingEdges: p.Graph.G.EdgeCount(graph.Coexisting),
+	}
+
+	// RQ1 — Tables I, IV, V; Figs 6, 7, 8.
+	for _, row := range analysis.SourceSizes(p.Dataset) {
+		r.SourceSizes = append(r.SourceSizes, SourceSizeRow{
+			Source: row.Source.String(), Unavailable: row.Unavailable, Available: row.Available,
+		})
+	}
+	overlap := analysis.Overlap(p.Dataset)
+	for _, id := range overlap.IDs {
+		r.OverlapNames = append(r.OverlapNames, id.String())
+	}
+	r.Overlap = overlap.Matrix
+	rows, total := analysis.MissingRates(p.Dataset)
+	r.TotalMR = total
+	for _, row := range rows {
+		r.MissingRates = append(r.MissingRates, MissingRateRow{
+			Source: row.Source.String(), Missing: row.Missing, Total: row.Total,
+			LocalMR: row.LocalMR, GlobalMR: row.GlobalMR,
+		})
+	}
+	for eco, cdf := range analysis.OccurrenceCDF(p.Dataset) {
+		r.OccurrenceCDF = append(r.OccurrenceCDF, OccurrenceRow{
+			Ecosystem: eco.String(),
+			AtOne:     cdf.At(1), AtTwo: cdf.At(2), AtThree: cdf.At(3), Max: cdf.Quantile(1),
+		})
+	}
+	sortOccurrence(r.OccurrenceCDF)
+	for _, b := range analysis.Timeline(p.Dataset) {
+		r.Timeline = append(r.Timeline, TimelineRow{Year: b.Year, All: b.All, Missing: b.Missing})
+	}
+	causes := analysis.ClassifyMissing(p.Dataset, p.World.Fleet)
+	r.MissingCauses = MissingCausesRow{
+		EarlyRelease: causes.EarlyRelease, ShortPersistence: causes.ShortPersistence, Other: causes.Other,
+	}
+
+	// RQ2 — Table VI, Figs 9, 10.
+	r.SimilarSubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Similar))
+	r.SimilarOps = opsRow(analysis.Operations(p.Graph, graph.Similar))
+	r.SimilarActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Similar))
+	div := analysis.Diversity(p.Graph)
+	r.Diversity = DiversityRow{
+		Packages: div.Packages, Singletons: div.Singletons, Families: div.Families,
+		EffectiveFamilies: div.EffectiveFamilies, SimpsonIndex: div.SimpsonIndex,
+		Top5Share: div.Top5Share,
+	}
+
+	// RQ3 — Tables VII, VIII; Fig 11.
+	r.DependencySubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Dependency))
+	for _, d := range analysis.TopDependencyTargets(p.Graph, 2) {
+		r.DependencyTargets = append(r.DependencyTargets, DepTargetRow{
+			Ecosystem: d.Eco.String(), Name: d.Name, Count: d.Count,
+		})
+	}
+	cores, fronts := analysis.DependencyReuse(p.Graph, 3)
+	r.DepCores, r.DepFronts = cores, fronts
+	r.DependencyActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Dependency))
+
+	// RQ4 — Table IX; Figs 12, 13, 14.
+	r.CoexistSubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Coexisting))
+	r.CoexistOps = opsRow(analysis.Operations(p.Graph, graph.Coexisting))
+	r.CoexistActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Coexisting))
+	iocs := analysis.IoCs(p.Reports, 10)
+	r.IoCs = IoCRow{
+		UniqueURLs: iocs.UniqueURLs, UniqueIPs: iocs.UniqueIPs,
+		PowerShell: iocs.PowerShell, MaxSameIPReports: iocs.MaxSameIPReports,
+	}
+	for _, d := range iocs.TopDomains {
+		r.TopDomains = append(r.TopDomains, DomainRow{Domain: d.Domain, Count: d.Count})
+	}
+
+	// §VI-B — Table XI.
+	for _, row := range behavior.TableXI(p.Graph, p.Config.MinBehaviorGroup) {
+		r.Behaviors = append(r.Behaviors, BehaviorRow{
+			Ecosystem: row.Eco.String(), Size: row.Size,
+			Behaviors: row.Behaviors, Source: row.Source,
+		})
+	}
+
+	// §IV-A — controlled validation experiment.
+	r.Validation = p.runValidation()
+
+	// §VI-A — Table X (optional).
+	if p.Config.Detection {
+		det, err := p.RunDetection(p.Config.DetectionIterations)
+		if err != nil {
+			return nil, err
+		}
+		r.Detection = det
+	}
+	return r, nil
+}
+
+// runValidation reproduces §IV-A: five 100-package samples scanned by the
+// rule scanner, with scanner misses adjudicated against ground truth (the
+// stand-in for the paper's manual reverse-engineering inspection).
+func (p *Pipeline) runValidation() ValidationRow {
+	available := p.Dataset.Available()
+	artifacts := make([]*ecosys.Artifact, 0, len(available))
+	for _, e := range available {
+		artifacts = append(artifacts, e.Artifact)
+	}
+	sampleSize := 100
+	if sampleSize > len(artifacts) {
+		sampleSize = len(artifacts)
+	}
+	res := detect.ValidateSampling(artifacts, 5, sampleSize, func(a *ecosys.Artifact) bool {
+		rec, ok := p.World.Record(a.Coord)
+		return ok && rec != nil // every corpus member is ground-truth malware
+	}, xrand.New(p.Config.Seed).Derive("validation"))
+	return ValidationRow{
+		Experiments: res.Experiments, SampleSize: res.SampleSize,
+		ScannerRate: res.ScannerRate(), VerifiedRate: res.VerifiedRate(),
+	}
+}
+
+// RunDetection executes the Table X experiment on the NPM similar clusters.
+func (p *Pipeline) RunDetection(iterations int) ([]DetectionRow, error) {
+	clusters := p.NPMClusters()
+	if len(clusters) < 4 {
+		return nil, fmt.Errorf("malgraph: only %d NPM clusters; need ≥4 for Table X", len(clusters))
+	}
+	benignCount := int(3500 * p.Config.Scale)
+	if benignCount < 60 {
+		benignCount = 60
+	}
+	benign := codegen.GenerateBenignPool(ecosys.NPM, benignCount, xrand.New(p.Config.Seed).Derive("benign"))
+	cfg := detect.DefaultTableXConfig()
+	cfg.Iterations = iterations
+	cfg.Seed = p.Config.Seed
+	cfg.ClustersPerIter = len(clusters) / 4
+	if cfg.ClustersPerIter < 2 {
+		cfg.ClustersPerIter = 2
+	}
+	rows, err := detect.RunTableX(clusters, benign, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("malgraph: table X: %w", err)
+	}
+	out := make([]DetectionRow, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, DetectionRow{
+			Algorithm:  row.Algorithm,
+			AccWithout: row.AccWithout, AccWith: row.AccWith,
+			RecallWithout: row.RecallWithout, RecallWith: row.RecallWith,
+		})
+	}
+	return out, nil
+}
+
+// NPMClusters returns the NPM similar clusters as artifact groups — the
+// "tracked malware packages" §VI-A trains on.
+func (p *Pipeline) NPMClusters() [][]*ecosys.Artifact {
+	var clusters [][]*ecosys.Artifact
+	for _, cl := range p.Graph.SimilarClusters[ecosys.NPM] {
+		var arts []*ecosys.Artifact
+		for _, id := range cl.Members {
+			if e, ok := p.Graph.EntryByNodeID(id); ok && e.Artifact != nil {
+				arts = append(arts, e.Artifact)
+			}
+		}
+		if len(arts) >= 2 {
+			clusters = append(clusters, arts)
+		}
+	}
+	return clusters
+}
+
+// GroundTruth exposes the simulated world's campaign ledger (for calibration
+// and example programs).
+func (p *Pipeline) GroundTruth() []*attacker.Campaign { return p.World.Campaigns }
+
+func subgraphRows(in []analysis.SubgraphStats) []SubgraphRow {
+	out := make([]SubgraphRow, 0, len(in))
+	for _, s := range in {
+		out = append(out, SubgraphRow{
+			Ecosystem: s.Eco.String(), PkgNum: s.PkgNum, SubgraphNum: s.SubgraphNum,
+			AvgSize: s.AvgSize, LargestSize: s.LargestSize,
+		})
+	}
+	return out
+}
+
+func opsRow(d analysis.OpsDist) OpsRow {
+	return OpsRow{
+		CN: d.CN, CV: d.CV, CD: d.CD, CDep: d.CDep, CC: d.CC,
+		Transitions: d.Transitions, AvgChangedLines: d.AvgChangedLines,
+	}
+}
+
+func activeRow(a analysis.ActiveStats) ActiveRow {
+	row := ActiveRow{
+		Groups: a.CDF.Len(), MeanDays: a.Summary.Mean, MedianDays: a.Summary.Median,
+		Over60Days: a.Over60d,
+	}
+	if a.CDF.Len() > 0 {
+		row.P80Days = a.CDF.Quantile(0.8)
+		row.Under15DaysFrac = a.CDF.At(15)
+		row.Under10DaysFrac = a.CDF.At(10)
+	}
+	return row
+}

@@ -1,0 +1,132 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them next to the paper's published values in the
+// EXPERIMENTS.md format, so drift between the reproduction and the paper is
+// visible at a glance.
+//
+// Usage:
+//
+//	experiments [-scale 1.0] [-seed N] [-detect] [-iters 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"malgraph"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "corpus scale (1.0 reproduces paper size)")
+	seed := flag.Uint64("seed", 20240404, "world seed")
+	detect := flag.Bool("detect", true, "run the Table X detection experiment")
+	iters := flag.Int("iters", 50, "detection iterations")
+	flag.Parse()
+
+	if err := run(*scale, *seed, *detect, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale float64, seed uint64, detect bool, iters int) error {
+	start := time.Now()
+	fmt.Printf("# Experiment run — scale %.2f, seed %d, %s\n\n", scale, seed, time.Now().UTC().Format(time.RFC3339))
+	r, err := malgraph.Run(malgraph.Config{
+		Seed: seed, Scale: scale,
+		Detection: detect, DetectionIterations: iters,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("## Corpus (Table I)\n")
+	fmt.Printf("paper: 24,356 packages, 13,932 available / 10,424 unavailable (42.8%%)\n")
+	fmt.Printf("ours : %d packages, %d available / %d missing (%.2f%%)\n\n",
+		r.TotalPackages, r.Available, r.Missing, r.TotalMR*100)
+
+	fmt.Printf("## Missing rates (Table V) — paper local MRs: B.K/M./M.D/D.D 0%%, G.A 92.7%%, S.i 75.3%%, T. 56.1%%, P. 90.5%%, So. 100%%, Blogs 95.2%%; total 39.27%%\n")
+	for _, m := range r.MissingRates {
+		fmt.Printf("  %-18s local %6.2f%%  global %6.2f%%  (%d/%d)\n",
+			m.Source, m.LocalMR*100, m.GlobalMR*100, m.Missing, m.Total)
+	}
+	fmt.Println()
+
+	fmt.Printf("## Similar subgraphs (Table VI) — paper: NPM 157 groups/2,994 pkgs/avg 19.07/max 827; PyPI 295/4,365/14.80/829; Ruby 37/83/2.24/6\n")
+	for _, s := range r.SimilarSubgraphs {
+		fmt.Printf("  %-8s groups %4d  pkgs %5d  avg %6.2f  max %4d\n",
+			s.Ecosystem, s.SubgraphNum, s.PkgNum, s.AvgSize, s.LargestSize)
+	}
+	fmt.Println()
+
+	fmt.Printf("## Operations (Fig 9) — paper: CN 88.65%% CV 11.35%% CD 7.97%% CDep 1.76%% CC 59.34%%, ~0.88 lines/CC\n")
+	fmt.Printf("  ours: CN %.2f%% CV %.2f%% CD %.2f%% CDep %.2f%% CC %.2f%%, %.2f lines/CC (%d transitions)\n\n",
+		r.SimilarOps.CN*100, r.SimilarOps.CV*100, r.SimilarOps.CD*100,
+		r.SimilarOps.CDep*100, r.SimilarOps.CC*100, r.SimilarOps.AvgChangedLines, r.SimilarOps.Transitions)
+
+	fmt.Printf("## Active periods — paper: similar mean 45.16d (80%%<15d, 53 groups>60d); dependency mean 10.5d (80%%<10d)\n")
+	fmt.Printf("  similar    : mean %6.2fd  P(<=15d) %5.1f%%  >60d %d  (%d groups)\n",
+		r.SimilarActive.MeanDays, r.SimilarActive.Under15DaysFrac*100, r.SimilarActive.Over60Days, r.SimilarActive.Groups)
+	fmt.Printf("  dependency : mean %6.2fd  P(<=10d) %5.1f%%  (%d groups)\n",
+		r.DependencyActive.MeanDays, r.DependencyActive.Under10DaysFrac*100, r.DependencyActive.Groups)
+	fmt.Printf("  co-existing: mean %6.2fd  (%d groups)\n\n", r.CoexistActive.MeanDays, r.CoexistActive.Groups)
+
+	fmt.Printf("## Dependency subgraphs (Tables VII+VIII) — paper: NPM 323/22 max 232; PyPI 992/13 max 950; Ruby 39/3 max 34; 28 cores hide 1,354 fronts\n")
+	for _, s := range r.DependencySubgraphs {
+		fmt.Printf("  %-8s groups %3d  pkgs %4d  avg %6.2f  max %4d\n",
+			s.Ecosystem, s.SubgraphNum, s.PkgNum, s.AvgSize, s.LargestSize)
+	}
+	fmt.Printf("  cores %d, fronts %d; top targets:", r.DepCores, r.DepFronts)
+	for i, d := range r.DependencyTargets {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf(" %s/%s(%d)", d.Ecosystem, d.Name, d.Count)
+	}
+	fmt.Print("\n\n")
+
+	fmt.Printf("## Co-existing subgraphs (Table IX) — paper: NPM 3,110/33 avg 94.24; PyPI 7,249/40 avg 181.23; Ruby 76/9 avg 8.44\n")
+	for _, s := range r.CoexistSubgraphs {
+		fmt.Printf("  %-8s groups %3d  pkgs %5d  avg %7.2f  max %4d\n",
+			s.Ecosystem, s.SubgraphNum, s.PkgNum, s.AvgSize, s.LargestSize)
+	}
+	fmt.Println()
+
+	fmt.Printf("## IoCs (Fig 14) — paper: 1,449 URLs / 234 IPs / 4 PowerShell; top bananasquad.ru 453, kekwltd.ru 302; same IP ≤23 reports\n")
+	fmt.Printf("  ours: %d URLs / %d IPs / %d PowerShell; max same-IP reports %d\n",
+		r.IoCs.UniqueURLs, r.IoCs.UniqueIPs, r.IoCs.PowerShell, r.IoCs.MaxSameIPReports)
+	for i, d := range r.TopDomains {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %2d. %-28s %d\n", i+1, d.Domain, d.Count)
+	}
+	fmt.Println()
+
+	if len(r.Detection) > 0 {
+		fmt.Printf("## Detection (Table X) — paper: RF .897→.944 acc / .825→.984 rec; LR .841→.859/.806→.836; KNN .773→.807/.778→.818; MLP .860→.895/.839→.927\n")
+		for _, d := range r.Detection {
+			fmt.Printf("  %-4s acc %.3f→%.3f   recall %.3f→%.3f\n",
+				d.Algorithm, d.AccWithout, d.AccWith, d.RecallWithout, d.RecallWith)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("## Behaviors (Table XI) — largest groups\n")
+	for i, b := range r.Behaviors {
+		if i >= 14 {
+			break
+		}
+		fmt.Printf("  %-8s %5d pkgs  [%s]  %v\n", b.Ecosystem, b.Size, b.Source, b.Behaviors)
+	}
+	fmt.Println()
+
+	fmt.Printf("## Validation (§IV-A) — paper: 5×100 samples, 100%% verified malicious\n")
+	fmt.Printf("  ours: %d×%d samples, scanner %.1f%%, verified %.1f%%\n\n",
+		r.Validation.Experiments, r.Validation.SampleSize,
+		r.Validation.ScannerRate*100, r.Validation.VerifiedRate*100)
+
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

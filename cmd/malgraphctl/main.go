@@ -1,0 +1,172 @@
+// Command malgraphctl drives the MalGraph reproduction pipeline from the
+// command line.
+//
+// Usage:
+//
+//	malgraphctl run     [-scale 0.05] [-seed N] [-detect] [-iters 50]
+//	malgraphctl graph   [-scale 0.05] [-seed N] [-out graph.json]
+//	malgraphctl crawl   [-scale 0.05] [-seed N]
+//	malgraphctl serve   [-scale 0.05] [-seed N] [-addr :8080]
+//	malgraphctl dataset [-scale 0.05] [-seed N] [-out data.json] [-full]
+//
+// run executes the full pipeline and renders every table and figure; graph
+// exports MALGRAPH as JSON; crawl reports what the §III-D crawler found;
+// serve exposes the simulated PyPI root registry and its mirrors over HTTP;
+// dataset exports the collected corpus (public metadata by default, -full
+// embeds artifacts, mirroring the paper's two-tier release).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"malgraph"
+	"malgraph/internal/collect"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/registry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "malgraphctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: malgraphctl <run|graph|crawl|serve> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.05, "corpus scale relative to the paper (1.0 ≈ 24k packages)")
+	seed := fs.Uint64("seed", 20240404, "world seed")
+	detect := fs.Bool("detect", false, "run the Table X detection experiment (run only)")
+	iters := fs.Int("iters", 50, "detection iterations (run only)")
+	out := fs.String("out", "", "output file (graph/dataset; default stdout)")
+	addr := fs.String("addr", ":8080", "listen address (serve only)")
+	full := fs.Bool("full", false, "embed artifacts in the dataset export (dataset only)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	cfg := malgraph.Config{Seed: *seed, Scale: *scale, Detection: *detect, DetectionIterations: *iters}
+	switch cmd {
+	case "run":
+		return cmdRun(cfg)
+	case "graph":
+		return cmdGraph(cfg, *out)
+	case "crawl":
+		return cmdCrawl(cfg)
+	case "serve":
+		return cmdServe(cfg, *addr)
+	case "dataset":
+		return cmdDataset(cfg, *out, *full)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func cmdDataset(cfg malgraph.Config, out string, full bool) error {
+	p, err := malgraph.BuildPipeline(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	mode := collect.ExportPublic
+	if full {
+		mode = collect.ExportFull
+	}
+	if err := p.Dataset.WriteJSON(w, mode); err != nil {
+		return fmt.Errorf("export dataset: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "exported %d entries (%d available), mode=%v\n",
+		len(p.Dataset.Entries), len(p.Dataset.Available()), map[bool]string{true: "full", false: "public"}[full])
+	return nil
+}
+
+func cmdRun(cfg malgraph.Config) error {
+	start := time.Now()
+	results, err := malgraph.Run(cfg)
+	if err != nil {
+		return err
+	}
+	results.Render(os.Stdout)
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdGraph(cfg malgraph.Config, out string) error {
+	p, err := malgraph.BuildPipeline(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := p.Graph.G.WriteJSON(w); err != nil {
+		return fmt.Errorf("export graph: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "exported %d nodes, %d edges\n", p.Graph.G.NodeCount(), p.Graph.G.EdgeCount())
+	return nil
+}
+
+func cmdCrawl(cfg malgraph.Config) error {
+	p, err := malgraph.BuildPipeline(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seeds: %d   fetched: %d   relevant: %d   skipped: %d   errors: %d\n",
+		len(p.World.SeedURLs), p.Crawl.Fetched, len(p.Crawl.Relevant), p.Crawl.Skipped, p.Crawl.Errors)
+	fmt.Printf("parsed reports: %d\n", len(p.Reports))
+	for i, r := range p.Reports {
+		if i >= 10 {
+			fmt.Printf("… and %d more\n", len(p.Reports)-10)
+			break
+		}
+		fmt.Printf("  %-60s pkgs=%d urls=%d ips=%d\n", r.URL, len(r.Packages), len(r.IoCs.URLs), len(r.IoCs.IPs))
+	}
+	return nil
+}
+
+// cmdServe exposes the simulated PyPI root registry at /root/ and each of
+// its mirrors at /mirror/<name>/, demonstrating the §II-B recovery setup
+// over real HTTP.
+func cmdServe(cfg malgraph.Config, addr string) error {
+	p, err := malgraph.BuildPipeline(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	root, ok := p.World.Fleet.Root(ecosys.PyPI)
+	if !ok {
+		return fmt.Errorf("no PyPI root registry")
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/root/", http.StripPrefix("/root", registry.NewServer(root)))
+	for _, m := range p.World.Fleet.Mirrors(ecosys.PyPI) {
+		prefix := "/mirror/" + m.Name()
+		mux.Handle(prefix+"/", http.StripPrefix(prefix, registry.NewServer(m)))
+	}
+	fmt.Printf("serving PyPI root at %s/root/api/v1/… and %d mirrors at %s/mirror/<name>/…\n",
+		addr, len(p.World.Fleet.Mirrors(ecosys.PyPI)), addr)
+	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return server.ListenAndServe()
+}

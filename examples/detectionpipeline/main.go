@@ -1,0 +1,68 @@
+// Detection pipeline: exercise the §VI-A security application — scan
+// packages with the GuardDog-style rule scanner, extract ML features, and
+// run the diversity-aware Table X experiment on MALGRAPH's NPM clusters.
+//
+//	go run ./examples/detectionpipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"malgraph"
+	"malgraph/internal/codegen"
+	"malgraph/internal/detect"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "detectionpipeline:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Static scanning: one malicious and one benign artifact.
+	rng := xrand.New(11)
+	mal := codegen.NewCodeBase("demo", ecosys.NPM, codegen.PayloadCredentialTheft, rng.Derive("mal")).
+		Instantiate(ecosys.Coord{Ecosystem: ecosys.NPM, Name: "lodaash", Version: "1.0.2"},
+			codegen.Options{Description: "the best toolkit"})
+	ben := codegen.NewBenignBase("demo-b", ecosys.NPM, codegen.PurposeTelemetry, rng.Derive("ben")).
+		Instantiate(ecosys.Coord{Ecosystem: ecosys.NPM, Name: "usage-metrics", Version: "2.1.0"}, "opt-in usage metrics", nil)
+
+	scanner := detect.NewScanner()
+	fmt.Println("rule scanner findings for the malicious package:")
+	for _, f := range scanner.Scan(mal) {
+		fmt.Printf("  [%s] %s (%s)\n", f.Rule, f.File, f.Evidence)
+	}
+	fmt.Printf("benign telemetry package flagged: %v (hard negative: env+http, no exfil combo)\n\n", scanner.Flagged(ben))
+
+	// 2. Feature extraction.
+	fmt.Println("feature vector (malicious vs benign):")
+	fm, fb := detect.Features(mal), detect.Features(ben)
+	for i, name := range detect.FeatureNames {
+		fmt.Printf("  %-16s %8.2f %8.2f\n", name, fm[i], fb[i])
+	}
+
+	// 3. The Table X experiment over the real pipeline's clusters.
+	p, err := malgraph.BuildPipeline(context.Background(), malgraph.Config{Scale: 0.1, Seed: 11})
+	if err != nil {
+		return err
+	}
+	rows, err := p.RunDetection(15)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nTable X on %d NPM clusters (15 iterations):\n", len(p.NPMClusters()))
+	fmt.Println("  alg   acc w/o   acc w/   recall w/o   recall w/")
+	for _, r := range rows {
+		fmt.Printf("  %-4s  %.3f     %.3f    %.3f        %.3f\n",
+			r.Algorithm, r.AccWithout, r.AccWith, r.RecallWithout, r.RecallWith)
+	}
+	fmt.Println("\n(diversity-aware sampling — the \"w/\" columns — trains on two packages")
+	fmt.Println(" from every MALGRAPH similar-cluster instead of a random sample)")
+	return nil
+}

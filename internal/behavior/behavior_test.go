@@ -1,0 +1,87 @@
+package behavior
+
+import (
+	"fmt"
+	"testing"
+
+	"malgraph/internal/codegen"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/xrand"
+)
+
+func artifactFor(t *testing.T, payload codegen.PayloadKind, eco ecosys.Ecosystem) *ecosys.Artifact {
+	t.Helper()
+	cb := codegen.NewCodeBase(fmt.Sprintf("cb-%d-%d", payload, eco), eco, payload, xrand.New(uint64(payload)*7+uint64(eco)))
+	coord := ecosys.Coord{Ecosystem: eco, Name: fmt.Sprintf("pkg%d%d", payload, eco), Version: "1.0.0"}
+	return cb.Instantiate(coord, codegen.Options{Description: "d"})
+}
+
+func hasBehavior(got []codegen.Behavior, want codegen.Behavior) bool {
+	for _, b := range got {
+		if b == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCharacterizeCoreFamilies(t *testing.T) {
+	cases := []struct {
+		payload codegen.PayloadKind
+		eco     ecosys.Ecosystem
+		want    codegen.Behavior
+	}{
+		{codegen.PayloadEnvExfil, ecosys.PyPI, codegen.BehaviorDataExfiltration},
+		{codegen.PayloadEnvExfil, ecosys.NPM, codegen.BehaviorDataExfiltration},
+		{codegen.PayloadBackdoorShell, ecosys.PyPI, codegen.BehaviorBackdoor},
+		{codegen.PayloadBackdoorShell, ecosys.NPM, codegen.BehaviorC2Channel},
+		{codegen.PayloadBeaconC2, ecosys.PyPI, codegen.BehaviorBeaconing},
+		{codegen.PayloadDNSTunnel, ecosys.NPM, codegen.BehaviorDNSTunneling},
+		{codegen.PayloadWalletReplace, ecosys.PyPI, codegen.BehaviorWalletReplace},
+		{codegen.PayloadDiscordDropper, ecosys.NPM, codegen.BehaviorPowerShell},
+	}
+	for _, tc := range cases {
+		a := artifactFor(t, tc.payload, tc.eco)
+		got := Characterize(a)
+		if !hasBehavior(got, tc.want) {
+			t.Errorf("payload %d on %v: behaviors %v missing %q\nsource:\n%s",
+				tc.payload, tc.eco, got, tc.want, a.MergedSource())
+		}
+	}
+}
+
+func TestCharacterizeLicenseSpoofing(t *testing.T) {
+	a := artifactFor(t, codegen.PayloadDropboxFetch, ecosys.PyPI)
+	got := Characterize(a)
+	// codegen README always carries "MIT License." — spoofed (Table XI).
+	if !hasBehavior(got, codegen.BehaviorLicenseSpoofing) {
+		t.Errorf("license spoofing not detected: %v", got)
+	}
+}
+
+func TestCharacterizeBenignIsQuiet(t *testing.T) {
+	b := codegen.NewBenignBase("bb", ecosys.NPM, codegen.PurposeDataLib, xrand.New(3))
+	a := b.Instantiate(ecosys.Coord{Ecosystem: ecosys.NPM, Name: "fine", Version: "1.0.0"}, "a data lib", nil)
+	got := Characterize(a)
+	for _, bad := range []codegen.Behavior{
+		codegen.BehaviorBackdoor, codegen.BehaviorDataExfiltration, codegen.BehaviorWalletReplace,
+	} {
+		if hasBehavior(got, bad) {
+			t.Errorf("benign data lib labelled %q", bad)
+		}
+	}
+}
+
+func TestCharacterizeDeterministic(t *testing.T) {
+	a := artifactFor(t, codegen.PayloadCredentialTheft, ecosys.NPM)
+	x := Characterize(a)
+	y := Characterize(a)
+	if len(x) != len(y) {
+		t.Fatal("non-deterministic behavior labels")
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("behavior order unstable")
+		}
+	}
+}

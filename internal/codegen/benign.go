@@ -1,0 +1,286 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"malgraph/internal/ecosys"
+	"malgraph/internal/xrand"
+)
+
+// BenignPurpose flavours a legitimate package. Each purpose legitimately
+// uses APIs that also appear in malware (sockets, base64, install hooks,
+// environment access), which is precisely what makes the §VI-A detection
+// task non-trivial: single-token rules produce false positives, so models
+// must learn combinations.
+type BenignPurpose int
+
+// Benign package flavours. The second group are deliberate hard negatives:
+// each mirrors the *partial* signature of one malware family (telemetry
+// libraries read the environment and POST over HTTPS; DNS tooling resolves
+// hostnames in loops; webhook clients talk to chat services; clipboard
+// utilities touch the clipboard) so that detection models must learn full
+// malicious combinations rather than single tokens.
+const (
+	PurposeNetworking BenignPurpose = iota + 1
+	PurposeEncoding
+	PurposeCLI
+	PurposeBuildTool
+	PurposeDataLib
+	PurposeTelemetry
+	PurposeDNSTools
+	PurposeWebhookClient
+	PurposeClipboard
+)
+
+// AllPurposes lists every benign flavour.
+func AllPurposes() []BenignPurpose {
+	return []BenignPurpose{
+		PurposeNetworking, PurposeEncoding, PurposeCLI, PurposeBuildTool, PurposeDataLib,
+		PurposeTelemetry, PurposeDNSTools, PurposeWebhookClient, PurposeClipboard,
+	}
+}
+
+// BenignBase generates legitimate packages for one library project.
+type BenignBase struct {
+	ID      string
+	Eco     ecosys.Ecosystem
+	Purpose BenignPurpose
+	idents  []string
+	salt    []string
+	fillers []string
+}
+
+// NewBenignBase derives a benign code base.
+func NewBenignBase(id string, eco ecosys.Ecosystem, purpose BenignPurpose, rng *xrand.RNG) *BenignBase {
+	b := &BenignBase{ID: id, Eco: eco, Purpose: purpose}
+	n := 5 + rng.Intn(4)
+	b.idents = make([]string, n)
+	for i := range b.idents {
+		b.idents[i] = randomIdent(rng)
+	}
+	b.salt = make([]string, 4)
+	for i := range b.salt {
+		b.salt[i] = randomIdent(rng) + randomIdent(rng)
+	}
+	nf := 3 + rng.Intn(5)
+	b.fillers = make([]string, nf)
+	for i := range b.fillers {
+		b.fillers[i] = fillerFunc(eco, rng, b.salt[i%len(b.salt)])
+	}
+	return b
+}
+
+// Instantiate renders a benign artifact.
+func (b *BenignBase) Instantiate(coord ecosys.Coord, description string, deps []string) *ecosys.Artifact {
+	ext := coord.Ecosystem.SourceExt()
+	var src strings.Builder
+	marker := "#"
+	if ext == "js" {
+		marker = "//"
+	}
+	fmt.Fprintf(&src, "%s %s — %s\n", marker, coord.Name, description)
+	fmt.Fprintf(&src, "%s maintainers: %s\n", marker, strings.Join(b.salt, " "))
+	// Real libraries carry documentation links and local test endpoints —
+	// URL and IP literals are not malware-exclusive signals. The exact count
+	// varies per project (stable per base, keyed off its vocabulary).
+	if len(b.salt[0])%2 == 0 {
+		fmt.Fprintf(&src, "%s docs: https://docs.example.org/%s\n", marker, coord.Name)
+	}
+	if len(b.salt[1])%2 == 0 {
+		fmt.Fprintf(&src, "%s issues: https://github.com/org/%s\n", marker, coord.Name)
+	}
+	if b.Purpose == PurposeNetworking || b.Purpose == PurposeDNSTools {
+		fmt.Fprintf(&src, "%s local test endpoint: 127.0.0.1\n", marker)
+	}
+	if ext == "py" {
+		fmt.Fprintf(&src, "HOMEPAGE = \"https://github.com/org/%s#readme\"\n", b.salt[0])
+	} else if ext == "js" {
+		fmt.Fprintf(&src, "const HOMEPAGE = \"https://github.com/org/%s#readme\";\n", b.salt[0])
+	}
+	src.WriteString(benignImports(ext, b.Purpose))
+	src.WriteString(b.purposeCode(ext))
+	var helper strings.Builder
+	for i, f := range b.fillers {
+		if len(b.fillers) >= 6 && i%2 == 1 {
+			helper.WriteString(f)
+		} else {
+			src.WriteString(f)
+		}
+	}
+
+	files := []ecosys.File{
+		{Path: "README.md", Content: fmt.Sprintf("# %s\n\n%s\n", coord.Name, description)},
+		{Path: mainFileName(ext), Content: src.String()},
+		b.manifest(coord, description, deps),
+	}
+	if helper.Len() > 0 {
+		files = append(files, ecosys.File{Path: "lib/util." + ext, Content: helper.String()})
+	}
+	return ecosys.NewArtifact(coord, description, files)
+}
+
+func mainFileName(ext string) string {
+	if ext == "py" {
+		return "setup.py"
+	}
+	return "index." + ext
+}
+
+func (b *BenignBase) manifest(coord ecosys.Coord, description string, deps []string) ecosys.File {
+	switch coord.Ecosystem {
+	case ecosys.PyPI:
+		return ecosys.File{Path: "requirements.txt", Content: strings.Join(deps, "\n") + "\n"}
+	case ecosys.RubyGems:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "Gem::Specification.new do |s|\n  s.name = %q\n  s.version = %q\n  s.summary = %q\n", coord.Name, coord.Version, description)
+		for _, d := range deps {
+			fmt.Fprintf(&sb, "  s.add_dependency %q\n", d)
+		}
+		sb.WriteString("end\n")
+		return ecosys.File{Path: "package.gemspec", Content: sb.String()}
+	default:
+		var sb strings.Builder
+		sb.WriteString("{\n")
+		fmt.Fprintf(&sb, "  \"name\": %q,\n  \"version\": %q,\n  \"description\": %q,\n", coord.Name, coord.Version, description)
+		if b.Purpose == PurposeBuildTool {
+			// Native build tools legitimately run install scripts.
+			sb.WriteString("  \"scripts\": {\"postinstall\": \"node-gyp rebuild\"},\n")
+		}
+		sb.WriteString("  \"dependencies\": {")
+		for i, d := range deps {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%q: \"^2.0.0\"", d)
+		}
+		sb.WriteString("}\n}\n")
+		return ecosys.File{Path: "package.json", Content: sb.String()}
+	}
+}
+
+func benignImports(ext string, p BenignPurpose) string {
+	switch ext {
+	case "py":
+		switch p {
+		case PurposeNetworking:
+			return "import socket\nimport select\n\n"
+		case PurposeEncoding:
+			return "import base64\nimport binascii\n\n"
+		case PurposeCLI:
+			return "import os\nimport argparse\n\n"
+		case PurposeBuildTool:
+			return "import os\nimport subprocess\n\n"
+		case PurposeTelemetry:
+			return "import os\nimport urllib3\n\n"
+		case PurposeDNSTools:
+			return "import socket\n\n"
+		case PurposeWebhookClient:
+			return "import json\n\n"
+		case PurposeClipboard:
+			return "import platform\n\n"
+		default:
+			return "import json\nimport csv\n\n"
+		}
+	case "rb":
+		return "require 'json'\n\n"
+	default:
+		switch p {
+		case PurposeNetworking:
+			return "const net = require('net');\nconst https = require('https');\n\n"
+		case PurposeEncoding:
+			return "const { Buffer } = require('buffer');\n\n"
+		case PurposeCLI:
+			return "const os = require('os');\nconst process = require('process');\n\n"
+		case PurposeBuildTool:
+			return "const cp = require('child_process');\n\n"
+		case PurposeTelemetry:
+			return "const os = require('os');\n\n"
+		case PurposeDNSTools:
+			return "const dns = require('dns');\n\n"
+		case PurposeWebhookClient:
+			return "const querystring = require('querystring');\n\n"
+		case PurposeClipboard:
+			return "const os = require('os');\n\n"
+		default:
+			return "const fs = require('fs');\n\n"
+		}
+	}
+}
+
+// purposeCode emits the legitimate core of the library: hard negatives that
+// share individual tokens with malware payloads.
+func (b *BenignBase) purposeCode(ext string) string {
+	id := func(i int) string { return b.idents[i%len(b.idents)] }
+	var sb strings.Builder
+	switch ext {
+	case "py":
+		switch b.Purpose {
+		case PurposeNetworking:
+			fmt.Fprintf(&sb, "def %s(host, port, timeout=5):\n    \"\"\"Open a TCP health-check connection.\"\"\"\n    s = socket.socket()\n    s.settimeout(timeout)\n    s.connect((host, port))\n    s.close()\n    return True\n\n", id(0))
+		case PurposeEncoding:
+			fmt.Fprintf(&sb, "def %s(data):\n    \"\"\"Round-trip helper for base64 payload encoding in tests.\"\"\"\n    return base64.b64decode(base64.b64encode(data))\n\n", id(0))
+		case PurposeCLI:
+			fmt.Fprintf(&sb, "def %s():\n    \"\"\"Read configuration from the environment.\"\"\"\n    return {k: v for k, v in os.environ.items() if k.startswith('APP_')}\n\n", id(0))
+		case PurposeBuildTool:
+			fmt.Fprintf(&sb, "def %s(target):\n    \"\"\"Invoke the native build.\"\"\"\n    subprocess.check_call(['make', target])\n\n", id(0))
+		case PurposeTelemetry:
+			fmt.Fprintf(&sb, "TELEMETRY_URL = \"https://telemetry.example.com/v1/usage\"\ndef %s(enabled):\n    \"\"\"Opt-in anonymous usage metrics.\"\"\"\n    if not enabled:\n        return\n    payload = {k: os.environ.get(k) for k in ('CI', 'LANG', 'TERM')}\n    urllib3.PoolManager().request('POST', TELEMETRY_URL, fields=payload)\n\n", id(0))
+		case PurposeDNSTools:
+			fmt.Fprintf(&sb, "def %s(hosts):\n    \"\"\"Bulk-resolve hostnames for health dashboards.\"\"\"\n    return {h: socket.gethostbyname(h) for h in hosts}\n\n", id(0))
+		case PurposeWebhookClient:
+			fmt.Fprintf(&sb, "def %s(webhook_url, text):\n    \"\"\"Post a chat notification to a configured webhook.\"\"\"\n    body = json.dumps({'content': text})\n    return {'url': webhook_url, 'body': body}\n\n", id(0))
+		case PurposeClipboard:
+			fmt.Fprintf(&sb, "def %s(clipboard_text):\n    \"\"\"Normalise clipboard contents for pasting.\"\"\"\n    return clipboard_text.strip().replace('\\r\\n', '\\n')\n\n", id(0))
+		default:
+			fmt.Fprintf(&sb, "def %s(rows):\n    \"\"\"Serialise rows to JSON lines.\"\"\"\n    return [json.dumps(r) for r in rows]\n\n", id(0))
+		}
+	case "rb":
+		fmt.Fprintf(&sb, "def %s(rows)\n  rows.map { |r| JSON.generate(r) }\nend\n\n", id(0))
+	default:
+		switch b.Purpose {
+		case PurposeNetworking:
+			fmt.Fprintf(&sb, "function %s(host, port) {\n  return new Promise((resolve, reject) => {\n    const sock = net.connect(port, host, () => { sock.end(); resolve(true); });\n    sock.on('error', reject);\n  });\n}\n\n", id(0))
+		case PurposeEncoding:
+			fmt.Fprintf(&sb, "function %s(data) {\n  return Buffer.from(Buffer.from(data).toString('base64'), 'base64');\n}\n\n", id(0))
+		case PurposeCLI:
+			fmt.Fprintf(&sb, "function %s() {\n  return Object.keys(process.env).filter(k => k.startsWith('APP_'));\n}\n\n", id(0))
+		case PurposeBuildTool:
+			fmt.Fprintf(&sb, "function %s(target) {\n  cp.execSync('make ' + target, {stdio: 'inherit'});\n}\n\n", id(0))
+		case PurposeTelemetry:
+			fmt.Fprintf(&sb, "const TELEMETRY_URL = 'https://telemetry.example.com/v1/usage';\nfunction %s(enabled) {\n  if (!enabled) return;\n  const payload = {ci: process.env.CI, lang: process.env.LANG};\n  return fetch(TELEMETRY_URL, {method: 'POST', body: JSON.stringify(payload)});\n}\n\n", id(0))
+		case PurposeDNSTools:
+			fmt.Fprintf(&sb, "function %s(hosts, cb) {\n  hosts.forEach(h => dns.lookup(h, (err, addr) => cb(h, addr)));\n}\n\n", id(0))
+		case PurposeWebhookClient:
+			fmt.Fprintf(&sb, "function %s(webhookUrl, text) {\n  return {url: webhookUrl, body: JSON.stringify({content: text})};\n}\n\n", id(0))
+		case PurposeClipboard:
+			fmt.Fprintf(&sb, "function %s(clipboardText) {\n  return clipboardText.trim().replace(/\\r\\n/g, '\\n');\n}\n\n", id(0))
+		default:
+			fmt.Fprintf(&sb, "function %s(rows) {\n  return rows.map(r => JSON.stringify(r));\n}\n\n", id(0))
+		}
+	}
+	return sb.String()
+}
+
+// GenerateBenignPool creates n benign artifacts across purposes with fresh
+// names — the "3,500 random legitimate packages" of §VI-A.
+func GenerateBenignPool(eco ecosys.Ecosystem, n int, rng *xrand.RNG) []*ecosys.Artifact {
+	forge := ecosys.NewNameForge(rng.Derive("benign-names"))
+	out := make([]*ecosys.Artifact, 0, n)
+	descs := []string{
+		"a robust networking toolkit", "streaming data encoders", "command line ergonomics",
+		"native build orchestration", "tabular data processing", "structured logging",
+	}
+	legit := []string{"lodash", "chalk", "debug", "minimist"}
+	for i := 0; i < n; i++ {
+		purpose := AllPurposes()[i%len(AllPurposes())]
+		base := NewBenignBase(fmt.Sprintf("benign-%d", i), eco, purpose, rng.Derive(fmt.Sprint("b", i)))
+		coord := ecosys.Coord{Ecosystem: eco, Name: forge.Fresh(), Version: ecosys.Version(rng)}
+		var deps []string
+		if rng.Bool(0.7) {
+			deps = []string{xrand.Pick(rng, legit)}
+		}
+		out = append(out, base.Instantiate(coord, xrand.Pick(rng, descs), deps))
+	}
+	return out
+}

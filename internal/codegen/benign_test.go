@@ -1,0 +1,132 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"malgraph/internal/ecosys"
+	"malgraph/internal/xrand"
+)
+
+func TestBenignBaseInstantiate(t *testing.T) {
+	for _, purpose := range AllPurposes() {
+		b := NewBenignBase("bb", ecosys.NPM, purpose, xrand.New(uint64(purpose)))
+		coord := ecosys.Coord{Ecosystem: ecosys.NPM, Name: "nice-lib", Version: "1.0.0"}
+		art := b.Instantiate(coord, "a good library", []string{"lodash"})
+		if _, ok := art.Manifest(); !ok {
+			t.Fatalf("purpose %d: no manifest", purpose)
+		}
+		if len(art.SourceFiles()) == 0 {
+			t.Fatalf("purpose %d: no source", purpose)
+		}
+	}
+}
+
+func TestBenignHardNegativeSignals(t *testing.T) {
+	mustContain := map[BenignPurpose]string{
+		PurposeNetworking:    "net.connect",
+		PurposeEncoding:      "base64",
+		PurposeBuildTool:     "execSync",
+		PurposeTelemetry:     "process.env",
+		PurposeDNSTools:      "dns.lookup",
+		PurposeWebhookClient: "webhook",
+		PurposeClipboard:     "clipboard",
+	}
+	for purpose, needle := range mustContain {
+		b := NewBenignBase("bb", ecosys.NPM, purpose, xrand.New(uint64(purpose)+50))
+		art := b.Instantiate(ecosys.Coord{Ecosystem: ecosys.NPM, Name: "x", Version: "1"}, "d", nil)
+		if !strings.Contains(art.MergedSource(), needle) {
+			t.Errorf("purpose %d: missing hard-negative signal %q", purpose, needle)
+		}
+	}
+}
+
+func TestBenignPoolUniqueNames(t *testing.T) {
+	pool := GenerateBenignPool(ecosys.NPM, 120, xrand.New(9))
+	if len(pool) != 120 {
+		t.Fatalf("pool size = %d", len(pool))
+	}
+	seen := map[string]bool{}
+	purposes := map[string]bool{}
+	for _, a := range pool {
+		if seen[a.Coord.Name] {
+			t.Fatalf("duplicate benign name %q", a.Coord.Name)
+		}
+		seen[a.Coord.Name] = true
+		purposes[a.Files[0].Path] = true
+	}
+}
+
+func TestBenignDeterministic(t *testing.T) {
+	a := GenerateBenignPool(ecosys.NPM, 10, xrand.New(4))
+	b := GenerateBenignPool(ecosys.NPM, 10, xrand.New(4))
+	for i := range a {
+		if a[i].Hash() != b[i].Hash() {
+			t.Fatalf("benign pool not deterministic at %d", i)
+		}
+	}
+}
+
+func TestTrojanLitePayload(t *testing.T) {
+	for _, eco := range []ecosys.Ecosystem{ecosys.NPM, ecosys.PyPI} {
+		cb := NewCodeBase("troj", eco, PayloadTrojanLite, xrand.New(77))
+		art := cb.Instantiate(ecosys.Coord{Ecosystem: eco, Name: "helpful", Version: "1.0.0"}, Options{Description: "d"})
+		src := art.MergedSource()
+		if !strings.Contains(src, "/pixel.gif") {
+			t.Fatalf("%v: trojan beacon missing", eco)
+		}
+		// Trojanized libraries carry more benign mass than regular payloads.
+		reg := NewCodeBase("reg", eco, PayloadEnvExfil, xrand.New(77))
+		regArt := reg.Instantiate(ecosys.Coord{Ecosystem: eco, Name: "evil", Version: "1.0.0"}, Options{Description: "d"})
+		if len(src) <= len(regArt.MergedSource()) {
+			t.Errorf("%v: trojanized package should have more filler code", eco)
+		}
+	}
+}
+
+func TestTrojanLiteCCIsOneLine(t *testing.T) {
+	cb := NewCodeBase("troj", ecosys.PyPI, PayloadTrojanLite, xrand.New(5))
+	coord := ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "x", Version: "1"}
+	base := cb.Instantiate(coord, Options{})
+	alt := RandomIoC(xrand.New(6))
+	changed := cb.Instantiate(coord, Options{IoCOverride: &alt})
+	n := ChangedLines(base.MergedSource(), changed.MergedSource())
+	if n < 1 || n > 2 {
+		t.Fatalf("trojan CC diff = %d lines", n)
+	}
+}
+
+func TestInstallHookVariesByCodeBase(t *testing.T) {
+	hooks := 0
+	const n = 60
+	for i := 0; i < n; i++ {
+		cb := NewCodeBase("cb", ecosys.NPM, PayloadEnvExfil, xrand.New(uint64(1000+i)))
+		art := cb.Instantiate(ecosys.Coord{Ecosystem: ecosys.NPM, Name: "x", Version: "1"}, Options{})
+		m, _ := art.Manifest()
+		if strings.Contains(m.Content, "postinstall") {
+			hooks++
+		}
+	}
+	if hooks == 0 || hooks == n {
+		t.Fatalf("install hooks must vary across code bases: %d/%d", hooks, n)
+	}
+}
+
+func TestDropperURLStableService(t *testing.T) {
+	rng := xrand.New(3)
+	cb := NewCodeBase("dd", ecosys.PyPI, PayloadDiscordDropper, rng)
+	coord := ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "x", Version: "1"}
+	base := cb.Instantiate(coord, Options{})
+	if !strings.Contains(base.MergedSource(), "cdn.discordapp.com") {
+		t.Fatal("discord dropper must use the discord CDN")
+	}
+	// CC changes the path but keeps the service domain (the family marker).
+	alt := RandomIoC(rng.Derive("alt"))
+	changed := cb.Instantiate(coord, Options{IoCOverride: &alt})
+	if !strings.Contains(changed.MergedSource(), "cdn.discordapp.com") {
+		t.Fatal("CC variant lost the service marker")
+	}
+	if base.MergedSource() == changed.MergedSource() {
+		t.Fatal("CC variant did not change the source")
+	}
+}

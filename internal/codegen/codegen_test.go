@@ -1,0 +1,225 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"malgraph/internal/ecosys"
+	"malgraph/internal/xrand"
+)
+
+func testCoord(eco ecosys.Ecosystem) ecosys.Coord {
+	return ecosys.Coord{Ecosystem: eco, Name: "evil-pkg", Version: "1.0.0"}
+}
+
+func TestInstantiateHasManifestAndSource(t *testing.T) {
+	rng := xrand.New(1)
+	for _, eco := range ecosys.Big3() {
+		cb := NewCodeBase("cb1", eco, PayloadEnvExfil, rng.Derive(eco.String()))
+		art := cb.Instantiate(testCoord(eco), Options{Description: "handy tool", Dependencies: []string{"urllib"}})
+		if _, ok := art.Manifest(); !ok {
+			t.Fatalf("%v: missing manifest", eco)
+		}
+		if len(art.SourceFiles()) == 0 {
+			t.Fatalf("%v: no source files", eco)
+		}
+		if !strings.Contains(art.MergedSource(), cb.IoC.URL) {
+			t.Fatalf("%v: payload URL not embedded", eco)
+		}
+	}
+}
+
+func TestSameCodeBaseIsTokenStable(t *testing.T) {
+	rng := xrand.New(2)
+	cb := NewCodeBase("cb", ecosys.PyPI, PayloadBeaconC2, rng)
+	a := cb.Instantiate(ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "pkg-a", Version: "1.0.0"}, Options{Description: "d"})
+	b := cb.Instantiate(ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "pkg-b", Version: "2.0.0"}, Options{Description: "d"})
+	// Source bodies must be identical: only name/version/manifest move.
+	if a.MergedSource() != b.MergedSource() {
+		t.Fatal("same code base must render identical source for identical options")
+	}
+	if a.Hash() == b.Hash() {
+		t.Fatal("different coordinates must still hash differently (manifest embeds name)")
+	}
+}
+
+func TestDifferentCodeBasesDiffer(t *testing.T) {
+	rng := xrand.New(3)
+	a := NewCodeBase("a", ecosys.NPM, PayloadEnvExfil, rng.Derive("a"))
+	b := NewCodeBase("b", ecosys.NPM, PayloadWalletReplace, rng.Derive("b"))
+	artA := a.Instantiate(testCoord(ecosys.NPM), Options{})
+	artB := b.Instantiate(testCoord(ecosys.NPM), Options{})
+	if artA.MergedSource() == artB.MergedSource() {
+		t.Fatal("different code bases must produce different source")
+	}
+}
+
+func TestIoCOverrideIsSmallDiff(t *testing.T) {
+	rng := xrand.New(4)
+	cb := NewCodeBase("cb", ecosys.NPM, PayloadBeaconC2, rng)
+	coord := testCoord(ecosys.NPM)
+	base := cb.Instantiate(coord, Options{})
+	alt := RandomIoC(rng.Derive("alt"))
+	changed := cb.Instantiate(coord, Options{IoCOverride: &alt})
+	n := ChangedLines(base.MergedSource(), changed.MergedSource())
+	if n == 0 {
+		t.Fatal("IoC override must change the source")
+	}
+	if n > 4 {
+		t.Fatalf("IoC override should be a small diff, got %d lines", n)
+	}
+}
+
+func TestImportDepsAppearInSource(t *testing.T) {
+	rng := xrand.New(5)
+	for _, eco := range ecosys.Big3() {
+		cb := NewCodeBase("cb", eco, PayloadEnvExfil, rng.Derive(eco.String()))
+		art := cb.Instantiate(testCoord(eco), Options{ImportDeps: []string{"pygrata"}})
+		src := art.MergedSource()
+		if !strings.Contains(src, "pygrata") {
+			t.Fatalf("%v: import dep missing from source", eco)
+		}
+	}
+}
+
+func TestManifestDepsRoundTrip(t *testing.T) {
+	rng := xrand.New(6)
+	want := []string{"urllib", "request"}
+	for _, eco := range ecosys.Big3() {
+		cb := NewCodeBase("cb", eco, PayloadEnvExfil, rng.Derive(eco.String()))
+		art := cb.Instantiate(testCoord(eco), Options{Dependencies: want})
+		got := ManifestDeps(art)
+		if len(got) != len(want) {
+			t.Fatalf("%v: deps = %v, want %v", eco, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: deps = %v, want %v", eco, got, want)
+			}
+		}
+	}
+}
+
+func TestManifestDepsEmpty(t *testing.T) {
+	rng := xrand.New(7)
+	cb := NewCodeBase("cb", ecosys.NPM, PayloadEnvExfil, rng)
+	art := cb.Instantiate(testCoord(ecosys.NPM), Options{})
+	if got := ManifestDeps(art); len(got) != 0 {
+		t.Fatalf("empty deps parsed as %v", got)
+	}
+}
+
+func TestDiffOpsNameVsVersionExclusive(t *testing.T) {
+	rng := xrand.New(8)
+	cb := NewCodeBase("cb", ecosys.NPM, PayloadEnvExfil, rng)
+	a := cb.Instantiate(ecosys.Coord{Ecosystem: ecosys.NPM, Name: "x", Version: "1.0.0"}, Options{Description: "d"})
+	renamed := cb.Instantiate(ecosys.Coord{Ecosystem: ecosys.NPM, Name: "y", Version: "2.0.0"}, Options{Description: "d"})
+	ops := DiffOps(a, renamed)
+	if !hasOp(ops, OpName) || hasOp(ops, OpVersion) {
+		t.Fatalf("rename dominates version: got %v", ops)
+	}
+	bumped := cb.Instantiate(ecosys.Coord{Ecosystem: ecosys.NPM, Name: "x", Version: "1.0.1"}, Options{Description: "d"})
+	ops = DiffOps(a, bumped)
+	if hasOp(ops, OpName) || !hasOp(ops, OpVersion) {
+		t.Fatalf("version-only bump: got %v", ops)
+	}
+}
+
+func TestDiffOpsFlags(t *testing.T) {
+	rng := xrand.New(9)
+	cb := NewCodeBase("cb", ecosys.PyPI, PayloadEnvExfil, rng)
+	coord := testCoord(ecosys.PyPI)
+	a := cb.Instantiate(coord, Options{Description: "one", Dependencies: []string{"urllib"}})
+
+	b := cb.Instantiate(coord, Options{Description: "two", Dependencies: []string{"urllib"}})
+	if ops := DiffOps(a, b); !hasOp(ops, OpDescription) || hasOp(ops, OpDependency) || hasOp(ops, OpCode) {
+		t.Fatalf("description-only diff: %v", ops)
+	}
+
+	c := cb.Instantiate(coord, Options{Description: "one", Dependencies: []string{"request"}})
+	if ops := DiffOps(a, c); !hasOp(ops, OpDependency) {
+		t.Fatalf("dependency diff not detected: %v", ops)
+	}
+
+	alt := RandomIoC(rng.Derive("alt"))
+	d := cb.Instantiate(coord, Options{Description: "one", Dependencies: []string{"urllib"}, IoCOverride: &alt})
+	if ops := DiffOps(a, d); !hasOp(ops, OpCode) {
+		t.Fatalf("code diff not detected: %v", ops)
+	}
+}
+
+func TestDiffOpsIdentical(t *testing.T) {
+	rng := xrand.New(10)
+	cb := NewCodeBase("cb", ecosys.NPM, PayloadEnvExfil, rng)
+	a := cb.Instantiate(testCoord(ecosys.NPM), Options{Description: "d"})
+	b := cb.Instantiate(testCoord(ecosys.NPM), Options{Description: "d"})
+	if ops := DiffOps(a, b); len(ops) != 0 {
+		t.Fatalf("identical packages diff as %v", ops)
+	}
+}
+
+func hasOp(ops []Op, want Op) bool {
+	for _, o := range ops {
+		if o == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestChangedLines(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"a\nb\nc", "a\nb\nc", 0},
+		{"a\nb\nc", "a\nX\nc", 1},
+		{"a\nb", "a\nb\nc\nd", 1}, // two added lines ≈ 1 edit pair
+		{"", "x", 1},
+	}
+	for _, tc := range cases {
+		if got := ChangedLines(tc.a, tc.b); got != tc.want {
+			t.Errorf("ChangedLines(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPayloadBehaviorsNonEmpty(t *testing.T) {
+	for _, p := range AllPayloads() {
+		if len(p.Behaviors()) == 0 {
+			t.Fatalf("payload %d has no behaviours", p)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	want := []string{"CN", "CV", "CD", "CDep", "CC"}
+	for i, op := range AllOps() {
+		if op.String() != want[i] {
+			t.Fatalf("op %d = %s, want %s", i, op, want[i])
+		}
+	}
+}
+
+func TestWalletPayloadHasObfuscationMarkers(t *testing.T) {
+	rng := xrand.New(11)
+	cb := NewCodeBase("cb", ecosys.PyPI, PayloadWalletReplace, rng)
+	art := cb.Instantiate(testCoord(ecosys.PyPI), Options{})
+	src := art.MergedSource()
+	if !strings.Contains(src, "0x") {
+		t.Fatal("wallet payload must embed a wallet address")
+	}
+	if !strings.Contains(src, "钱包") && !strings.Contains(src, "替换") {
+		t.Fatal("wallet payload must carry Chinese-character obfuscation (Table XI row 1, PyPI)")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := NewCodeBase("cb", ecosys.NPM, PayloadBeaconC2, xrand.New(42))
+	b := NewCodeBase("cb", ecosys.NPM, PayloadBeaconC2, xrand.New(42))
+	artA := a.Instantiate(testCoord(ecosys.NPM), Options{})
+	artB := b.Instantiate(testCoord(ecosys.NPM), Options{})
+	if artA.Hash() != artB.Hash() {
+		t.Fatal("same seed must produce identical artifacts")
+	}
+}

@@ -1,0 +1,160 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"malgraph/internal/ecosys"
+)
+
+// Op is a social-engineering changing operation between two consecutive
+// malicious releases (§V-B): OP_i = diff(pkg_i, pkg_i+1).
+type Op int
+
+// The five operations of Fig. 9 / Fig. 12.
+const (
+	OpName        Op = iota + 1 // CN: changing name
+	OpVersion                   // CV: changing version
+	OpDescription               // CD: changing description
+	OpDependency                // CDep: changing dependency
+	OpCode                      // CC: changing source code
+)
+
+var opNames = map[Op]string{
+	OpName:        "CN",
+	OpVersion:     "CV",
+	OpDescription: "CD",
+	OpDependency:  "CDep",
+	OpCode:        "CC",
+}
+
+// String returns the paper's abbreviation (CN, CV, CD, CDep, CC).
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// AllOps lists the operations in figure order.
+func AllOps() []Op { return []Op{OpName, OpVersion, OpDescription, OpDependency, OpCode} }
+
+// DiffOps classifies which changing operations separate two packages. CN and
+// CV are mutually exclusive alternatives (the paper's Fig. 9 percentages sum
+// to 100 across CN+CV): a release either reuses the name with a new version
+// or takes a new name. CD, CDep and CC are independent flags.
+func DiffOps(a, b *ecosys.Artifact) []Op {
+	var ops []Op
+	if a.Coord.Name != b.Coord.Name {
+		ops = append(ops, OpName)
+	} else if a.Coord.Version != b.Coord.Version {
+		ops = append(ops, OpVersion)
+	}
+	if a.Description != b.Description {
+		ops = append(ops, OpDescription)
+	}
+	if !sameDeps(a, b) {
+		ops = append(ops, OpDependency)
+	}
+	if a.MergedSource() != b.MergedSource() {
+		ops = append(ops, OpCode)
+	}
+	return ops
+}
+
+func sameDeps(a, b *ecosys.Artifact) bool {
+	da, db := ManifestDeps(a), ManifestDeps(b)
+	if len(da) != len(db) {
+		return false
+	}
+	set := make(map[string]bool, len(da))
+	for _, d := range da {
+		set[d] = true
+	}
+	for _, d := range db {
+		if !set[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ManifestDeps extracts the declared dependency names from an artifact's
+// manifest. It understands the three manifest formats emitted by this
+// package; depscan performs the fuller, registry-grade parse.
+func ManifestDeps(a *ecosys.Artifact) []string {
+	m, ok := a.Manifest()
+	if !ok {
+		return nil
+	}
+	var deps []string
+	switch a.Coord.Ecosystem {
+	case ecosys.PyPI:
+		for _, line := range strings.Split(m.Content, "\n") {
+			line = strings.TrimSpace(line)
+			if line != "" && !strings.HasPrefix(line, "#") {
+				deps = append(deps, line)
+			}
+		}
+	case ecosys.RubyGems:
+		for _, line := range strings.Split(m.Content, "\n") {
+			line = strings.TrimSpace(line)
+			if rest, ok := strings.CutPrefix(line, "s.add_dependency "); ok {
+				deps = append(deps, strings.Trim(rest, "\"'"))
+			}
+		}
+	default:
+		// package.json "dependencies": {"a": "^1.0.0", ...}
+		_, after, found := strings.Cut(m.Content, "\"dependencies\": {")
+		if !found {
+			return nil
+		}
+		inner, _, found := strings.Cut(after, "}")
+		if !found {
+			return nil
+		}
+		for _, pair := range strings.Split(inner, ",") {
+			name, _, ok := strings.Cut(strings.TrimSpace(pair), ":")
+			if !ok {
+				continue
+			}
+			name = strings.Trim(strings.TrimSpace(name), "\"")
+			if name != "" {
+				deps = append(deps, name)
+			}
+		}
+	}
+	return deps
+}
+
+// ChangedLines counts how many lines differ between two sources using an
+// LCS-free multiset diff: lines present in one side but not the other,
+// halved (a one-line edit counts as ~1, matching the paper's "average 0.88
+// lines changed" measurement style).
+func ChangedLines(a, b string) int {
+	countA := lineMultiset(a)
+	countB := lineMultiset(b)
+	diff := 0
+	for line, n := range countA {
+		if m := countB[line]; n > m {
+			diff += n - m
+		}
+	}
+	for line, n := range countB {
+		if m := countA[line]; n > m {
+			diff += n - m
+		}
+	}
+	return (diff + 1) / 2
+}
+
+func lineMultiset(s string) map[string]int {
+	out := make(map[string]int)
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			out[line]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package collect implements the paper's data-collection methodology
+// (§II-B): merge the records of all ten online sources, download artifacts
+// from the sources that carry them, and recover the remaining packages by
+// querying registry mirrors by name/version. It also produces the
+// availability accounting behind Table I, Table V (local/global missing
+// rates) and Fig. 7 (release timeline of missing packages).
+package collect
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"malgraph/internal/ecosys"
+	"malgraph/internal/registry"
+	"malgraph/internal/sources"
+)
+
+// Availability classifies how (or whether) a package's artifact was obtained.
+type Availability int
+
+// Availability outcomes.
+const (
+	// FromSource means an artifact-carrying source (open dataset) had it.
+	FromSource Availability = iota + 1
+	// FromMirror means a mirror lookup by name/version recovered it.
+	FromMirror
+	// Missing means no channel produced the artifact (name/version only).
+	Missing
+)
+
+var availabilityNames = map[Availability]string{
+	FromSource: "from-source",
+	FromMirror: "from-mirror",
+	Missing:    "missing",
+}
+
+// String names the outcome.
+func (a Availability) String() string {
+	if s, ok := availabilityNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Availability(%d)", int(a))
+}
+
+// Entry is one deduplicated malicious package in the merged dataset.
+type Entry struct {
+	Coord         ecosys.Coord
+	Artifact      *ecosys.Artifact // nil when Missing
+	Availability  Availability
+	RecoveredFrom string       // mirror/registry name when FromMirror
+	Sources       []sources.ID // every source that reported it, ascending
+	ObservedAt    time.Time    // earliest observation across sources
+	ReleasedAt    time.Time    // from registry metadata (may be zero)
+	RemovedAt     time.Time    // from registry metadata (may be zero)
+}
+
+// OccurrenceCount returns how many sources reported the package (Fig. 6).
+func (e *Entry) OccurrenceCount() int { return len(e.Sources) }
+
+// SourceStats is the per-source availability accounting of Tables I and V.
+type SourceStats struct {
+	Total            int // packages the source reported
+	LocalUnavailable int // source channel + mirrors failed
+	GlobalMissing    int // every channel failed (no other source had it)
+}
+
+// LocalMR is N_m_i / N_i.
+func (s SourceStats) LocalMR() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.LocalUnavailable) / float64(s.Total)
+}
+
+// GlobalMR is Σx_k / N_i (x_k = 1 only when no other source supplements).
+func (s SourceStats) GlobalMR() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.GlobalMissing) / float64(s.Total)
+}
+
+// Result is the merged dataset plus accounting.
+type Result struct {
+	Entries     []*Entry // sorted by coordinate key
+	PerSource   map[sources.ID]SourceStats
+	CollectedAt time.Time
+
+	byKey map[string]*Entry
+}
+
+// Run executes the collection pipeline at the given instant against any
+// registry View — the in-process simulation fleet or a RemoteFleet speaking
+// HTTP to live registry servers.
+func Run(set *sources.Set, fleet registry.View, at time.Time) (*Result, error) {
+	if set == nil || fleet == nil {
+		return nil, fmt.Errorf("collect: nil sources or fleet")
+	}
+	res := &Result{
+		PerSource:   make(map[sources.ID]SourceStats),
+		CollectedAt: at,
+		byKey:       make(map[string]*Entry),
+	}
+
+	// Step 1: merge all source records (duplicates collapse by coordinate).
+	type obs struct {
+		id  sources.ID
+		rec sources.Record
+	}
+	observations := make(map[string][]obs)
+	for _, src := range set.All() {
+		id := src.Info().ID
+		for _, rec := range src.Records() {
+			key := rec.Coord.Key()
+			observations[key] = append(observations[key], obs{id: id, rec: rec})
+		}
+	}
+
+	keys := make([]string, 0, len(observations))
+	for k := range observations {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Step 2+3: resolve artifacts source-first, then via mirrors.
+	for _, key := range keys {
+		obsList := observations[key]
+		entry := &Entry{Coord: obsList[0].rec.Coord}
+		for _, o := range obsList {
+			entry.Sources = append(entry.Sources, o.id)
+			if entry.ObservedAt.IsZero() || o.rec.ObservedAt.Before(entry.ObservedAt) {
+				entry.ObservedAt = o.rec.ObservedAt
+			}
+			if entry.Artifact == nil && o.rec.Artifact != nil {
+				entry.Artifact = o.rec.Artifact
+				entry.Availability = FromSource
+			}
+		}
+		sort.Slice(entry.Sources, func(i, j int) bool { return entry.Sources[i] < entry.Sources[j] })
+
+		mirrorArt, from, mirrorErr := fleet.Recover(entry.Coord, at)
+		if entry.Artifact == nil {
+			if mirrorErr == nil {
+				entry.Artifact = mirrorArt
+				entry.Availability = FromMirror
+				entry.RecoveredFrom = from
+			} else {
+				entry.Availability = Missing
+			}
+		}
+
+		// Release metadata survives takedown and is queried for the Fig. 7
+		// timeline of missing packages.
+		if rel, ok := fleet.ReleaseInfo(entry.Coord); ok {
+			entry.ReleasedAt = rel.ReleasedAt
+			entry.RemovedAt = rel.RemovedAt
+		}
+
+		res.Entries = append(res.Entries, entry)
+		res.byKey[key] = entry
+
+		// Step 4: per-source accounting. A package is locally unavailable
+		// for source i when i's own channel (artifact) and the mirrors both
+		// fail; it is globally missing when no source at all carried it and
+		// mirrors failed.
+		mirrorOK := mirrorErr == nil
+		anySourceCarried := false
+		for _, o := range obsList {
+			if o.rec.Artifact != nil {
+				anySourceCarried = true
+				break
+			}
+		}
+		for _, o := range obsList {
+			stats := res.PerSource[o.id]
+			stats.Total++
+			if o.rec.Artifact == nil && !mirrorOK {
+				stats.LocalUnavailable++
+				if !anySourceCarried {
+					stats.GlobalMissing++
+				}
+			}
+			res.PerSource[o.id] = stats
+		}
+	}
+	return res, nil
+}
+
+// Entry returns the dataset entry for a coordinate.
+func (r *Result) Entry(coord ecosys.Coord) (*Entry, bool) {
+	e, ok := r.byKey[coord.Key()]
+	return e, ok
+}
+
+// Available returns the entries with artifacts, sorted by coordinate key.
+func (r *Result) Available() []*Entry {
+	var out []*Entry
+	for _, e := range r.Entries {
+		if e.Availability != Missing {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MissingEntries returns the artifact-less entries.
+func (r *Result) MissingEntries() []*Entry {
+	var out []*Entry
+	for _, e := range r.Entries {
+		if e.Availability == Missing {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TotalMR is the dataset-wide missing rate (paper: 39.27%).
+func (r *Result) TotalMR() float64 {
+	if len(r.Entries) == 0 {
+		return 0
+	}
+	return float64(len(r.MissingEntries())) / float64(len(r.Entries))
+}
+
+// CountByEcosystem tallies entries per ecosystem.
+func (r *Result) CountByEcosystem() map[ecosys.Ecosystem]int {
+	out := make(map[ecosys.Ecosystem]int)
+	for _, e := range r.Entries {
+		out[e.Coord.Ecosystem]++
+	}
+	return out
+}

@@ -1,0 +1,374 @@
+// Package core builds MALGRAPH, the paper's primary contribution (§III): a
+// knowledge graph over the collected malware corpus with four edge types.
+//
+//   - duplicated: the same package reported by different sources, matched on
+//     name+version and confirmed by SHA-256 when both artifacts exist (§III-A).
+//   - similar: packages sharing a code base, recovered by the embedding +
+//     K-Means + silhouette pipeline (§III-B).
+//   - dependency: dependent-hidden attacks, extracted from manifests and
+//     Table II regex scans over source (§III-C).
+//   - co-existing: packages named together by the same security report
+//     (§III-D).
+//
+// Two node granularities coexist, exactly as in the paper's Fig. 3: a
+// canonical node per package (carrying name, version, ecosystem, hash and
+// availability) and a record node per (source, package) observation;
+// duplicated edges connect record nodes, every other edge type connects
+// canonical nodes.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"malgraph/internal/collect"
+	"malgraph/internal/depscan"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/graph"
+	"malgraph/internal/reports"
+	"malgraph/internal/sources"
+	"malgraph/internal/textsim"
+	"malgraph/internal/xrand"
+)
+
+// RecordNodePrefix marks per-source record node IDs.
+const RecordNodePrefix = "rec:"
+
+// Config parameterises graph construction.
+type Config struct {
+	Embed   textsim.EmbedConfig
+	Cluster textsim.ClusterConfig
+	Seed    uint64
+	// PairwiseLimit bounds the clique size materialised for similar and
+	// co-existing groups; larger groups get a hub-and-path topology with
+	// identical connected components (the analyses consume components, not
+	// edge counts).
+	PairwiseLimit int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Embed:         textsim.DefaultEmbedConfig(),
+		Cluster:       textsim.DefaultClusterConfig(),
+		Seed:          1,
+		PairwiseLimit: 30,
+	}
+}
+
+// MalGraph is the built knowledge graph plus the indexes the analyses use.
+type MalGraph struct {
+	G       *graph.Graph
+	Dataset *collect.Result
+	Reports []*reports.Report
+
+	// SimilarClusters are the surviving similarity clusters per §III-B,
+	// keyed by ecosystem.
+	SimilarClusters map[ecosys.Ecosystem][]textsim.Cluster
+	// ReportsByPackage indexes reports by canonical node ID.
+	ReportsByPackage map[string][]*reports.Report
+
+	entryByID map[string]*collect.Entry
+}
+
+// Build constructs MALGRAPH from a collected dataset and a report corpus.
+func Build(dataset *collect.Result, reportCorpus []*reports.Report, cfg Config) (*MalGraph, error) {
+	if dataset == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	if cfg.PairwiseLimit <= 0 {
+		cfg = DefaultConfig()
+	}
+	mg := &MalGraph{
+		G:                graph.New(),
+		Dataset:          dataset,
+		Reports:          reportCorpus,
+		SimilarClusters:  make(map[ecosys.Ecosystem][]textsim.Cluster),
+		ReportsByPackage: make(map[string][]*reports.Report),
+		entryByID:        make(map[string]*collect.Entry, len(dataset.Entries)),
+	}
+	for _, e := range dataset.Entries {
+		mg.entryByID[NodeID(e.Coord)] = e
+	}
+	if err := mg.addNodes(); err != nil {
+		return nil, fmt.Errorf("core nodes: %w", err)
+	}
+	if err := mg.addDuplicatedEdges(); err != nil {
+		return nil, fmt.Errorf("core duplicated: %w", err)
+	}
+	if err := mg.addSimilarEdges(cfg); err != nil {
+		return nil, fmt.Errorf("core similar: %w", err)
+	}
+	if err := mg.addDependencyEdges(); err != nil {
+		return nil, fmt.Errorf("core dependency: %w", err)
+	}
+	if err := mg.addCoexistingEdges(cfg); err != nil {
+		return nil, fmt.Errorf("core coexisting: %w", err)
+	}
+	return mg, nil
+}
+
+// NodeID returns the canonical node ID for a coordinate.
+func NodeID(coord ecosys.Coord) string { return coord.Key() }
+
+// RecordNodeID returns the record node ID for a (source, coordinate) pair.
+func RecordNodeID(id sources.ID, coord ecosys.Coord) string {
+	return RecordNodePrefix + strconv.Itoa(int(id)) + "|" + coord.Key()
+}
+
+// IsRecordNode reports whether a node ID names a per-source record.
+func IsRecordNode(nodeID string) bool { return strings.HasPrefix(nodeID, RecordNodePrefix) }
+
+func (mg *MalGraph) addNodes() error {
+	for _, e := range mg.Dataset.Entries {
+		attrs := graph.Attrs{
+			"kind":      "package",
+			"name":      e.Coord.Name,
+			"version":   e.Coord.Version,
+			"ecosystem": e.Coord.Ecosystem.String(),
+			"avail":     e.Availability.String(),
+			"occ":       strconv.Itoa(e.OccurrenceCount()),
+		}
+		if e.Artifact != nil {
+			attrs["hash"] = e.Artifact.Hash()
+		}
+		ids := make([]string, 0, len(e.Sources))
+		for _, s := range e.Sources {
+			ids = append(ids, strconv.Itoa(int(s)))
+		}
+		attrs["sources"] = strings.Join(ids, ",")
+		if err := mg.G.AddNode(NodeID(e.Coord), attrs); err != nil {
+			return err
+		}
+		for _, s := range e.Sources {
+			recAttrs := graph.Attrs{
+				"kind":      "record",
+				"name":      e.Coord.Name,
+				"version":   e.Coord.Version,
+				"ecosystem": e.Coord.Ecosystem.String(),
+				"source":    strconv.Itoa(int(s)),
+			}
+			if e.Artifact != nil {
+				recAttrs["hash"] = e.Artifact.Hash()
+			}
+			if err := mg.G.AddNode(RecordNodeID(s, e.Coord), recAttrs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addDuplicatedEdges joins the record nodes of each package pairwise: same
+// name+version across sources, hash-confirmed when artifacts exist (§III-A).
+func (mg *MalGraph) addDuplicatedEdges() error {
+	for _, e := range mg.Dataset.Entries {
+		if len(e.Sources) < 2 {
+			continue
+		}
+		attrs := graph.Attrs{"match": "name+version"}
+		if e.Artifact != nil {
+			attrs["match"] = "name+version+hash"
+		}
+		for i := 0; i < len(e.Sources); i++ {
+			for j := i + 1; j < len(e.Sources); j++ {
+				a := RecordNodeID(e.Sources[i], e.Coord)
+				b := RecordNodeID(e.Sources[j], e.Coord)
+				if err := mg.G.AddEdge(a, b, graph.Duplicated, attrs); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// addSimilarEdges runs the §III-B pipeline per ecosystem over available
+// artifacts and joins cluster members.
+func (mg *MalGraph) addSimilarEdges(cfg Config) error {
+	embedder := textsim.NewEmbedder(cfg.Embed)
+	byEco := make(map[ecosys.Ecosystem][]textsim.Item)
+	for _, e := range mg.Dataset.Available() {
+		src := e.Artifact.MergedSource()
+		tokens := textsim.Tokenize(src)
+		byEco[e.Coord.Ecosystem] = append(byEco[e.Coord.Ecosystem], textsim.Item{
+			ID:     NodeID(e.Coord),
+			Vector: embedder.EmbedTokens(tokens),
+			Hash:   textsim.SimHash(tokens),
+		})
+	}
+	ecos := make([]ecosys.Ecosystem, 0, len(byEco))
+	for eco := range byEco {
+		ecos = append(ecos, eco)
+	}
+	sort.Slice(ecos, func(i, j int) bool { return ecos[i] < ecos[j] })
+	for _, eco := range ecos {
+		rng := xrand.New(cfg.Seed).Derive("similar/" + eco.String())
+		clusters := textsim.ClusterItems(byEco[eco], cfg.Cluster, rng)
+		mg.SimilarClusters[eco] = clusters
+		for ci, cluster := range clusters {
+			attrs := graph.Attrs{
+				"cluster":    fmt.Sprintf("%s-%d", eco, ci),
+				"silhouette": fmt.Sprintf("%.3f", cluster.Silhouette),
+			}
+			if err := mg.connectGroup(cluster.Members, graph.Similar, attrs, cfg.PairwiseLimit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addDependencyEdges scans available artifacts for dependencies on other
+// malicious packages (§III-C) and adds directed front→core edges.
+func (mg *MalGraph) addDependencyEdges() error {
+	scanner := depscan.NewScanner()
+	// Corpus dictionary: name → canonical node IDs per ecosystem.
+	byName := make(map[ecosys.Ecosystem]map[string][]string)
+	corpus := make(map[ecosys.Ecosystem]map[string]bool)
+	for _, e := range mg.Dataset.Entries {
+		eco := e.Coord.Ecosystem
+		if byName[eco] == nil {
+			byName[eco] = make(map[string][]string)
+			corpus[eco] = make(map[string]bool)
+		}
+		byName[eco][e.Coord.Name] = append(byName[eco][e.Coord.Name], NodeID(e.Coord))
+		corpus[eco][e.Coord.Name] = true
+	}
+	for _, e := range mg.Dataset.Available() {
+		eco := e.Coord.Ecosystem
+		deps, err := scanner.MaliciousDepsFast(e.Artifact, corpus[eco])
+		if err != nil {
+			return fmt.Errorf("dep scan %s: %w", e.Coord, err)
+		}
+		for _, dep := range deps {
+			for _, target := range byName[eco][dep] {
+				if target == NodeID(e.Coord) {
+					continue
+				}
+				err := mg.G.AddEdge(NodeID(e.Coord), target, graph.Dependency, graph.Attrs{"dep": dep})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// addCoexistingEdges joins packages named by the same report (§III-D).
+func (mg *MalGraph) addCoexistingEdges(cfg Config) error {
+	for _, rep := range mg.Reports {
+		var members []string
+		for _, coord := range rep.Packages {
+			id := NodeID(coord)
+			if _, ok := mg.G.Node(id); !ok {
+				continue // report names a package outside the dataset
+			}
+			members = append(members, id)
+			mg.ReportsByPackage[id] = append(mg.ReportsByPackage[id], rep)
+		}
+		sort.Strings(members)
+		members = uniqueStrings(members)
+		if len(members) < 2 {
+			continue
+		}
+		attrs := graph.Attrs{"report": rep.URL}
+		if err := mg.connectGroup(members, graph.Coexisting, attrs, cfg.PairwiseLimit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// connectGroup joins members into one component: full clique up to limit,
+// hub-and-path beyond (identical components, linear edge count).
+func (mg *MalGraph) connectGroup(members []string, t graph.EdgeType, attrs graph.Attrs, limit int) error {
+	if len(members) < 2 {
+		return nil
+	}
+	if len(members) <= limit {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if err := mg.G.AddEdge(members[i], members[j], t, attrs); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	hub := members[0]
+	for i := 1; i < len(members); i++ {
+		if err := mg.G.AddEdge(hub, members[i], t, attrs); err != nil {
+			return err
+		}
+		if err := mg.G.AddEdge(members[i-1], members[i], t, attrs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func uniqueStrings(in []string) []string {
+	out := in[:0]
+	var prev string
+	for i, s := range in {
+		if i == 0 || s != prev {
+			out = append(out, s)
+		}
+		prev = s
+	}
+	return out
+}
+
+// PackageSubgraphs returns the connected components over one edge type,
+// restricted to canonical package nodes, with at least minSize members.
+func (mg *MalGraph) PackageSubgraphs(t graph.EdgeType, minSize int) [][]string {
+	comps := mg.G.ComponentsMin(1, t)
+	var out [][]string
+	for _, comp := range comps {
+		var pkgs []string
+		for _, id := range comp {
+			if !IsRecordNode(id) {
+				pkgs = append(pkgs, id)
+			}
+		}
+		if len(pkgs) >= minSize {
+			out = append(out, pkgs)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// DuplicateGroups returns groups of record nodes joined by duplicated edges
+// (≥2 records, i.e. genuinely multi-source packages).
+func (mg *MalGraph) DuplicateGroups() [][]string {
+	comps := mg.G.ComponentsMin(2, graph.Duplicated)
+	var out [][]string
+	for _, comp := range comps {
+		var recs []string
+		for _, id := range comp {
+			if IsRecordNode(id) {
+				recs = append(recs, id)
+			}
+		}
+		if len(recs) >= 2 {
+			out = append(out, recs)
+		}
+	}
+	return out
+}
+
+// EntryByNodeID resolves a canonical node ID back to its dataset entry.
+func (mg *MalGraph) EntryByNodeID(nodeID string) (*collect.Entry, bool) {
+	e, ok := mg.entryByID[nodeID]
+	return e, ok
+}

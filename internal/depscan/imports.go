@@ -1,0 +1,98 @@
+package depscan
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"malgraph/internal/ecosys"
+)
+
+// Corpus-scale note: §III-C searches every malicious package name inside
+// every package's source. Done literally that is |names| × |packages| string
+// scans. ExtractImports inverts the search: each source file is parsed once
+// for import/require statements and the imported names are then matched
+// against the corpus dictionary in O(1) — identical confirmed matches, linear
+// cost.
+
+var (
+	pyImportRe     = regexp.MustCompile(`(?m)^\s*import\s+([\w.]+)`)
+	pyFromImportRe = regexp.MustCompile(`(?m)^\s*from\s+([\w.]+)\s+import\b`)
+	jsRequireRe    = regexp.MustCompile(`require\(\s*['"]([\w./@-]+)['"]\s*\)`)
+	jsImportFromRe = regexp.MustCompile(`import\s+[\w.{},*$\s]*?from\s+['"]([\w./@-]+)['"]`)
+	jsImportBareRe = regexp.MustCompile(`import\s+['"]([\w./@-]+)['"]`)
+	rbRequireRe    = regexp.MustCompile(`(?m)^\s*require\s+['"]([\w./-]+)['"]`)
+)
+
+// ExtractImports returns the set of top-level module names imported by the
+// artifact's source files, with comment-line references filtered out.
+func ExtractImports(a *ecosys.Artifact) []string {
+	found := make(map[string]bool)
+	for _, f := range a.SourceFiles() {
+		var res []*regexp.Regexp
+		switch {
+		case strings.HasSuffix(f.Path, ".py"):
+			res = []*regexp.Regexp{pyImportRe, pyFromImportRe}
+		case strings.HasSuffix(f.Path, ".rb"):
+			res = []*regexp.Regexp{rbRequireRe}
+		default:
+			res = []*regexp.Regexp{jsRequireRe, jsImportFromRe, jsImportBareRe}
+		}
+		for _, re := range res {
+			for _, m := range re.FindAllStringSubmatchIndex(f.Content, -1) {
+				if InComment(f.Content, m[0]) {
+					continue
+				}
+				name := f.Content[m[2]:m[3]]
+				found[topLevel(name)] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(found))
+	for name := range found {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topLevel reduces "pygrata.utils" or "./lib/x" to the installable package
+// name the registry knows.
+func topLevel(name string) string {
+	name = strings.TrimPrefix(name, "./")
+	name = strings.TrimPrefix(name, "../")
+	if i := strings.IndexByte(name, '.'); i > 0 && !strings.Contains(name, "/") {
+		name = name[:i]
+	}
+	if i := strings.IndexByte(name, '/'); i > 0 && !strings.HasPrefix(name, "@") {
+		name = name[:i]
+	}
+	return name
+}
+
+// MaliciousDepsFast is the linear-time equivalent of MaliciousDeps for
+// corpus-scale pipelines: manifest names plus extracted imports, intersected
+// with the malicious-corpus dictionary.
+func (s *Scanner) MaliciousDepsFast(a *ecosys.Artifact, corpus map[string]bool) ([]string, error) {
+	found := make(map[string]bool)
+	manifestDeps, err := s.FromManifest(a)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range manifestDeps {
+		if corpus[d] && d != a.Coord.Name {
+			found[d] = true
+		}
+	}
+	for _, d := range ExtractImports(a) {
+		if corpus[d] && d != a.Coord.Name {
+			found[d] = true
+		}
+	}
+	out := make([]string, 0, len(found))
+	for d := range found {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package depscan
+
+import (
+	"strings"
+	"testing"
+
+	"malgraph/internal/ecosys"
+)
+
+func TestExtractImportsPython(t *testing.T) {
+	a := pyArtifact("pkg", ecosys.File{Path: "setup.py", Content: `import os
+import pygrata.utils
+from urllib import request
+# import commented
+x = "import fake"
+`})
+	got := ExtractImports(a)
+	joined := strings.Join(got, ",")
+	for _, want := range []string{"os", "pygrata", "urllib"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("imports = %v, missing %q", got, want)
+		}
+	}
+	if strings.Contains(joined, "commented") || strings.Contains(joined, "fake") {
+		t.Fatalf("imports = %v contains filtered entries", got)
+	}
+}
+
+func TestExtractImportsJS(t *testing.T) {
+	a := npmArtifact("pkg", ecosys.File{Path: "index.js", Content: `const u = require('util');
+import icons from 'icons';
+import 'side-effect-pkg';
+const local = require('./lib/x');
+// const no = require('commented');
+`})
+	got := ExtractImports(a)
+	joined := strings.Join(got, ",")
+	for _, want := range []string{"util", "icons", "side-effect-pkg", "lib"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("imports = %v, missing %q", got, want)
+		}
+	}
+	if strings.Contains(joined, "commented") {
+		t.Fatalf("imports = %v contains comment", got)
+	}
+}
+
+func TestExtractImportsRuby(t *testing.T) {
+	a := ecosys.NewArtifact(ecosys.Coord{Ecosystem: ecosys.RubyGems, Name: "g", Version: "1"}, "",
+		[]ecosys.File{{Path: "main.rb", Content: "require 'rest-client'\nrequire 'net/http'\n"}})
+	got := ExtractImports(a)
+	joined := strings.Join(got, ",")
+	if !strings.Contains(joined, "rest-client") || !strings.Contains(joined, "net") {
+		t.Fatalf("imports = %v", got)
+	}
+}
+
+func TestTopLevel(t *testing.T) {
+	cases := map[string]string{
+		"pygrata.utils": "pygrata",
+		"./lib/x":       "lib",
+		"../up":         "up",
+		"net/http":      "net",
+		"@scope/pkg":    "@scope/pkg",
+		"plain":         "plain",
+	}
+	for in, want := range cases {
+		if got := topLevel(in); got != want {
+			t.Errorf("topLevel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMaliciousDepsFastAgreesWithSlow(t *testing.T) {
+	a := pyArtifact("loglib-modules",
+		ecosys.File{Path: "requirements.txt", Content: "pygrata\nrequests\n"},
+		ecosys.File{Path: "setup.py", Content: "import urllib\nimport os\n"},
+	)
+	corpus := map[string]bool{"pygrata": true, "urllib": true}
+	s := NewScanner()
+	slow, err := s.MaliciousDeps(a, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := s.MaliciousDepsFast(a, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(slow, ",") != strings.Join(fast, ",") {
+		t.Fatalf("fast %v != slow %v", fast, slow)
+	}
+}
+
+func TestMaliciousDepsFastBadManifest(t *testing.T) {
+	a := npmArtifact("bad", ecosys.File{Path: "package.json", Content: "{oops"})
+	if _, err := NewScanner().MaliciousDepsFast(a, map[string]bool{"x": true}); err == nil {
+		t.Fatal("bad manifest must propagate error")
+	}
+}

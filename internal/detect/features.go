@@ -1,0 +1,101 @@
+// Package detect implements the security applications of §VI: numeric
+// feature extraction over package artifacts, a rule-based static scanner (the
+// GuardDog/Semgrep stand-in used for the §IV-A validation experiment), and
+// the diversity-aware detection experiment that regenerates Table X.
+package detect
+
+import (
+	"math"
+	"regexp"
+	"strings"
+
+	"malgraph/internal/ecosys"
+)
+
+// FeatureNames lists the extracted features in vector order. The set is
+// deliberately generic (API-category counts and structural statistics, no
+// signature-grade indicators): like the paper's §VI-A setting, detection
+// quality then hinges on how well the *training sample* covers the corpus's
+// code-base families — which is exactly what Table X measures.
+var FeatureNames = []string{
+	"log_src_bytes", "num_files", "num_deps", "install_hook",
+	"tok_base64", "tok_exec", "tok_socket", "tok_env", "tok_http",
+	"longest_literal", "ip_literals", "url_literals",
+	"name_len", "name_digits", "desc_len",
+}
+
+var (
+	ipLiteralRe  = regexp.MustCompile(`\b\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}\b`)
+	urlLiteralRe = regexp.MustCompile(`https?://[^\s"'<>\)]+`)
+	stringLitRe  = regexp.MustCompile(`"[^"\n]*"|'[^'\n]*'`)
+)
+
+var tokenGroups = map[string][]string{
+	"tok_base64": {"base64", "b64decode", "b64encode", "frombase64", "tostring('base64')", "'base64'"},
+	"tok_exec":   {"exec(", "eval(", "os.system", "subprocess", "cp.exec", "execsync", "popen", "check_call"},
+	"tok_socket": {"socket", "net.connect", "tcpsocket", "connect((", "dns.lookup", "gethostbyname"},
+	"tok_env":    {"os.environ", "process.env", "env.to_h", "getenv", "aws_secret"},
+	"tok_http":   {"https.request", "urlopen", "httpsconnection", "net::http", "fetch(", ".post(", "http.request"},
+}
+
+// Features converts an artifact into the numeric vector §VI-A's models
+// consume. The vector length equals len(FeatureNames).
+func Features(a *ecosys.Artifact) []float64 {
+	src := a.MergedSource()
+	lower := strings.ToLower(src)
+	features := make([]float64, len(FeatureNames))
+	set := func(name string, v float64) {
+		for i, n := range FeatureNames {
+			if n == name {
+				features[i] = v
+				return
+			}
+		}
+	}
+
+	set("log_src_bytes", math.Log1p(float64(len(src))))
+	set("num_files", float64(len(a.Files)))
+
+	manifest, hasManifest := a.Manifest()
+	deps := 0
+	if hasManifest {
+		deps = strings.Count(manifest.Content, "\n")
+		if strings.Contains(manifest.Content, "dependencies") {
+			deps = strings.Count(manifest.Content, "^")
+		}
+		if strings.Contains(strings.ToLower(manifest.Content), "postinstall") ||
+			strings.Contains(manifest.Content, "cmdclass") {
+			set("install_hook", 1)
+		}
+	}
+	set("num_deps", float64(deps))
+
+	for group, needles := range tokenGroups {
+		count := 0
+		for _, needle := range needles {
+			count += strings.Count(lower, needle)
+		}
+		set(group, float64(count))
+	}
+
+	longest := 0
+	for _, lit := range stringLitRe.FindAllString(src, -1) {
+		if len(lit) > longest {
+			longest = len(lit)
+		}
+	}
+	set("longest_literal", float64(longest))
+	set("ip_literals", float64(len(ipLiteralRe.FindAllString(src, -1))))
+	set("url_literals", float64(len(urlLiteralRe.FindAllString(src, -1))))
+
+	set("name_len", float64(len(a.Coord.Name)))
+	digits := 0
+	for _, r := range a.Coord.Name {
+		if r >= '0' && r <= '9' {
+			digits++
+		}
+	}
+	set("name_digits", float64(digits))
+	set("desc_len", float64(len(a.Description)))
+	return features
+}

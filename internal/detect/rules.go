@@ -1,0 +1,189 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"malgraph/internal/ecosys"
+	"malgraph/internal/xrand"
+)
+
+// Finding is one rule hit.
+type Finding struct {
+	Rule     string
+	File     string
+	Evidence string
+}
+
+// Rule is a static-analysis detection rule: the GuardDog-style signature set
+// used for the §IV-A controlled validation.
+type Rule struct {
+	ID string
+	// Match inspects one source file and returns evidence when it fires.
+	Match func(path, lowerContent string) (string, bool)
+}
+
+func containsAll(s string, needles ...string) (string, bool) {
+	for _, n := range needles {
+		if !strings.Contains(s, n) {
+			return "", false
+		}
+	}
+	return strings.Join(needles, "+"), true
+}
+
+// DefaultRules returns the built-in rule set. Each rule requires a
+// *combination* of signals, mirroring how production scanners temper
+// single-token false positives.
+func DefaultRules() []Rule {
+	return []Rule{
+		{ID: "env-exfiltration", Match: func(_, s string) (string, bool) {
+			if ev, ok := containsAll(s, "environ", "httpsconnection"); ok {
+				return ev, true
+			}
+			if ev, ok := containsAll(s, "process.env", "https.request"); ok {
+				return ev, true
+			}
+			return containsAll(s, "env.to_h", "net::http")
+		}},
+		{ID: "encoded-exec", Match: func(_, s string) (string, bool) {
+			if ev, ok := containsAll(s, "b64decode", "os.system"); ok {
+				return ev, true
+			}
+			if ev, ok := containsAll(s, "'base64'", "cp.exec"); ok {
+				return ev, true
+			}
+			return containsAll(s, "b64decode", "exec(")
+		}},
+		{ID: "hidden-powershell", Match: func(_, s string) (string, bool) {
+			return containsAll(s, "powershell", "hidden")
+		}},
+		{ID: "reverse-shell", Match: func(_, s string) (string, bool) {
+			if ev, ok := containsAll(s, "socket", "recv", "popen"); ok {
+				return ev, true
+			}
+			return containsAll(s, "net.connect", "cp.exec")
+		}},
+		{ID: "dns-tunnel", Match: func(_, s string) (string, bool) {
+			if ev, ok := containsAll(s, "gethostbyname", "environ"); ok {
+				return ev, true
+			}
+			return containsAll(s, "dns.lookup", "process.env")
+		}},
+		{ID: "beaconing", Match: func(_, s string) (string, bool) {
+			if ev, ok := containsAll(s, "gethostname", "/beacon"); ok {
+				return ev, true
+			}
+			return containsAll(s, "os.hostname", "/beacon")
+		}},
+		{ID: "wallet-replacement", Match: func(_, s string) (string, bool) {
+			return containsAll(s, "0x", "clipboard")
+		}},
+		{ID: "wallet-replacement-obfuscated", Match: func(_, s string) (string, bool) {
+			if strings.Contains(s, "0x") && (strings.Contains(s, "钱包") || strings.Contains(s, "替换")) {
+				return "0x+cjk-obfuscation", true
+			}
+			return "", false
+		}},
+		{ID: "tracking-pixel", Match: func(_, s string) (string, bool) {
+			return containsAll(s, "/pixel.gif")
+		}},
+		{ID: "exfil-service", Match: func(_, s string) (string, bool) {
+			for _, svc := range []string{"discordapp", "api.telegram.org", "transfer.sh", "dl.dropbox", "bananasquad", "kekwltd"} {
+				if strings.Contains(s, svc) {
+					return svc, true
+				}
+			}
+			return "", false
+		}},
+	}
+}
+
+// Scanner applies a rule set to artifacts.
+type Scanner struct {
+	rules []Rule
+}
+
+// NewScanner returns a scanner with the default rules.
+func NewScanner() *Scanner { return &Scanner{rules: DefaultRules()} }
+
+// Scan returns every finding across the artifact's source files, sorted.
+func (s *Scanner) Scan(a *ecosys.Artifact) []Finding {
+	var out []Finding
+	for _, f := range a.SourceFiles() {
+		lower := strings.ToLower(f.Content)
+		for _, r := range s.rules {
+			if ev, ok := r.Match(f.Path, lower); ok {
+				out = append(out, Finding{Rule: r.ID, File: f.Path, Evidence: ev})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].File < out[j].File
+	})
+	return out
+}
+
+// Flagged reports whether any rule fires.
+func (s *Scanner) Flagged(a *ecosys.Artifact) bool { return len(s.Scan(a)) > 0 }
+
+// ValidationResult summarises one §IV-A controlled sampling experiment.
+type ValidationResult struct {
+	Experiments    int
+	SampleSize     int
+	ScannerFlagged int // packages flagged by the scanner alone
+	Verified       int // packages confirmed malicious after manual inspection
+	Total          int
+}
+
+// ScannerRate is the fraction the scanner alone caught.
+func (v ValidationResult) ScannerRate() float64 {
+	if v.Total == 0 {
+		return 0
+	}
+	return float64(v.ScannerFlagged) / float64(v.Total)
+}
+
+// VerifiedRate is the post-inspection malicious fraction (paper: 100%).
+func (v ValidationResult) VerifiedRate() float64 {
+	if v.Total == 0 {
+		return 0
+	}
+	return float64(v.Verified) / float64(v.Total)
+}
+
+// ValidateSampling reproduces §IV-A: run `experiments` rounds, each sampling
+// sampleSize artifacts, scanning them, and then "manually inspecting"
+// scanner misses (inspect returns the adjudicated truth for a package).
+func ValidateSampling(artifacts []*ecosys.Artifact, experiments, sampleSize int, inspect func(*ecosys.Artifact) bool, rng *xrand.RNG) ValidationResult {
+	res := ValidationResult{Experiments: experiments, SampleSize: sampleSize}
+	if len(artifacts) == 0 {
+		return res
+	}
+	scanner := NewScanner()
+	for e := 0; e < experiments; e++ {
+		idx := rng.Sample(len(artifacts), sampleSize)
+		for _, i := range idx {
+			res.Total++
+			if scanner.Flagged(artifacts[i]) {
+				res.ScannerFlagged++
+				res.Verified++
+				continue
+			}
+			if inspect != nil && inspect(artifacts[i]) {
+				res.Verified++
+			}
+		}
+	}
+	return res
+}
+
+// String renders the result like the paper's prose.
+func (v ValidationResult) String() string {
+	return fmt.Sprintf("%d experiments × %d samples: scanner %.1f%%, verified %.1f%%",
+		v.Experiments, v.SampleSize, v.ScannerRate()*100, v.VerifiedRate()*100)
+}

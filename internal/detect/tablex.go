@@ -1,0 +1,211 @@
+package detect
+
+import (
+	"fmt"
+
+	"malgraph/internal/ecosys"
+	"malgraph/internal/ml"
+	"malgraph/internal/xrand"
+)
+
+// TableXConfig parameterises the §VI-A diversity experiment.
+type TableXConfig struct {
+	Iterations      int // paper: 50
+	ClustersPerIter int // clusters sampled into the test set each iteration
+	PerCluster      int // packages sampled per cluster (paper: 2)
+	Seed            uint64
+}
+
+// DefaultTableXConfig returns the paper's parameters.
+func DefaultTableXConfig() TableXConfig {
+	return TableXConfig{Iterations: 50, ClustersPerIter: 12, PerCluster: 2, Seed: 99}
+}
+
+// TableXRow is one Table X row: a model's average accuracy/recall with and
+// without MALGRAPH's diversity information.
+type TableXRow struct {
+	Algorithm     string
+	AccWithout    float64
+	AccWith       float64
+	RecallWithout float64
+	RecallWith    float64
+}
+
+// modelFactory builds a fresh classifier per training run (models are
+// stateful; reuse across runs would leak).
+type modelFactory struct {
+	name  string
+	build func(seed uint64) ml.Classifier
+}
+
+func tableXModels() []modelFactory {
+	return []modelFactory{
+		{"RF", func(seed uint64) ml.Classifier { return &ml.RandomForest{Trees: 40, MaxDepth: 10, Seed: seed} }},
+		{"LR", func(uint64) ml.Classifier { return &ml.LogisticRegression{Epochs: 200} }},
+		// K=3 matches the 2-per-cluster sampling: a test package's two
+		// same-family training twins form a majority among 3 neighbours.
+		{"KNN", func(uint64) ml.Classifier { return &ml.KNN{K: 3} }},
+		{"MLP", func(seed uint64) ml.Classifier { return &ml.MLP{Hidden: 24, Epochs: 40, Seed: seed} }},
+	}
+}
+
+// RunTableX executes the experiment: `clusters` are the MALGRAPH similar
+// groups of tracked malware (each a slice of artifacts), `benign` is the
+// legitimate pool. Per iteration, the test set takes PerCluster packages
+// from ClustersPerIter sampled clusters (with repetition for small
+// clusters); the "with" training set takes PerCluster packages from *every*
+// remaining cluster (diversity-aware coverage), while the "without" training
+// set draws the same number of malicious samples at random. Both are
+// balanced with equal-sized benign samples. Results are averaged over
+// Iterations.
+func RunTableX(clusters [][]*ecosys.Artifact, benign []*ecosys.Artifact, cfg TableXConfig) ([]TableXRow, error) {
+	if len(clusters) < 2 {
+		return nil, fmt.Errorf("detect: need ≥2 clusters, have %d", len(clusters))
+	}
+	if len(benign) == 0 {
+		return nil, fmt.Errorf("detect: empty benign pool")
+	}
+	if cfg.Iterations <= 0 {
+		cfg = DefaultTableXConfig()
+	}
+	if cfg.ClustersPerIter >= len(clusters) {
+		cfg.ClustersPerIter = len(clusters) / 2
+		if cfg.ClustersPerIter < 1 {
+			cfg.ClustersPerIter = 1
+		}
+	}
+
+	// Pre-extract features once.
+	feat := make(map[*ecosys.Artifact][]float64)
+	for _, cl := range clusters {
+		for _, a := range cl {
+			feat[a] = Features(a)
+		}
+	}
+	benignFeat := make([][]float64, len(benign))
+	for i, a := range benign {
+		benignFeat[i] = Features(a)
+	}
+
+	models := tableXModels()
+	sums := make(map[string]*TableXRow, len(models))
+	for _, m := range models {
+		sums[m.name] = &TableXRow{Algorithm: m.name}
+	}
+
+	rng := xrand.New(cfg.Seed)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iterRng := rng.Derive(fmt.Sprintf("iter%d", iter))
+
+		testClusters := iterRng.Sample(len(clusters), cfg.ClustersPerIter)
+		inTest := make(map[int]bool, len(testClusters))
+		for _, ci := range testClusters {
+			inTest[ci] = true
+		}
+
+		var testX [][]float64
+		var testY []int
+		testMembers := make(map[*ecosys.Artifact]bool)
+		for _, ci := range testClusters {
+			cl := clusters[ci]
+			for k := 0; k < cfg.PerCluster; k++ {
+				a := cl[iterRng.Intn(len(cl))] // repetition allowed: small clusters
+				testX = append(testX, feat[a])
+				testY = append(testY, 1)
+				testMembers[a] = true
+			}
+		}
+
+		// Remaining malicious pool and per-cluster remainder.
+		var pool []*ecosys.Artifact
+		var remaining [][]*ecosys.Artifact
+		for ci, cl := range clusters {
+			var rest []*ecosys.Artifact
+			for _, a := range cl {
+				if !testMembers[a] {
+					rest = append(rest, a)
+				}
+			}
+			if len(rest) == 0 {
+				continue
+			}
+			if !inTest[ci] || len(rest) > 0 {
+				remaining = append(remaining, rest)
+			}
+			pool = append(pool, rest...)
+		}
+
+		// (1) diversity-aware training: PerCluster samples per cluster.
+		var withX [][]float64
+		var withY []int
+		for _, rest := range remaining {
+			for k := 0; k < cfg.PerCluster; k++ {
+				a := rest[iterRng.Intn(len(rest))]
+				withX = append(withX, feat[a])
+				withY = append(withY, 1)
+			}
+		}
+		malTrainN := len(withX)
+
+		// (2) random training: same count from the undifferentiated pool.
+		var withoutX [][]float64
+		var withoutY []int
+		for k := 0; k < malTrainN; k++ {
+			a := pool[iterRng.Intn(len(pool))]
+			withoutX = append(withoutX, feat[a])
+			withoutY = append(withoutY, 1)
+		}
+
+		// Balance both with benign; test gets its own benign half.
+		benignIdx := iterRng.Perm(len(benignFeat))
+		take := func(n int) [][]float64 {
+			out := make([][]float64, 0, n)
+			for k := 0; k < n; k++ {
+				out = append(out, benignFeat[benignIdx[k%len(benignIdx)]])
+			}
+			return out
+		}
+		for _, b := range take(malTrainN) {
+			withX = append(withX, b)
+			withY = append(withY, 0)
+			withoutX = append(withoutX, b)
+			withoutY = append(withoutY, 0)
+		}
+		testBenign := take(len(testX))
+		for _, b := range testBenign {
+			testX = append(testX, b)
+			testY = append(testY, 0)
+		}
+
+		for mi, m := range models {
+			seed := cfg.Seed + uint64(iter*10+mi)
+			withModel := m.build(seed)
+			if err := withModel.Fit(withX, withY); err != nil {
+				return nil, fmt.Errorf("fit %s (with): %w", m.name, err)
+			}
+			withoutModel := m.build(seed)
+			if err := withoutModel.Fit(withoutX, withoutY); err != nil {
+				return nil, fmt.Errorf("fit %s (without): %w", m.name, err)
+			}
+			mw := ml.Evaluate(withModel, testX, testY)
+			mo := ml.Evaluate(withoutModel, testX, testY)
+			row := sums[m.name]
+			row.AccWith += mw.Accuracy
+			row.RecallWith += mw.Recall
+			row.AccWithout += mo.Accuracy
+			row.RecallWithout += mo.Recall
+		}
+	}
+
+	out := make([]TableXRow, 0, len(models))
+	n := float64(cfg.Iterations)
+	for _, m := range models {
+		row := sums[m.name]
+		row.AccWith /= n
+		row.AccWithout /= n
+		row.RecallWith /= n
+		row.RecallWithout /= n
+		out = append(out, *row)
+	}
+	return out, nil
+}

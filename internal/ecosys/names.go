@@ -1,0 +1,192 @@
+package ecosys
+
+import (
+	"strconv"
+	"strings"
+
+	"malgraph/internal/xrand"
+)
+
+// NameForge generates package names that imitate the social-engineering
+// tactics described in §II-A: typosquatting (edit-distance-1 variants of
+// popular names), combosquatting (popular name + plausible suffix), and
+// common-word names ("util", "common") used by dependent-hidden attacks
+// (§V-C observation 1).
+type NameForge struct {
+	rng  *xrand.RNG
+	used map[string]bool
+}
+
+// NewNameForge returns a forge drawing from the given stream. Names are
+// globally unique per forge, mirroring registries' name-reuse ban after a
+// takedown (§III-B: "the same name cannot be reused").
+func NewNameForge(rng *xrand.RNG) *NameForge {
+	return &NameForge{rng: rng, used: make(map[string]bool)}
+}
+
+// PopularTargets lists legitimate, widely-installed packages per ecosystem
+// whose reputations the attacks piggyback on.
+var PopularTargets = map[Ecosystem][]string{
+	PyPI:     {"urllib3", "requests", "colorama", "numpy", "django", "flask", "pillow", "cryptography", "pytest", "selenium"},
+	NPM:      {"lodash", "express", "react", "axios", "moment", "webpack", "eslint", "chalk", "commander", "debug"},
+	RubyGems: {"rails", "rake", "rack", "rest-client", "nokogiri", "puma", "sinatra", "devise", "rspec", "bootstrap-sass"},
+}
+
+// CommonWords are generic developer-tooling words attackers use as
+// dependency-package names (Table VIII: util, icons, common, settings...).
+var CommonWords = []string{
+	"util", "utils", "icons", "common", "settings", "config", "core", "tools",
+	"helper", "loader", "logger", "parser", "client", "server", "cache",
+	"values", "public", "connection", "request", "response", "runner",
+}
+
+// Squat returns a fresh typosquat or combosquat of a popular package in eco.
+func (f *NameForge) Squat(eco Ecosystem) string {
+	targets := PopularTargets[eco]
+	if len(targets) == 0 {
+		targets = PopularTargets[NPM]
+	}
+	for attempt := 0; ; attempt++ {
+		base := xrand.Pick(f.rng, targets)
+		var name string
+		if f.rng.Bool(0.5) {
+			name = f.typo(base)
+		} else {
+			name = f.combo(base)
+		}
+		if name == base {
+			// A squat can never equal the legitimate name: the registry
+			// already has it.
+			name = base + "x"
+		}
+		if attempt > 20 {
+			name = name + "-" + strconv.Itoa(f.rng.Intn(10000))
+		}
+		if f.claim(name) {
+			return name
+		}
+	}
+}
+
+// Fresh returns a fresh plausible-sounding package name with no squat intent.
+func (f *NameForge) Fresh() string {
+	prefixes := []string{"cloud", "fast", "easy", "py", "node", "micro", "hyper", "auto", "smart", "deep", "meta", "net", "data", "dev"}
+	stems := []string{"report", "player", "crypto", "video", "layout", "webpack", "scripts", "render", "style", "http", "json", "sdk", "api", "stream"}
+	for attempt := 0; ; attempt++ {
+		name := xrand.Pick(f.rng, prefixes) + "-" + xrand.Pick(f.rng, stems)
+		if attempt > 10 {
+			name += "-" + strconv.Itoa(f.rng.Intn(100000))
+		}
+		if f.claim(name) {
+			return name
+		}
+	}
+}
+
+// CommonWord returns an unclaimed generic name ("util", "icons", ...) used by
+// dependent-hidden campaigns; once the plain words run out it appends digits.
+func (f *NameForge) CommonWord() string {
+	for _, w := range CommonWords {
+		if f.claim(w) {
+			return w
+		}
+	}
+	for {
+		name := xrand.Pick(f.rng, CommonWords) + strconv.Itoa(f.rng.Intn(1000))
+		if f.claim(name) {
+			return name
+		}
+	}
+}
+
+// ClaimExact reserves an exact name (used to seed Table VIII's fixed
+// dependency names such as "urllib" or "rest-client"). It reports whether the
+// name was free.
+func (f *NameForge) ClaimExact(name string) bool { return f.claim(name) }
+
+func (f *NameForge) claim(name string) bool {
+	if f.used[name] {
+		return false
+	}
+	f.used[name] = true
+	return true
+}
+
+func (f *NameForge) typo(base string) string {
+	if len(base) < 3 {
+		return base + base
+	}
+	runes := []rune(base)
+	switch f.rng.Intn(4) {
+	case 0: // character deletion: "requests" -> "requsts"
+		i := 1 + f.rng.Intn(len(runes)-2)
+		return string(runes[:i]) + string(runes[i+1:])
+	case 1: // adjacent transposition: "urllib" -> "ulrlib"
+		// Swapping identical neighbours ("pillow" at the double l) would
+		// return the legitimate name itself, which no registry would accept;
+		// scan for a differing pair instead.
+		start := f.rng.Intn(len(runes) - 1)
+		for off := 0; off < len(runes)-1; off++ {
+			i := (start + off) % (len(runes) - 1)
+			if runes[i] != runes[i+1] {
+				runes[i], runes[i+1] = runes[i+1], runes[i]
+				return string(runes)
+			}
+		}
+		return base + "x"
+	case 2: // character duplication: "lodash" -> "llodash"
+		i := f.rng.Intn(len(runes))
+		return string(runes[:i]) + string(runes[i]) + string(runes[i:])
+	default: // homoglyph-ish substitution
+		subs := map[rune]rune{'l': '1', 'o': '0', 'i': 'l', 's': 'z', 'e': '3'}
+		for i, r := range runes {
+			if sub, ok := subs[r]; ok && f.rng.Bool(0.6) {
+				runes[i] = sub
+				return string(runes)
+			}
+		}
+		return base + "s"
+	}
+}
+
+func (f *NameForge) combo(base string) string {
+	suffixes := []string{"-js", "-node", "-api", "-dev", "-cli", "-lib", "-core", "-v2", "-official", "-plus", "-modules", "-utils"}
+	if f.rng.Bool(0.3) {
+		prefixes := []string{"node-", "py-", "lib", "go-", "new-", "the-"}
+		return xrand.Pick(f.rng, prefixes) + base
+	}
+	return base + xrand.Pick(f.rng, suffixes)
+}
+
+// Version synthesises a plausible semantic version string.
+func Version(rng *xrand.RNG) string {
+	major := rng.Intn(10)
+	minor := rng.Intn(20)
+	patch := rng.Intn(30)
+	v := strconv.Itoa(major) + "." + strconv.Itoa(minor) + "." + strconv.Itoa(patch)
+	if rng.Bool(0.05) {
+		v += "-beta." + strconv.Itoa(rng.Intn(5))
+	}
+	return v
+}
+
+// BumpVersion increments the patch component of a semantic version (the CV
+// operation in Fig. 9 keeps the name and bumps the version).
+func BumpVersion(v string) string {
+	base, suffix, _ := strings.Cut(v, "-")
+	parts := strings.Split(base, ".")
+	if len(parts) == 0 {
+		return v + ".1"
+	}
+	last := parts[len(parts)-1]
+	n, err := strconv.Atoi(last)
+	if err != nil {
+		return v + ".1"
+	}
+	parts[len(parts)-1] = strconv.Itoa(n + 1)
+	out := strings.Join(parts, ".")
+	if suffix != "" {
+		out += "-" + suffix
+	}
+	return out
+}

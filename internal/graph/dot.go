@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT serialises the graph (optionally restricted to some edge types)
+// in Graphviz DOT format for visual inspection — the closest stdlib-only
+// analogue to browsing MALGRAPH in the Neo4j UI. Nodes are labelled with
+// their "name" attribute when present; edge colours encode the type.
+func (g *Graph) WriteDOT(w io.Writer, types ...EdgeType) error {
+	if len(types) == 0 {
+		types = EdgeTypes()
+	}
+	wanted := make(map[EdgeType]bool, len(types))
+	for _, t := range types {
+		wanted[t] = true
+	}
+	edges := g.Edges(types...)
+
+	// Only emit nodes that participate in a selected edge; full corpora have
+	// tens of thousands of isolated nodes that would swamp the drawing.
+	used := make(map[string]bool)
+	for _, e := range edges {
+		used[e.From] = true
+		used[e.To] = true
+	}
+	ids := make([]string, 0, len(used))
+	for id := range used {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if _, err := fmt.Fprintln(w, "graph malgraph {"); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		label := id
+		if n, ok := g.Node(id); ok && n.Attrs["name"] != "" {
+			label = n.Attrs["name"]
+		}
+		if _, err := fmt.Fprintf(w, "  %q [label=%q];\n", id, label); err != nil {
+			return err
+		}
+	}
+	colors := map[EdgeType]string{
+		Duplicated: "gray",
+		Similar:    "blue",
+		Dependency: "red",
+		Coexisting: "green",
+	}
+	for _, e := range edges {
+		connector := "--"
+		extra := ""
+		if e.Type == Dependency {
+			extra = ", dir=forward" // dependency edges are directed
+		}
+		if _, err := fmt.Fprintf(w, "  %q %s %q [color=%s%s];\n",
+			e.From, connector, e.To, colors[e.Type], extra); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// DOTString is a convenience wrapper returning the DOT text.
+func (g *Graph) DOTString(types ...EdgeType) string {
+	var b strings.Builder
+	_ = g.WriteDOT(&b, types...)
+	return b.String()
+}

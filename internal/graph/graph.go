@@ -1,0 +1,410 @@
+// Package graph implements the labelled property-graph store underlying
+// MALGRAPH. The paper stores interlinked malicious-package nodes in Neo4j
+// (§III); this package is the embedded, stdlib-only substitute: typed nodes
+// and edges with attribute maps, adjacency indexes, connected-component and
+// subgraph queries, and JSON persistence. All operations are safe for
+// concurrent use.
+package graph
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// EdgeType classifies a relationship between two packages (§III).
+type EdgeType int
+
+// The four MALGRAPH relationship types.
+const (
+	Duplicated EdgeType = iota + 1
+	Similar
+	Dependency
+	Coexisting
+)
+
+var edgeTypeNames = map[EdgeType]string{
+	Duplicated: "duplicated",
+	Similar:    "similar",
+	Dependency: "dependency",
+	Coexisting: "coexisting",
+}
+
+// String returns the paper's name for the edge type.
+func (t EdgeType) String() string {
+	if s, ok := edgeTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("EdgeType(%d)", int(t))
+}
+
+// EdgeTypes lists all edge types in declaration order.
+func EdgeTypes() []EdgeType {
+	return []EdgeType{Duplicated, Similar, Dependency, Coexisting}
+}
+
+// Attrs is a string-keyed attribute map attached to nodes and edges.
+type Attrs map[string]string
+
+func (a Attrs) clone() Attrs {
+	if a == nil {
+		return nil
+	}
+	c := make(Attrs, len(a))
+	for k, v := range a {
+		c[k] = v
+	}
+	return c
+}
+
+// Node is a graph node. The paper's nodes carry seven attributes (ID, name,
+// version, source, hash, ecosystem, ...); those live in Attrs so the store
+// stays schema-free.
+type Node struct {
+	ID    string `json:"id"`
+	Attrs Attrs  `json:"attrs,omitempty"`
+}
+
+// Edge is a typed, attributed relationship. Edges are stored undirected for
+// duplicated/similar/co-existing semantics; Dependency edges are directed
+// From→To ("From depends on To") but still indexed on both endpoints.
+type Edge struct {
+	From  string   `json:"from"`
+	To    string   `json:"to"`
+	Type  EdgeType `json:"type"`
+	Attrs Attrs    `json:"attrs,omitempty"`
+}
+
+// ErrNodeNotFound is returned when an operation references an unknown node.
+var ErrNodeNotFound = errors.New("graph: node not found")
+
+// ErrDuplicateNode is returned when adding a node whose ID already exists.
+var ErrDuplicateNode = errors.New("graph: duplicate node id")
+
+// Graph is a concurrent-safe labelled property graph.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	// adjacency[type][nodeID] = edge indexes into edges
+	adjacency map[EdgeType]map[string][]int
+	edges     []Edge
+	edgeSeen  map[string]bool // dedup key type|min|max (undirected) or type|from|to (directed)
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	g := &Graph{
+		nodes:     make(map[string]*Node),
+		adjacency: make(map[EdgeType]map[string][]int),
+		edgeSeen:  make(map[string]bool),
+	}
+	for _, t := range EdgeTypes() {
+		g.adjacency[t] = make(map[string][]int)
+	}
+	return g
+}
+
+// AddNode inserts a node. Attribute maps are copied at the boundary.
+func (g *Graph) AddNode(id string, attrs Attrs) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	g.nodes[id] = &Node{ID: id, Attrs: attrs.clone()}
+	return nil
+}
+
+// Node returns a copy of the node with the given ID.
+func (g *Graph) Node(id string) (Node, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return Node{ID: n.ID, Attrs: n.Attrs.clone()}, true
+}
+
+// SetAttr sets one attribute on an existing node.
+func (g *Graph) SetAttr(id, key, value string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNodeNotFound, id)
+	}
+	if n.Attrs == nil {
+		n.Attrs = make(Attrs, 1)
+	}
+	n.Attrs[key] = value
+	return nil
+}
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// EdgeCount returns the total number of edges, or the count for one type if
+// given.
+func (g *Graph) EdgeCount(types ...EdgeType) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(types) == 0 {
+		return len(g.edges)
+	}
+	n := 0
+	for _, e := range g.edges {
+		for _, t := range types {
+			if e.Type == t {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func edgeKey(t EdgeType, from, to string) string {
+	if t != Dependency && from > to {
+		from, to = to, from
+	}
+	return fmt.Sprintf("%d|%s|%s", t, from, to)
+}
+
+// AddEdge inserts a typed edge between existing nodes. Self-loops are
+// rejected; duplicate (type, endpoints) insertions are idempotent no-ops.
+func (g *Graph) AddEdge(from, to string, t EdgeType, attrs Attrs) error {
+	if from == to {
+		return fmt.Errorf("graph: self-loop on %s", from)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("%w: %s", ErrNodeNotFound, from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("%w: %s", ErrNodeNotFound, to)
+	}
+	key := edgeKey(t, from, to)
+	if g.edgeSeen[key] {
+		return nil
+	}
+	g.edgeSeen[key] = true
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{From: from, To: to, Type: t, Attrs: attrs.clone()})
+	g.adjacency[t][from] = append(g.adjacency[t][from], idx)
+	g.adjacency[t][to] = append(g.adjacency[t][to], idx)
+	return nil
+}
+
+// HasEdge reports whether an edge of type t joins the two nodes (in either
+// direction for undirected types; exactly from→to for Dependency).
+func (g *Graph) HasEdge(from, to string, t EdgeType) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.edgeSeen[edgeKey(t, from, to)]
+}
+
+// Neighbors returns the IDs adjacent to id via edges of type t, sorted.
+func (g *Graph) Neighbors(id string, t EdgeType) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []string
+	for _, idx := range g.adjacency[t][id] {
+		e := g.edges[idx]
+		if e.From == id {
+			out = append(out, e.To)
+		} else {
+			out = append(out, e.From)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OutNeighbors returns IDs reachable from id following directed edges of type
+// t (From==id). For undirected edge types this is a subset of Neighbors.
+func (g *Graph) OutNeighbors(id string, t EdgeType) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []string
+	for _, idx := range g.adjacency[t][id] {
+		if e := g.edges[idx]; e.From == id {
+			out = append(out, e.To)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InDegree returns the number of edges of type t whose To endpoint is id —
+// for Dependency edges, how many packages hide behind this one (Table VIII).
+func (g *Graph) InDegree(id string, t EdgeType) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, idx := range g.adjacency[t][id] {
+		if g.edges[idx].To == id {
+			n++
+		}
+	}
+	return n
+}
+
+// Edges returns a copy of all edges, optionally filtered by type.
+func (g *Graph) Edges(types ...EdgeType) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Edge
+	for _, e := range g.edges {
+		if len(types) == 0 {
+			out = append(out, Edge{From: e.From, To: e.To, Type: e.Type, Attrs: e.Attrs.clone()})
+			continue
+		}
+		for _, t := range types {
+			if e.Type == t {
+				out = append(out, Edge{From: e.From, To: e.To, Type: e.Type, Attrs: e.Attrs.clone()})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// NodeIDs returns all node IDs, sorted.
+func (g *Graph) NodeIDs() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// NodesWhere returns sorted IDs of nodes for which pred holds.
+func (g *Graph) NodesWhere(pred func(Node) bool) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []string
+	for _, n := range g.nodes {
+		if pred(Node{ID: n.ID, Attrs: n.Attrs}) {
+			out = append(out, n.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Components returns the connected components induced by edges of the given
+// types (all types when none given). Each component is sorted; components are
+// ordered by their smallest member. This is the paper's subgraph operation:
+// "if two nodes have an edge e(u,v), we put them into the same subgraph".
+func (g *Graph) Components(types ...EdgeType) [][]string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(types) == 0 {
+		types = EdgeTypes()
+	}
+	parent := make(map[string]string, len(g.nodes))
+	var find func(string) string
+	find = func(x string) string {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for id := range g.nodes {
+		parent[id] = id
+	}
+	for _, t := range types {
+		for nodeID, idxs := range g.adjacency[t] {
+			for _, idx := range idxs {
+				e := g.edges[idx]
+				if e.From == nodeID { // visit each edge once
+					union(e.From, e.To)
+				}
+			}
+		}
+	}
+	groups := make(map[string][]string)
+	for id := range g.nodes {
+		root := find(id)
+		groups[root] = append(groups[root], id)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, members := range groups {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ComponentsMin returns components with at least minSize members — the
+// paper's subgraphs always require ≥2 nodes.
+func (g *Graph) ComponentsMin(minSize int, types ...EdgeType) [][]string {
+	all := g.Components(types...)
+	out := all[:0]
+	for _, c := range all {
+		if len(c) >= minSize {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// persisted is the JSON wire format.
+type persisted struct {
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+}
+
+// WriteJSON serialises the graph deterministically (nodes sorted by ID).
+func (g *Graph) WriteJSON(w io.Writer) error {
+	g.mu.RLock()
+	p := persisted{Edges: make([]Edge, len(g.edges))}
+	copy(p.Edges, g.edges)
+	for _, n := range g.nodes {
+		p.Nodes = append(p.Nodes, Node{ID: n.ID, Attrs: n.Attrs.clone()})
+	}
+	g.mu.RUnlock()
+	sort.Slice(p.Nodes, func(i, j int) bool { return p.Nodes[i].ID < p.Nodes[j].ID })
+	enc := json.NewEncoder(w)
+	return enc.Encode(p)
+}
+
+// ReadJSON deserialises a graph previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var p persisted
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("graph decode: %w", err)
+	}
+	g := New()
+	for _, n := range p.Nodes {
+		if err := g.AddNode(n.ID, n.Attrs); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range p.Edges {
+		if err := g.AddEdge(e.From, e.To, e.Type, e.Attrs); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,332 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddNodes(t *testing.T, g *Graph, ids ...string) {
+	t.Helper()
+	for _, id := range ids {
+		if err := g.AddNode(id, Attrs{"name": id}); err != nil {
+			t.Fatalf("AddNode(%s): %v", id, err)
+		}
+	}
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, "a")
+	if err := g.AddNode("a", nil); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("want ErrDuplicateNode, got %v", err)
+	}
+}
+
+func TestNodeCopySemantics(t *testing.T) {
+	g := New()
+	attrs := Attrs{"k": "v"}
+	mustAddNodesAttrs(t, g, "a", attrs)
+	attrs["k"] = "mutated-by-caller"
+	n, ok := g.Node("a")
+	if !ok || n.Attrs["k"] != "v" {
+		t.Fatalf("attrs not copied at boundary: %+v", n)
+	}
+	n.Attrs["k"] = "mutated-by-reader"
+	n2, _ := g.Node("a")
+	if n2.Attrs["k"] != "v" {
+		t.Fatal("reader mutation leaked into store")
+	}
+}
+
+func mustAddNodesAttrs(t *testing.T, g *Graph, id string, attrs Attrs) {
+	t.Helper()
+	if err := g.AddNode(id, attrs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAttr(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, "a")
+	if err := g.SetAttr("a", "source", "snyk"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.Node("a")
+	if n.Attrs["source"] != "snyk" {
+		t.Fatalf("attr not set: %+v", n.Attrs)
+	}
+	if err := g.SetAttr("missing", "k", "v"); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("want ErrNodeNotFound, got %v", err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, "a", "b")
+	if err := g.AddEdge("a", "a", Similar, nil); err == nil {
+		t.Fatal("self-loop must be rejected")
+	}
+	if err := g.AddEdge("a", "zzz", Similar, nil); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("want ErrNodeNotFound, got %v", err)
+	}
+	if err := g.AddEdge("a", "b", Similar, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent duplicate, also reversed for undirected type.
+	if err := g.AddEdge("b", "a", Similar, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.EdgeCount(Similar); got != 1 {
+		t.Fatalf("undirected duplicate stored twice: %d", got)
+	}
+}
+
+func TestDirectedDependencyEdges(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, "front", "dep")
+	if err := g.AddEdge("front", "dep", Dependency, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Reverse direction is a distinct dependency edge.
+	if err := g.AddEdge("dep", "front", Dependency, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.EdgeCount(Dependency); got != 2 {
+		t.Fatalf("directed edges collapsed: %d", got)
+	}
+	if !g.HasEdge("front", "dep", Dependency) {
+		t.Fatal("HasEdge must see directed edge")
+	}
+	if got := g.InDegree("dep", Dependency); got != 1 {
+		t.Fatalf("InDegree(dep) = %d", got)
+	}
+	if out := g.OutNeighbors("front", Dependency); len(out) != 1 || out[0] != "dep" {
+		t.Fatalf("OutNeighbors = %v", out)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, "m", "c", "a", "b")
+	for _, n := range []string{"c", "a", "b"} {
+		if err := g.AddEdge("m", n, Similar, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.Neighbors("m", Similar)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors = %v", got)
+		}
+	}
+}
+
+func TestComponentsByType(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, "a", "b", "c", "d", "e")
+	_ = g.AddEdge("a", "b", Similar, nil)
+	_ = g.AddEdge("c", "d", Dependency, nil)
+
+	simComponents := g.ComponentsMin(2, Similar)
+	if len(simComponents) != 1 || len(simComponents[0]) != 2 {
+		t.Fatalf("similar components = %v", simComponents)
+	}
+	depComponents := g.ComponentsMin(2, Dependency)
+	if len(depComponents) != 1 || depComponents[0][0] != "c" {
+		t.Fatalf("dependency components = %v", depComponents)
+	}
+	all := g.Components()
+	if len(all) != 3 { // {a,b}, {c,d}, {e}
+		t.Fatalf("all components = %v", all)
+	}
+}
+
+func TestComponentsPartition(t *testing.T) {
+	// Property: Components() is a partition of the node set.
+	f := func(edgesRaw []uint16, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		g := New()
+		for i := 0; i < n; i++ {
+			if err := g.AddNode(fmt.Sprintf("n%02d", i), nil); err != nil {
+				return false
+			}
+		}
+		for _, e := range edgesRaw {
+			from := fmt.Sprintf("n%02d", int(e)%n)
+			to := fmt.Sprintf("n%02d", int(e>>8)%n)
+			if from == to {
+				continue
+			}
+			if err := g.AddEdge(from, to, Similar, nil); err != nil {
+				return false
+			}
+		}
+		comps := g.Components(Similar)
+		seen := map[string]int{}
+		for _, c := range comps {
+			for _, id := range c {
+				seen[id]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, count := range seen {
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentsTransitivity(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, "a", "b", "c")
+	_ = g.AddEdge("a", "b", Duplicated, nil)
+	_ = g.AddEdge("b", "c", Duplicated, nil)
+	comps := g.ComponentsMin(2, Duplicated)
+	if len(comps) != 1 || len(comps[0]) != 3 {
+		t.Fatalf("duplicated must be transitive via components: %v", comps)
+	}
+}
+
+func TestEdgesFilter(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, "a", "b", "c")
+	_ = g.AddEdge("a", "b", Similar, Attrs{"sim": "0.99"})
+	_ = g.AddEdge("b", "c", Coexisting, nil)
+	if got := len(g.Edges()); got != 2 {
+		t.Fatalf("Edges() = %d", got)
+	}
+	sim := g.Edges(Similar)
+	if len(sim) != 1 || sim[0].Attrs["sim"] != "0.99" {
+		t.Fatalf("Edges(Similar) = %v", sim)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New()
+	mustAddNodes(t, g, "a", "b", "c")
+	_ = g.AddEdge("a", "b", Similar, Attrs{"sim": "0.9"})
+	_ = g.AddEdge("b", "c", Dependency, nil)
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NodeCount() != 3 || g2.EdgeCount() != 2 {
+		t.Fatalf("round trip lost data: %d nodes %d edges", g2.NodeCount(), g2.EdgeCount())
+	}
+	if !g2.HasEdge("a", "b", Similar) || !g2.HasEdge("b", "c", Dependency) {
+		t.Fatal("edges lost in round trip")
+	}
+	var buf2 bytes.Buffer
+	if err := g2.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.Len() == 0 {
+		t.Fatal("second serialisation empty")
+	}
+}
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(pairs []uint16, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		g := New()
+		for i := 0; i < n; i++ {
+			_ = g.AddNode(fmt.Sprintf("p%d", i), Attrs{"i": fmt.Sprint(i)})
+		}
+		for _, p := range pairs {
+			a := fmt.Sprintf("p%d", int(p)%n)
+			b := fmt.Sprintf("p%d", int(p>>8)%n)
+			if a == b {
+				continue
+			}
+			_ = g.AddEdge(a, b, EdgeTypes()[int(p)%4], nil)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			return false
+		}
+		g2, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		return g2.NodeCount() == g.NodeCount() && g2.EdgeCount() == g.EdgeCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONBadInput(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	g := New()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(fmt.Sprintf("n%d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n-1; i++ {
+				if w%2 == 0 {
+					_ = g.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1), Similar, nil)
+				} else {
+					_ = g.Neighbors(fmt.Sprintf("n%d", i), Similar)
+					_ = g.Components(Similar)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.EdgeCount(Similar); got != n-1 {
+		t.Fatalf("concurrent adds deduplicated wrong: %d", got)
+	}
+	comps := g.Components(Similar)
+	if len(comps) != 1 {
+		t.Fatalf("expected one chain component, got %d", len(comps))
+	}
+}
+
+func TestNodesWhere(t *testing.T) {
+	g := New()
+	_ = g.AddNode("a", Attrs{"eco": "PyPI"})
+	_ = g.AddNode("b", Attrs{"eco": "NPM"})
+	_ = g.AddNode("c", Attrs{"eco": "PyPI"})
+	got := g.NodesWhere(func(n Node) bool { return n.Attrs["eco"] == "PyPI" })
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("NodesWhere = %v", got)
+	}
+}
+
+func TestEdgeTypeString(t *testing.T) {
+	if Duplicated.String() != "duplicated" || Coexisting.String() != "coexisting" {
+		t.Fatal("edge type names wrong")
+	}
+	if EdgeType(99).String() != "EdgeType(99)" {
+		t.Fatal("unknown edge type formatting wrong")
+	}
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func queryFixture(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	nodes := map[string]Attrs{
+		"a": {"eco": "PyPI", "name": "alpha"},
+		"b": {"eco": "PyPI", "name": "beta"},
+		"c": {"eco": "NPM", "name": "gamma"},
+		"d": {"eco": "NPM", "name": "delta"},
+		"e": {"eco": "NPM"},
+	}
+	for id, attrs := range nodes {
+		if err := g.AddNode(id, attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}} {
+		if err := g.AddEdge(e[0], e[1], Similar, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// d depends on c; another front e also depends on c.
+	if err := g.AddEdge("d", "c", Dependency, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("e", "c", Dependency, nil); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMatchFilters(t *testing.T) {
+	g := queryFixture(t)
+	pypi := g.Match(AttrEquals("eco", "PyPI"))
+	if strings.Join(pypi, ",") != "a,b" {
+		t.Fatalf("PyPI nodes = %v", pypi)
+	}
+	named := g.Match(AttrEquals("eco", "NPM"), AttrExists("name"))
+	if strings.Join(named, ",") != "c,d" {
+		t.Fatalf("named NPM nodes = %v", named)
+	}
+	connected := g.Match(AttrEquals("eco", "NPM"), g.HasNeighborVia(Dependency))
+	if strings.Join(connected, ",") != "c,d,e" {
+		t.Fatalf("dep-connected = %v", connected)
+	}
+	if got := g.Match(AttrEquals("eco", "Rust")); got != nil {
+		t.Fatalf("empty match = %v", got)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := queryFixture(t)
+	path := g.ShortestPath("a", "c", Similar)
+	if strings.Join(path, "→") != "a→b→c" {
+		t.Fatalf("path = %v", path)
+	}
+	// Cross-type path: a –Similar– b –Similar– c –Dependency– d.
+	full := g.ShortestPath("a", "d")
+	if len(full) != 4 || full[3] != "d" {
+		t.Fatalf("cross-type path = %v", full)
+	}
+	if g.ShortestPath("a", "d", Similar) != nil {
+		t.Fatal("similar-only path to d must not exist")
+	}
+	if got := g.ShortestPath("a", "a"); len(got) != 1 {
+		t.Fatalf("self path = %v", got)
+	}
+	if g.ShortestPath("ghost", "a") != nil {
+		t.Fatal("unknown start must give nil")
+	}
+}
+
+func TestDegreeRank(t *testing.T) {
+	g := queryFixture(t)
+	rank := g.DegreeRank(Dependency, 0)
+	if len(rank) == 0 || rank[0].ID != "c" || rank[0].Degree != 2 {
+		t.Fatalf("dependency rank = %v", rank)
+	}
+	sim := g.DegreeRank(Similar, 1)
+	if len(sim) != 1 || sim[0].ID != "b" {
+		t.Fatalf("similar rank = %v", sim)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	g := queryFixture(t)
+	s := g.Summary()
+	if s.Nodes != 5 {
+		t.Fatalf("nodes = %d", s.Nodes)
+	}
+	if s.EdgesByType["similar"] != 2 || s.EdgesByType["dependency"] != 2 {
+		t.Fatalf("edges = %v", s.EdgesByType)
+	}
+	simSizes := s.ComponentSizes["similar"]
+	if len(simSizes) != 1 || simSizes[0] != 3 {
+		t.Fatalf("similar components = %v", simSizes)
+	}
+	depSizes := s.ComponentSizes["dependency"]
+	if len(depSizes) != 1 || depSizes[0] != 3 {
+		t.Fatalf("dependency components = %v", depSizes)
+	}
+}

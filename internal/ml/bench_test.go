@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"testing"
+
+	"malgraph/internal/xrand"
+)
+
+func benchData(n, dim int) ([][]float64, []int) {
+	rng := xrand.New(1)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, dim)
+		label := i % 2
+		for d := range row {
+			row[d] = rng.NormFloat64()
+			if label == 1 && d < 3 {
+				row[d] += 2
+			}
+		}
+		X[i] = row
+		y[i] = label
+	}
+	return X, y
+}
+
+func BenchmarkRandomForestFit(b *testing.B) {
+	X, y := benchData(600, 15)
+	for i := 0; i < b.N; i++ {
+		rf := &RandomForest{Trees: 40, MaxDepth: 10, Seed: 3}
+		if err := rf.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogisticRegressionFit(b *testing.B) {
+	X, y := benchData(600, 15)
+	for i := 0; i < b.N; i++ {
+		lr := &LogisticRegression{Epochs: 200}
+		if err := lr.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLPFit(b *testing.B) {
+	X, y := benchData(600, 15)
+	for i := 0; i < b.N; i++ {
+		m := &MLP{Hidden: 24, Epochs: 40, Seed: 3}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNNPredict(b *testing.B) {
+	X, y := benchData(600, 15)
+	k := &KNN{K: 3}
+	if err := k.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	query := X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Predict(query)
+	}
+}
+
+func BenchmarkRandomForestPredict(b *testing.B) {
+	X, y := benchData(600, 15)
+	rf := &RandomForest{Trees: 40, MaxDepth: 10, Seed: 3}
+	if err := rf.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	query := X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf.Predict(query)
+	}
+}

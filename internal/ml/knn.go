@@ -1,0 +1,72 @@
+package ml
+
+import "sort"
+
+// KNN is a K-nearest-neighbours classifier under Euclidean distance on
+// standardised features.
+type KNN struct {
+	K int // default 5
+
+	X     [][]float64
+	Y     []int
+	scale *scaler
+}
+
+var _ Classifier = (*KNN)(nil)
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return "KNN" }
+
+// Fit implements Classifier (lazy learner: stores the training set).
+func (k *KNN) Fit(X [][]float64, y []int) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		k.K = 5
+	}
+	k.scale = fitScaler(X)
+	k.X = make([][]float64, len(X))
+	for i, row := range X {
+		k.X[i] = k.scale.transform(row)
+	}
+	k.Y = append([]int(nil), y...)
+	return nil
+}
+
+// Predict implements Classifier.
+func (k *KNN) Predict(x []float64) int {
+	if k.scale == nil || len(k.X) == 0 {
+		return 0
+	}
+	q := k.scale.transform(x)
+	type nd struct {
+		dist  float64
+		label int
+	}
+	ds := make([]nd, len(k.X))
+	for i, row := range k.X {
+		var sum float64
+		for d := range row {
+			diff := row[d] - q[d]
+			sum += diff * diff
+		}
+		ds[i] = nd{dist: sum, label: k.Y[i]}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].dist < ds[j].dist })
+	kk := k.K
+	if kk > len(ds) {
+		kk = len(ds)
+	}
+	ones := 0
+	for i := 0; i < kk; i++ {
+		ones += ds[i].label
+	}
+	if 2*ones >= kk+1 || (2*ones == kk && ds[0].label == 1) {
+		return 1
+	}
+	if 2*ones == kk { // even split: nearest neighbour breaks the tie
+		return ds[0].label
+	}
+	return 0
+}

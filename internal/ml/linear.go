@@ -1,0 +1,90 @@
+package ml
+
+// LogisticRegression is an L2-regularised logistic model trained with
+// full-batch gradient descent on standardised features.
+type LogisticRegression struct {
+	LearningRate float64 // default 0.1
+	Epochs       int     // default 300
+	L2           float64 // default 1e-4
+
+	weights []float64
+	bias    float64
+	scale   *scaler
+}
+
+var _ Classifier = (*LogisticRegression)(nil)
+
+// Name implements Classifier.
+func (lr *LogisticRegression) Name() string { return "LR" }
+
+// Fit implements Classifier.
+func (lr *LogisticRegression) Fit(X [][]float64, y []int) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	if lr.LearningRate <= 0 {
+		lr.LearningRate = 0.1
+	}
+	if lr.Epochs <= 0 {
+		lr.Epochs = 300
+	}
+	if lr.L2 <= 0 {
+		lr.L2 = 1e-4
+	}
+	lr.scale = fitScaler(X)
+	scaled := make([][]float64, len(X))
+	for i, row := range X {
+		scaled[i] = lr.scale.transform(row)
+	}
+	dim := len(X[0])
+	lr.weights = make([]float64, dim)
+	lr.bias = 0
+	n := float64(len(X))
+	gradW := make([]float64, dim)
+	for epoch := 0; epoch < lr.Epochs; epoch++ {
+		for d := range gradW {
+			gradW[d] = 0
+		}
+		gradB := 0.0
+		for i, row := range scaled {
+			p := lr.proba(row)
+			diff := p - float64(y[i])
+			for d, v := range row {
+				gradW[d] += diff * v
+			}
+			gradB += diff
+		}
+		for d := range lr.weights {
+			lr.weights[d] -= lr.LearningRate * (gradW[d]/n + lr.L2*lr.weights[d])
+		}
+		lr.bias -= lr.LearningRate * gradB / n
+	}
+	return nil
+}
+
+func (lr *LogisticRegression) proba(scaled []float64) float64 {
+	z := lr.bias
+	for d, v := range scaled {
+		z += lr.weights[d] * v
+	}
+	return sigmoid(z)
+}
+
+// Predict implements Classifier.
+func (lr *LogisticRegression) Predict(x []float64) int {
+	if lr.scale == nil {
+		return 0
+	}
+	if lr.proba(lr.scale.transform(x)) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Proba returns P(y=1|x).
+func (lr *LogisticRegression) Proba(x []float64) float64 {
+	if lr.scale == nil {
+		return 0
+	}
+	return lr.proba(lr.scale.transform(x))
+}

@@ -1,0 +1,139 @@
+// Package ml implements the learning algorithms of §VI-A from scratch:
+// Random Forest, Logistic Regression, K-Nearest Neighbors and a Multi-Layer
+// Perceptron, plus the binary-classification metrics Table X reports. All
+// models are deterministic under a fixed xrand stream, so the 50-iteration
+// detection experiment is exactly reproducible.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Classifier is a binary classifier over dense feature vectors (labels 0/1).
+type Classifier interface {
+	// Fit trains on the feature matrix X (rows = samples) with labels y.
+	Fit(X [][]float64, y []int) error
+	// Predict returns the predicted label for one sample.
+	Predict(x []float64) int
+	// Name identifies the algorithm ("RF", "LR", "KNN", "MLP").
+	Name() string
+}
+
+// ErrBadTrainingData is returned for empty or inconsistent training input.
+var ErrBadTrainingData = errors.New("ml: bad training data")
+
+func validate(X [][]float64, y []int) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("%w: %d samples, %d labels", ErrBadTrainingData, len(X), len(y))
+	}
+	dim := len(X[0])
+	if dim == 0 {
+		return fmt.Errorf("%w: zero-dimensional features", ErrBadTrainingData)
+	}
+	for i, row := range X {
+		if len(row) != dim {
+			return fmt.Errorf("%w: row %d has %d features, want %d", ErrBadTrainingData, i, len(row), dim)
+		}
+	}
+	for i, label := range y {
+		if label != 0 && label != 1 {
+			return fmt.Errorf("%w: label %d at row %d not binary", ErrBadTrainingData, label, i)
+		}
+	}
+	return nil
+}
+
+// Metrics are the Table X evaluation measures.
+type Metrics struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	TP, TN    int
+	FP, FN    int
+}
+
+// Evaluate scores a classifier on a labelled test set.
+func Evaluate(c Classifier, X [][]float64, y []int) Metrics {
+	var m Metrics
+	for i, x := range X {
+		pred := c.Predict(x)
+		switch {
+		case pred == 1 && y[i] == 1:
+			m.TP++
+		case pred == 0 && y[i] == 0:
+			m.TN++
+		case pred == 1 && y[i] == 0:
+			m.FP++
+		default:
+			m.FN++
+		}
+	}
+	total := m.TP + m.TN + m.FP + m.FN
+	if total > 0 {
+		m.Accuracy = float64(m.TP+m.TN) / float64(total)
+	}
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// scaler standardises features to zero mean / unit variance; distance- and
+// gradient-based models (LR, KNN, MLP) need it, trees do not.
+type scaler struct {
+	mean []float64
+	std  []float64
+}
+
+func fitScaler(X [][]float64) *scaler {
+	dim := len(X[0])
+	s := &scaler{mean: make([]float64, dim), std: make([]float64, dim)}
+	for _, row := range X {
+		for d, v := range row {
+			s.mean[d] += v
+		}
+	}
+	for d := range s.mean {
+		s.mean[d] /= float64(len(X))
+	}
+	for _, row := range X {
+		for d, v := range row {
+			diff := v - s.mean[d]
+			s.std[d] += diff * diff
+		}
+	}
+	for d := range s.std {
+		s.std[d] = math.Sqrt(s.std[d] / float64(len(X)))
+		if s.std[d] < 1e-9 {
+			s.std[d] = 1
+		}
+	}
+	return s
+}
+
+func (s *scaler) transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for d, v := range x {
+		out[d] = (v - s.mean[d]) / s.std[d]
+	}
+	return out
+}
+
+func sigmoid(z float64) float64 {
+	if z < -40 {
+		return 0
+	}
+	if z > 40 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(-z))
+}

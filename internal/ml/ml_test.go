@@ -1,0 +1,234 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"malgraph/internal/xrand"
+)
+
+// blobs generates two Gaussian clusters, linearly separable-ish.
+func blobs(rng *xrand.RNG, n int, sep float64) ([][]float64, []int) {
+	X := make([][]float64, 0, n)
+	y := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		cx := -sep / 2
+		if label == 1 {
+			cx = sep / 2
+		}
+		X = append(X, []float64{cx + rng.NormFloat64(), rng.NormFloat64()})
+		y = append(y, label)
+	}
+	return X, y
+}
+
+// xor generates the classic non-linearly-separable XOR dataset with noise.
+func xor(rng *xrand.RNG, n int) ([][]float64, []int) {
+	X := make([][]float64, 0, n)
+	y := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		a := float64(rng.Intn(2))
+		b := float64(rng.Intn(2))
+		X = append(X, []float64{a*2 - 1 + rng.NormFloat64()*0.15, b*2 - 1 + rng.NormFloat64()*0.15})
+		label := 0
+		if a != b {
+			label = 1
+		}
+		y = append(y, label)
+	}
+	return X, y
+}
+
+func allClassifiers() []Classifier {
+	return []Classifier{
+		&RandomForest{Trees: 30, Seed: 7},
+		&LogisticRegression{},
+		&KNN{K: 5},
+		&MLP{Hidden: 16, Epochs: 80, Seed: 7},
+	}
+}
+
+func TestAllClassifiersOnSeparableBlobs(t *testing.T) {
+	rng := xrand.New(1)
+	Xtr, ytr := blobs(rng, 400, 6)
+	Xte, yte := blobs(rng, 200, 6)
+	for _, c := range allClassifiers() {
+		if err := c.Fit(Xtr, ytr); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		m := Evaluate(c, Xte, yte)
+		if m.Accuracy < 0.9 {
+			t.Errorf("%s accuracy %v on separable data", c.Name(), m.Accuracy)
+		}
+	}
+}
+
+func TestNonlinearModelsSolveXOR(t *testing.T) {
+	rng := xrand.New(2)
+	Xtr, ytr := xor(rng, 400)
+	Xte, yte := xor(rng, 200)
+	for _, c := range []Classifier{
+		&RandomForest{Trees: 30, Seed: 3},
+		&KNN{K: 3},
+		&MLP{Hidden: 16, Epochs: 200, Seed: 3, LearningRate: 0.1},
+	} {
+		if err := c.Fit(Xtr, ytr); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		m := Evaluate(c, Xte, yte)
+		if m.Accuracy < 0.9 {
+			t.Errorf("%s XOR accuracy %v", c.Name(), m.Accuracy)
+		}
+	}
+	// A linear model cannot solve XOR — sanity check that the task is real.
+	lr := &LogisticRegression{}
+	if err := lr.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if m := Evaluate(lr, Xte, yte); m.Accuracy > 0.8 {
+		t.Errorf("LR XOR accuracy %v suspiciously high", m.Accuracy)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, c := range allClassifiers() {
+		if err := c.Fit(nil, nil); !errors.Is(err, ErrBadTrainingData) {
+			t.Errorf("%s: nil data error = %v", c.Name(), err)
+		}
+		if err := c.Fit([][]float64{{1, 2}}, []int{5}); !errors.Is(err, ErrBadTrainingData) {
+			t.Errorf("%s: bad label error = %v", c.Name(), err)
+		}
+		if err := c.Fit([][]float64{{1, 2}, {1}}, []int{0, 1}); !errors.Is(err, ErrBadTrainingData) {
+			t.Errorf("%s: ragged rows error = %v", c.Name(), err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := xrand.New(4)
+	X, y := blobs(rng, 300, 3)
+	Xte, _ := blobs(rng, 100, 3)
+	for _, build := range []func() Classifier{
+		func() Classifier { return &RandomForest{Trees: 20, Seed: 11} },
+		func() Classifier { return &MLP{Hidden: 8, Epochs: 40, Seed: 11} },
+		func() Classifier { return &LogisticRegression{} },
+		func() Classifier { return &KNN{K: 3} },
+	} {
+		a, b := build(), build()
+		if err := a.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range Xte {
+			if a.Predict(x) != b.Predict(x) {
+				t.Fatalf("%s: non-deterministic predictions", a.Name())
+			}
+		}
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	c := &constClassifier{label: 1}
+	X := [][]float64{{0}, {0}, {0}, {0}}
+	y := []int{1, 1, 0, 0}
+	m := Evaluate(c, X, y)
+	if m.TP != 2 || m.FP != 2 || m.TN != 0 || m.FN != 0 {
+		t.Fatalf("confusion = %+v", m)
+	}
+	if m.Accuracy != 0.5 || m.Recall != 1 || m.Precision != 0.5 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if math.Abs(m.F1-2.0/3.0) > 1e-12 {
+		t.Fatalf("f1 = %v", m.F1)
+	}
+}
+
+type constClassifier struct{ label int }
+
+func (c *constClassifier) Fit([][]float64, []int) error { return nil }
+func (c *constClassifier) Predict([]float64) int        { return c.label }
+func (c *constClassifier) Name() string                 { return "const" }
+
+func TestDecisionTreePureLeaf(t *testing.T) {
+	tree := &DecisionTree{}
+	X := [][]float64{{0}, {1}, {2}}
+	y := []int{1, 1, 1}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if tree.Predict(x) != 1 {
+			t.Fatal("pure training set must predict its class")
+		}
+	}
+}
+
+func TestDecisionTreeSimpleSplit(t *testing.T) {
+	tree := &DecisionTree{}
+	X := [][]float64{{0}, {1}, {2}, {10}, {11}, {12}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]float64{1.5}) != 0 || tree.Predict([]float64{11.5}) != 1 {
+		t.Fatal("threshold split wrong")
+	}
+}
+
+func TestRandomForestBeatsSingleStumpOnXOR(t *testing.T) {
+	rng := xrand.New(6)
+	X, y := xor(rng, 300)
+	Xte, yte := xor(rng, 150)
+	stump := &DecisionTree{MaxDepth: 1}
+	if err := stump.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	rf := &RandomForest{Trees: 25, Seed: 5}
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	sAcc := Evaluate(stump, Xte, yte).Accuracy
+	fAcc := Evaluate(rf, Xte, yte).Accuracy
+	if fAcc <= sAcc {
+		t.Fatalf("forest %v must beat stump %v on XOR", fAcc, sAcc)
+	}
+}
+
+func TestKNNMajority(t *testing.T) {
+	k := &KNN{K: 3}
+	X := [][]float64{{0, 0}, {0.1, 0}, {0, 0.1}, {5, 5}, {5.1, 5}, {5, 5.1}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if k.Predict([]float64{0.05, 0.05}) != 0 {
+		t.Fatal("KNN near cluster 0 wrong")
+	}
+	if k.Predict([]float64{5.05, 5.05}) != 1 {
+		t.Fatal("KNN near cluster 1 wrong")
+	}
+}
+
+func TestLogisticProbaMonotone(t *testing.T) {
+	lr := &LogisticRegression{}
+	X := [][]float64{{-2}, {-1}, {1}, {2}}
+	y := []int{0, 0, 1, 1}
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Proba([]float64{-3}) >= lr.Proba([]float64{3}) {
+		t.Fatal("probabilities not monotone in the separating direction")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	for _, c := range []Classifier{&LogisticRegression{}, &KNN{}, &MLP{}, &RandomForest{}, &DecisionTree{}} {
+		if got := c.Predict([]float64{1, 2}); got != 0 {
+			t.Errorf("%s: unfitted Predict = %d, want 0", c.Name(), got)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package ml
+
+import (
+	"malgraph/internal/xrand"
+)
+
+// MLP is a multi-layer perceptron with one ReLU hidden layer and a sigmoid
+// output, trained by mini-batch SGD on standardised features (the "simple
+// deep neural network" of §VI-A).
+type MLP struct {
+	Hidden       int     // hidden units, default 32
+	LearningRate float64 // default 0.05
+	Epochs       int     // default 60
+	BatchSize    int     // default 32
+	Seed         uint64  // default 1
+
+	w1    [][]float64 // [hidden][dim]
+	b1    []float64
+	w2    []float64 // [hidden]
+	b2    float64
+	scale *scaler
+}
+
+var _ Classifier = (*MLP)(nil)
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "MLP" }
+
+// Fit implements Classifier.
+func (m *MLP) Fit(X [][]float64, y []int) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	if m.Hidden <= 0 {
+		m.Hidden = 32
+	}
+	if m.LearningRate <= 0 {
+		m.LearningRate = 0.05
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 60
+	}
+	if m.BatchSize <= 0 {
+		m.BatchSize = 32
+	}
+	if m.Seed == 0 {
+		m.Seed = 1
+	}
+	rng := xrand.New(m.Seed)
+	m.scale = fitScaler(X)
+	scaled := make([][]float64, len(X))
+	for i, row := range X {
+		scaled[i] = m.scale.transform(row)
+	}
+	dim := len(X[0])
+	m.w1 = make([][]float64, m.Hidden)
+	m.b1 = make([]float64, m.Hidden)
+	m.w2 = make([]float64, m.Hidden)
+	for h := 0; h < m.Hidden; h++ {
+		m.w1[h] = make([]float64, dim)
+		for d := range m.w1[h] {
+			m.w1[h][d] = (rng.Float64() - 0.5) * 0.5
+		}
+		m.w2[h] = (rng.Float64() - 0.5) * 0.5
+	}
+
+	hidden := make([]float64, m.Hidden)
+	order := make([]int, len(scaled))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += m.BatchSize {
+			end := start + m.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			m.sgdStep(scaled, y, order[start:end], hidden)
+		}
+	}
+	return nil
+}
+
+func (m *MLP) sgdStep(X [][]float64, y []int, batch []int, hidden []float64) {
+	lr := m.LearningRate / float64(len(batch))
+	for _, i := range batch {
+		x := X[i]
+		// Forward.
+		for h := range m.w1 {
+			z := m.b1[h]
+			for d, v := range x {
+				z += m.w1[h][d] * v
+			}
+			if z < 0 {
+				z = 0 // ReLU
+			}
+			hidden[h] = z
+		}
+		out := m.b2
+		for h, v := range hidden {
+			out += m.w2[h] * v
+		}
+		p := sigmoid(out)
+
+		// Backward (cross-entropy ⇒ delta = p − y).
+		delta := p - float64(y[i])
+		for h := range m.w2 {
+			gradW2 := delta * hidden[h]
+			if hidden[h] > 0 { // ReLU derivative
+				deltaH := delta * m.w2[h]
+				for d, v := range x {
+					m.w1[h][d] -= lr * deltaH * v
+				}
+				m.b1[h] -= lr * deltaH
+			}
+			m.w2[h] -= lr * gradW2
+		}
+		m.b2 -= lr * delta
+	}
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) int {
+	if m.scale == nil {
+		return 0
+	}
+	if m.Proba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Proba returns P(y=1|x).
+func (m *MLP) Proba(x []float64) float64 {
+	s := m.scale.transform(x)
+	out := m.b2
+	for h := range m.w1 {
+		z := m.b1[h]
+		for d, v := range s {
+			z += m.w1[h][d] * v
+		}
+		if z > 0 {
+			out += m.w2[h] * z
+		}
+	}
+	return sigmoid(out)
+}

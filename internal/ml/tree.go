@@ -1,0 +1,275 @@
+package ml
+
+import (
+	"sort"
+
+	"malgraph/internal/xrand"
+)
+
+// treeNode is one CART node.
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	leafLabel int
+	isLeaf    bool
+}
+
+// DecisionTree is a CART classifier with Gini impurity splits.
+type DecisionTree struct {
+	MaxDepth    int     // default 12
+	MinSamples  int     // default 2
+	FeatureFrac float64 // fraction of features considered per split (1 = all)
+	rng         *xrand.RNG
+
+	root *treeNode
+}
+
+var _ Classifier = (*DecisionTree)(nil)
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "DT" }
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(X [][]float64, y []int) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	if t.MaxDepth <= 0 {
+		t.MaxDepth = 12
+	}
+	if t.MinSamples <= 0 {
+		t.MinSamples = 2
+	}
+	if t.FeatureFrac <= 0 || t.FeatureFrac > 1 {
+		t.FeatureFrac = 1
+	}
+	if t.rng == nil {
+		t.rng = xrand.New(1)
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(X, y, idx, 0)
+	return nil
+}
+
+func majority(y []int, idx []int) int {
+	ones := 0
+	for _, i := range idx {
+		ones += y[i]
+	}
+	if 2*ones >= len(idx) {
+		return 1
+	}
+	return 0
+}
+
+func gini(ones, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	p := float64(ones) / float64(total)
+	return 2 * p * (1 - p)
+}
+
+func (t *DecisionTree) grow(X [][]float64, y []int, idx []int, depth int) *treeNode {
+	label := majority(y, idx)
+	if depth >= t.MaxDepth || len(idx) < t.MinSamples || pure(y, idx) {
+		return &treeNode{isLeaf: true, leafLabel: label}
+	}
+	feature, threshold, ok := t.bestSplit(X, y, idx)
+	if !ok {
+		return &treeNode{isLeaf: true, leafLabel: label}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &treeNode{isLeaf: true, leafLabel: label}
+	}
+	return &treeNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      t.grow(X, y, left, depth+1),
+		right:     t.grow(X, y, right, depth+1),
+	}
+}
+
+func pure(y []int, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if y[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit scans a (possibly subsampled) feature set for the Gini-optimal
+// threshold using the sorted-sweep method.
+func (t *DecisionTree) bestSplit(X [][]float64, y []int, idx []int) (int, float64, bool) {
+	dim := len(X[0])
+	nFeat := int(float64(dim)*t.FeatureFrac + 0.5)
+	if nFeat < 1 {
+		nFeat = 1
+	}
+	features := t.rng.Sample(dim, nFeat)
+	sort.Ints(features)
+
+	totalOnes := 0
+	for _, i := range idx {
+		totalOnes += y[i]
+	}
+	n := len(idx)
+	parentGini := gini(totalOnes, n)
+
+	bestGain := 1e-12
+	bestFeature, bestThreshold := -1, 0.0
+	order := make([]int, len(idx))
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		leftOnes, leftN := 0, 0
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			leftOnes += y[i]
+			leftN++
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue // cannot split between equal values
+			}
+			rightOnes := totalOnes - leftOnes
+			rightN := n - leftN
+			weighted := (float64(leftN)*gini(leftOnes, leftN) + float64(rightN)*gini(rightOnes, rightN)) / float64(n)
+			if gain := parentGini - weighted; gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (X[order[k]][f] + X[order[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return 0, 0, false
+	}
+	return bestFeature, bestThreshold, true
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int {
+	node := t.root
+	if node == nil {
+		return 0
+	}
+	for !node.isLeaf {
+		if x[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.leafLabel
+}
+
+// RandomForest is a bagged ensemble of feature-subsampled CART trees.
+type RandomForest struct {
+	Trees       int     // default 50
+	MaxDepth    int     // default 12
+	FeatureFrac float64 // default 1/√dim heuristic when 0
+	Seed        uint64  // default 1
+
+	forest []*DecisionTree
+}
+
+var _ Classifier = (*RandomForest)(nil)
+
+// Name implements Classifier.
+func (rf *RandomForest) Name() string { return "RF" }
+
+// Fit implements Classifier.
+func (rf *RandomForest) Fit(X [][]float64, y []int) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	if rf.Trees <= 0 {
+		rf.Trees = 50
+	}
+	if rf.MaxDepth <= 0 {
+		rf.MaxDepth = 12
+	}
+	if rf.Seed == 0 {
+		rf.Seed = 1
+	}
+	dim := len(X[0])
+	frac := rf.FeatureFrac
+	if frac <= 0 || frac > 1 {
+		frac = sqrtFrac(dim)
+	}
+	rng := xrand.New(rf.Seed)
+	rf.forest = make([]*DecisionTree, rf.Trees)
+	n := len(X)
+	for ti := 0; ti < rf.Trees; ti++ {
+		treeRng := rng.Derive("tree" + string(rune('a'+ti%26)) + itoa(ti))
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := treeRng.Intn(n) // bootstrap sample
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree := &DecisionTree{MaxDepth: rf.MaxDepth, MinSamples: 2, FeatureFrac: frac, rng: treeRng}
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		rf.forest[ti] = tree
+	}
+	return nil
+}
+
+func sqrtFrac(dim int) float64 {
+	if dim <= 1 {
+		return 1
+	}
+	s := 1.0
+	x := float64(dim)
+	for i := 0; i < 20; i++ {
+		s = (s + x/s) / 2
+	}
+	return s / x
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// Predict implements Classifier (majority vote).
+func (rf *RandomForest) Predict(x []float64) int {
+	if len(rf.forest) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, tree := range rf.forest {
+		ones += tree.Predict(x)
+	}
+	if 2*ones >= len(rf.forest) {
+		return 1
+	}
+	return 0
+}

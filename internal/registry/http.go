@@ -1,0 +1,198 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"malgraph/internal/ecosys"
+)
+
+// Server exposes a registry-like endpoint (root or mirror) over HTTP so the
+// collection pipeline can exercise real network fetches. The wire protocol:
+//
+//	GET /api/v1/package?name=N&version=V&t=RFC3339  -> artifact JSON or 404
+//	GET /api/v1/release?name=N&version=V            -> release JSON or 404
+//	GET /api/v1/info                                -> {name, ecosystem}
+type Server struct {
+	endpoint Endpoint
+	mux      *http.ServeMux
+}
+
+// Endpoint abstracts what Server serves: both *Registry and *Mirror satisfy
+// it (registries additionally expose release metadata).
+type Endpoint interface {
+	Name() string
+	Ecosystem() ecosys.Ecosystem
+	Fetch(coord ecosys.Coord, t time.Time) (*ecosys.Artifact, error)
+}
+
+var (
+	_ Endpoint = (*Registry)(nil)
+	_ Endpoint = (*Mirror)(nil)
+)
+
+// NewServer wraps an endpoint in an HTTP handler.
+func NewServer(e Endpoint) *Server {
+	s := &Server{endpoint: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/v1/package", s.handlePackage)
+	s.mux.HandleFunc("/api/v1/release", s.handleRelease)
+	s.mux.HandleFunc("/api/v1/info", s.handleInfo)
+	return s
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) coordFromQuery(q url.Values) ecosys.Coord {
+	return ecosys.Coord{
+		Ecosystem: s.endpoint.Ecosystem(),
+		Name:      q.Get("name"),
+		Version:   q.Get("version"),
+	}
+}
+
+func parseTime(q url.Values) (time.Time, error) {
+	raw := q.Get("t")
+	if raw == "" {
+		return time.Now().UTC(), nil
+	}
+	return time.Parse(time.RFC3339, raw)
+}
+
+func (s *Server) handlePackage(w http.ResponseWriter, r *http.Request) {
+	t, err := parseTime(r.URL.Query())
+	if err != nil {
+		http.Error(w, "bad t parameter: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	coord := s.coordFromQuery(r.URL.Query())
+	art, err := s.endpoint.Fetch(coord, t)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, art)
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.endpoint.(*Registry)
+	if !ok {
+		http.Error(w, "release metadata only served by root registries", http.StatusNotImplemented)
+		return
+	}
+	coord := s.coordFromQuery(r.URL.Query())
+	rel, ok := reg.Release(coord)
+	if !ok {
+		http.Error(w, "unknown coordinate", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rel)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{
+		"name":      s.endpoint.Name(),
+		"ecosystem": s.endpoint.Ecosystem().String(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client fetches packages from a remote registry Server.
+type Client struct {
+	base string
+	http *http.Client
+	eco  ecosys.Ecosystem
+	name string
+}
+
+// NewClient connects to a registry server at baseURL and reads its identity.
+func NewClient(baseURL string, hc *http.Client) (*Client, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := &Client{base: baseURL, http: hc}
+	resp, err := hc.Get(baseURL + "/api/v1/info")
+	if err != nil {
+		return nil, fmt.Errorf("registry client info: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("registry client info: status %d", resp.StatusCode)
+	}
+	var info struct {
+		Name      string `json:"name"`
+		Ecosystem string `json:"ecosystem"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("registry client info decode: %w", err)
+	}
+	c.name = info.Name
+	for _, e := range ecosys.All() {
+		if e.String() == info.Ecosystem {
+			c.eco = e
+			break
+		}
+	}
+	if c.eco == 0 {
+		return nil, fmt.Errorf("registry client: unknown ecosystem %q", info.Ecosystem)
+	}
+	return c, nil
+}
+
+// Name returns the remote endpoint's name.
+func (c *Client) Name() string { return c.name }
+
+// Ecosystem returns the remote endpoint's ecosystem.
+func (c *Client) Ecosystem() ecosys.Ecosystem { return c.eco }
+
+// Fetch retrieves an artifact as of time t.
+func (c *Client) Fetch(coord ecosys.Coord, t time.Time) (*ecosys.Artifact, error) {
+	q := url.Values{}
+	q.Set("name", coord.Name)
+	q.Set("version", coord.Version)
+	q.Set("t", t.UTC().Format(time.RFC3339))
+	resp, err := c.http.Get(c.base + "/api/v1/package?" + q.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("registry client fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s (remote %s)", ErrNotFound, coord, c.name)
+	default:
+		return nil, fmt.Errorf("registry client fetch: status %d", resp.StatusCode)
+	}
+	var art ecosys.Artifact
+	if err := json.NewDecoder(resp.Body).Decode(&art); err != nil {
+		return nil, fmt.Errorf("registry client fetch decode: %w", err)
+	}
+	return &art, nil
+}
+
+var _ Endpoint = (*Client)(nil)
+
+// FormatSyncPeriod renders a mirror sync period compactly for logs.
+func FormatSyncPeriod(d time.Duration) string {
+	if d%(24*time.Hour) == 0 {
+		return strconv.Itoa(int(d/(24*time.Hour))) + "d"
+	}
+	return d.String()
+}

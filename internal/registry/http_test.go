@@ -1,0 +1,149 @@
+package registry
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"malgraph/internal/ecosys"
+)
+
+func newHTTPFixture(t *testing.T) (*Registry, *httptest.Server) {
+	t.Helper()
+	root := New("pypi-root", ecosys.PyPI)
+	a := art("remote-pkg", "2.0.0")
+	if err := root.Publish(a, day(0), true); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(root))
+	t.Cleanup(srv.Close)
+	return root, srv
+}
+
+func TestHTTPInfoAndFetch(t *testing.T) {
+	_, srv := newHTTPFixture(t)
+	client, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Name() != "pypi-root" || client.Ecosystem() != ecosys.PyPI {
+		t.Fatalf("client identity: %s/%s", client.Name(), client.Ecosystem())
+	}
+	coord := ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "remote-pkg", Version: "2.0.0"}
+	got, err := client.Fetch(coord, day(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Coord.Name != "remote-pkg" || len(got.Files) == 0 {
+		t.Fatalf("remote artifact corrupted: %+v", got)
+	}
+}
+
+func TestHTTPFetchRespectsTakedown(t *testing.T) {
+	root, srv := newHTTPFixture(t)
+	client, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "remote-pkg", Version: "2.0.0"}
+	if err := root.Remove(coord, day(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Fetch(coord, day(4)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("post-removal remote fetch: %v", err)
+	}
+	// Time-travel query before removal still succeeds (ledger semantics).
+	if _, err := client.Fetch(coord, day(1)); err != nil {
+		t.Fatalf("historical remote fetch: %v", err)
+	}
+}
+
+func TestHTTPNotFound(t *testing.T) {
+	_, srv := newHTTPFixture(t)
+	client, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "ghost", Version: "0"}
+	if _, err := client.Fetch(coord, day(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestHTTPBadTimeParam(t *testing.T) {
+	_, srv := newHTTPFixture(t)
+	resp, err := http.Get(srv.URL + "/api/v1/package?name=x&version=1&t=not-a-time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPReleaseEndpoint(t *testing.T) {
+	_, srv := newHTTPFixture(t)
+	resp, err := http.Get(srv.URL + "/api/v1/release?name=remote-pkg&version=2.0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release status = %d", resp.StatusCode)
+	}
+	resp2, err := http.Get(srv.URL + "/api/v1/release?name=ghost&version=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing release status = %d", resp2.StatusCode)
+	}
+}
+
+func TestHTTPMirrorEndpoint(t *testing.T) {
+	root := New("pypi-root", ecosys.PyPI)
+	a := art("mirror-pkg", "1.0.0")
+	if err := root.Publish(a, day(0), true); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMirror("tuna", root, SyncSnapshot, day(0), 7*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(m))
+	defer srv.Close()
+
+	client, err := NewClient(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Name() != "tuna" {
+		t.Fatalf("mirror client name = %q", client.Name())
+	}
+	// Remove from root on day 8; mirror (synced day 7) still serves on day 9.
+	if err := root.Remove(a.Coord, day(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Fetch(a.Coord, day(9)); err != nil {
+		t.Fatalf("mirror should still serve removed package: %v", err)
+	}
+	// Release endpoint is a root-only feature.
+	resp, err := http.Get(srv.URL + "/api/v1/release?name=mirror-pkg&version=1.0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("mirror release status = %d", resp.StatusCode)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	if _, err := NewClient("http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond}); err == nil {
+		t.Fatal("client must fail against dead server")
+	}
+}

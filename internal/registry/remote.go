@@ -1,0 +1,142 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"malgraph/internal/ecosys"
+)
+
+// View is the read surface the collection pipeline needs from a registry
+// deployment: artifact recovery (root first, then mirrors) and release
+// metadata. Both the in-process Fleet and the HTTP-backed RemoteFleet
+// implement it, so §II-B runs identically against local state or live
+// network endpoints.
+type View interface {
+	// Recover fetches an artifact by coordinate at time t, returning the
+	// name of the registry or mirror that served it.
+	Recover(coord ecosys.Coord, t time.Time) (*ecosys.Artifact, string, error)
+	// ReleaseInfo returns release/takedown metadata, which registries keep
+	// even after removal.
+	ReleaseInfo(coord ecosys.Coord) (ecosys.Release, bool)
+}
+
+var _ View = (*Fleet)(nil)
+
+// ReleaseInfo implements View for the in-process fleet.
+func (f *Fleet) ReleaseInfo(coord ecosys.Coord) (ecosys.Release, bool) {
+	root, ok := f.Root(coord.Ecosystem)
+	if !ok {
+		return ecosys.Release{}, false
+	}
+	return root.Release(coord)
+}
+
+// RemoteFleet is a View over HTTP registry servers: one root client and any
+// number of mirror clients per ecosystem.
+type RemoteFleet struct {
+	roots   map[ecosys.Ecosystem]*Client
+	mirrors map[ecosys.Ecosystem][]*Client
+	http    *http.Client
+}
+
+var _ View = (*RemoteFleet)(nil)
+
+// NewRemoteFleet returns an empty remote fleet using hc for requests
+// (http.DefaultClient when nil).
+func NewRemoteFleet(hc *http.Client) *RemoteFleet {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &RemoteFleet{
+		roots:   make(map[ecosys.Ecosystem]*Client),
+		mirrors: make(map[ecosys.Ecosystem][]*Client),
+		http:    hc,
+	}
+}
+
+// AddRoot connects the root registry for its ecosystem.
+func (rf *RemoteFleet) AddRoot(baseURL string) error {
+	c, err := NewClient(baseURL, rf.http)
+	if err != nil {
+		return fmt.Errorf("remote fleet root: %w", err)
+	}
+	rf.roots[c.Ecosystem()] = c
+	return nil
+}
+
+// AddMirror connects one mirror endpoint.
+func (rf *RemoteFleet) AddMirror(baseURL string) error {
+	c, err := NewClient(baseURL, rf.http)
+	if err != nil {
+		return fmt.Errorf("remote fleet mirror: %w", err)
+	}
+	rf.mirrors[c.Ecosystem()] = append(rf.mirrors[c.Ecosystem()], c)
+	return nil
+}
+
+// Endpoints returns the connected endpoint names per ecosystem, for logs.
+func (rf *RemoteFleet) Endpoints() map[ecosys.Ecosystem][]string {
+	out := make(map[ecosys.Ecosystem][]string, len(rf.roots))
+	for eco, c := range rf.roots {
+		names := []string{c.Name()}
+		for _, m := range rf.mirrors[eco] {
+			names = append(names, m.Name())
+		}
+		sort.Strings(names[1:])
+		out[eco] = names
+	}
+	return out
+}
+
+// Recover implements View: root first, then each mirror (§II-B).
+func (rf *RemoteFleet) Recover(coord ecosys.Coord, t time.Time) (*ecosys.Artifact, string, error) {
+	if root, ok := rf.roots[coord.Ecosystem]; ok {
+		if art, err := root.Fetch(coord, t); err == nil {
+			return art, root.Name(), nil
+		}
+	}
+	for _, m := range rf.mirrors[coord.Ecosystem] {
+		if art, err := m.Fetch(coord, t); err == nil {
+			return art, m.Name(), nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w: %s (remote root and all mirrors)", ErrNotFound, coord)
+}
+
+// ReleaseInfo implements View by querying the root's release endpoint.
+func (rf *RemoteFleet) ReleaseInfo(coord ecosys.Coord) (ecosys.Release, bool) {
+	root, ok := rf.roots[coord.Ecosystem]
+	if !ok {
+		return ecosys.Release{}, false
+	}
+	rel, err := root.Release(coord)
+	if err != nil {
+		return ecosys.Release{}, false
+	}
+	return rel, true
+}
+
+// Release fetches release metadata from a remote root registry.
+func (c *Client) Release(coord ecosys.Coord) (ecosys.Release, error) {
+	q := url.Values{}
+	q.Set("name", coord.Name)
+	q.Set("version", coord.Version)
+	resp, err := c.http.Get(c.base + "/api/v1/release?" + q.Encode())
+	if err != nil {
+		return ecosys.Release{}, fmt.Errorf("registry client release: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ecosys.Release{}, fmt.Errorf("registry client release: status %d", resp.StatusCode)
+	}
+	var rel ecosys.Release
+	if err := json.NewDecoder(resp.Body).Decode(&rel); err != nil {
+		return ecosys.Release{}, fmt.Errorf("registry client release decode: %w", err)
+	}
+	return rel, nil
+}

@@ -1,0 +1,39 @@
+package reports
+
+import (
+	"time"
+
+	"malgraph/internal/webworld"
+)
+
+// FromPage parses a crawled web page into a Report by extracting package
+// mentions and IoCs from its body — the §III-D path from raw crawl output to
+// structured report corpus. Pages naming no packages yield ok=false (they
+// are not analysis reports even if topically relevant).
+func FromPage(p *webworld.Page, fetchedAt time.Time) (*Report, bool) {
+	pkgs := ExtractPackages(p.Body)
+	if len(pkgs) == 0 {
+		return nil, false
+	}
+	return &Report{
+		URL:         p.URL,
+		Site:        p.Site,
+		Title:       p.Title,
+		Body:        p.Body,
+		Packages:    pkgs,
+		IoCs:        ExtractIoCs(p.Body),
+		PublishedAt: fetchedAt,
+	}, true
+}
+
+// FromPages converts a crawl result into a report corpus, dropping
+// non-report pages.
+func FromPages(pages []*webworld.Page, fetchedAt time.Time) []*Report {
+	out := make([]*Report, 0, len(pages))
+	for _, p := range pages {
+		if r, ok := FromPage(p, fetchedAt); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+// Package reports models security analysis reports — the co-existing-edge
+// evidence of §III-D and the malware-context source of RQ4. A report page
+// names one or more malicious packages and may disclose indicators of
+// compromise (IoCs): suspicious IPs, malicious URLs/domains, and PowerShell
+// commands. Rendering produces the natural-language page body a crawler
+// fetches; Extract* functions perform the inverse parse, including the
+// defanging conventions (hxxp, [.]) real reports use.
+package reports
+
+import (
+	"fmt"
+	"net/url"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"malgraph/internal/ecosys"
+	"malgraph/internal/xrand"
+)
+
+// Category classifies the publishing website (Table III).
+type Category int
+
+// Website categories of Table III.
+const (
+	CategoryTechnicalCommunity Category = iota + 1
+	CategoryCommercial
+	CategoryNews
+	CategoryIndividual
+	CategoryOfficial
+	CategoryOther
+)
+
+var categoryNames = map[Category]string{
+	CategoryTechnicalCommunity: "Technical Community",
+	CategoryCommercial:         "Commercial org.",
+	CategoryNews:               "News",
+	CategoryIndividual:         "Individual",
+	CategoryOfficial:           "Official",
+	CategoryOther:              "Other",
+}
+
+// String names the category as in Table III.
+func (c Category) String() string {
+	if s, ok := categoryNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// AllCategories lists the Table III categories in order.
+func AllCategories() []Category {
+	return []Category{
+		CategoryTechnicalCommunity, CategoryCommercial, CategoryNews,
+		CategoryIndividual, CategoryOfficial, CategoryOther,
+	}
+}
+
+// IoCSet bundles the three IoC types the paper counts (§V-D: 1,449 URLs,
+// 234 IPs, 4 PowerShell commands).
+type IoCSet struct {
+	IPs        []string
+	URLs       []string
+	PowerShell []string
+}
+
+// Merge returns the union of two sets with duplicates removed.
+func (s IoCSet) Merge(o IoCSet) IoCSet {
+	return IoCSet{
+		IPs:        dedupe(append(append([]string(nil), s.IPs...), o.IPs...)),
+		URLs:       dedupe(append(append([]string(nil), s.URLs...), o.URLs...)),
+		PowerShell: dedupe(append(append([]string(nil), s.PowerShell...), o.PowerShell...)),
+	}
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report is one security analysis report.
+type Report struct {
+	URL         string
+	Site        string
+	Category    Category
+	Title       string
+	Body        string
+	Packages    []ecosys.Coord // packages the report names
+	IoCs        IoCSet
+	PublishedAt time.Time
+}
+
+// Render builds the natural-language body for a report naming the given
+// packages with the given IoCs. The produced text follows the structure the
+// paper describes for analysis webpages: discovery context, behaviours,
+// package names/versions, and IoCs — partially defanged like real reports.
+func Render(rng *xrand.RNG, title string, eco ecosys.Ecosystem, pkgs []ecosys.Coord, iocs IoCSet, behaviors []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", title)
+	intro := []string{
+		"Our automated scanning pipeline flagged a new wave of malicious uploads",
+		"During routine monitoring of new releases we identified suspicious packages",
+		"A researcher reported unusual install-time behaviour, leading us to",
+	}
+	fmt.Fprintf(&b, "%s in the %s registry.\n\n", xrand.Pick(rng, intro), eco)
+	if len(behaviors) > 0 {
+		fmt.Fprintf(&b, "Observed behaviours: %s.\n\n", strings.Join(behaviors, ", "))
+	}
+	for _, p := range pkgs {
+		fmt.Fprintf(&b, "We discovered the package `%s` version `%s` in the %s registry.\n", p.Name, p.Version, p.Ecosystem)
+	}
+	if len(iocs.IPs)+len(iocs.URLs)+len(iocs.PowerShell) > 0 {
+		b.WriteString("\nIndicators of Compromise:\n")
+		for i, ip := range iocs.IPs {
+			if i%2 == 0 {
+				fmt.Fprintf(&b, "  IP: %s\n", Defang(ip))
+			} else {
+				fmt.Fprintf(&b, "  IP: %s\n", ip)
+			}
+		}
+		for i, u := range iocs.URLs {
+			if i%2 == 0 {
+				fmt.Fprintf(&b, "  URL: %s\n", Defang(u))
+			} else {
+				fmt.Fprintf(&b, "  URL: %s\n", u)
+			}
+		}
+		for _, ps := range iocs.PowerShell {
+			fmt.Fprintf(&b, "  CMD: %s\n", ps)
+		}
+	}
+	b.WriteString("\nWe notified the registry administrators and the packages have been removed.\n")
+	return b.String()
+}
+
+// Defang rewrites an indicator into the publication-safe form security
+// vendors use: http→hxxp and the last dot bracketed.
+func Defang(indicator string) string {
+	out := strings.Replace(indicator, "http", "hxxp", 1)
+	if i := strings.LastIndex(out, "."); i > 0 {
+		out = out[:i] + "[.]" + out[i+1:]
+	}
+	return out
+}
+
+// Refang reverses Defang.
+func Refang(indicator string) string {
+	out := strings.Replace(indicator, "hxxp", "http", 1)
+	out = strings.ReplaceAll(out, "[.]", ".")
+	return out
+}
+
+var (
+	pkgMentionRe = regexp.MustCompile("package `([\\w.@/-]+)` version `([\\w.-]+)` in the (\\w+) registry")
+	ipRe         = regexp.MustCompile(`\b(\d{1,3})\.(\d{1,3})\.(\d{1,3})[.\[\]]{1,3}(\d{1,3})\b`)
+	urlRe        = regexp.MustCompile(`h(?:xx|tt)ps?://[^\s"'<>\)]+`)
+	// A PowerShell IoC is a command line (powershell followed by flags),
+	// not merely prose mentioning PowerShell behaviour.
+	psRe       = regexp.MustCompile(`(?i)powershell\s+-[^\n]+`)
+	behaviorRe = regexp.MustCompile(`Observed behaviours: ([^.\n]+)\.`)
+)
+
+// ExtractBehaviors parses the behaviour summary line out of a report body
+// (§VI-B path 1: "if the malware is reported by online sources, we use the
+// security report content to represent its behaviours").
+func ExtractBehaviors(body string) []string {
+	m := behaviorRe.FindStringSubmatch(body)
+	if m == nil {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(m[1], ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ExtractPackages parses package mentions out of a report body.
+func ExtractPackages(body string) []ecosys.Coord {
+	var out []ecosys.Coord
+	for _, m := range pkgMentionRe.FindAllStringSubmatch(body, -1) {
+		eco := ecosystemByName(m[3])
+		if eco == 0 {
+			continue
+		}
+		out = append(out, ecosys.Coord{Ecosystem: eco, Name: m[1], Version: m[2]})
+	}
+	return out
+}
+
+func ecosystemByName(name string) ecosys.Ecosystem {
+	for _, e := range ecosys.All() {
+		if strings.EqualFold(e.String(), name) {
+			return e
+		}
+	}
+	return 0
+}
+
+// ExtractIoCs parses the IoC indicators out of a report body, refanging
+// defanged forms and deduplicating.
+func ExtractIoCs(body string) IoCSet {
+	var set IoCSet
+	for _, m := range ipRe.FindAllString(body, -1) {
+		ip := Refang(m)
+		if validIP(ip) {
+			set.IPs = append(set.IPs, ip)
+		}
+	}
+	for _, m := range urlRe.FindAllString(body, -1) {
+		u := strings.TrimRight(Refang(m), ".,;")
+		if _, err := url.Parse(u); err == nil {
+			set.URLs = append(set.URLs, u)
+		}
+	}
+	for _, m := range psRe.FindAllString(body, -1) {
+		set.PowerShell = append(set.PowerShell, strings.TrimSpace(m))
+	}
+	set.IPs = dedupe(set.IPs)
+	set.URLs = dedupe(set.URLs)
+	set.PowerShell = dedupe(set.PowerShell)
+	return set
+}
+
+func validIP(s string) bool {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if len(p) == 0 || len(p) > 3 {
+			return false
+		}
+		n := 0
+		for _, r := range p {
+			if r < '0' || r > '9' {
+				return false
+			}
+			n = n*10 + int(r-'0')
+		}
+		if n > 255 {
+			return false
+		}
+	}
+	return true
+}
+
+// Domain extracts the host portion of a URL indicator ("https://x.y/z" → "x.y").
+func Domain(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		// Fall back to manual slicing for scheme-less indicators.
+		s := rawURL
+		if i := strings.Index(s, "://"); i >= 0 {
+			s = s[i+3:]
+		}
+		if i := strings.IndexAny(s, "/?#"); i >= 0 {
+			s = s[:i]
+		}
+		return s
+	}
+	return u.Hostname()
+}
+
+// TopDomains counts URL indicators by domain and returns the top n as
+// (domain, count) pairs sorted by descending count — Fig. 14.
+func TopDomains(urls []string, n int) []DomainCount {
+	counts := make(map[string]int)
+	for _, u := range urls {
+		if d := Domain(u); d != "" {
+			counts[d]++
+		}
+	}
+	out := make([]DomainCount, 0, len(counts))
+	for d, c := range counts {
+		out = append(out, DomainCount{Domain: d, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// DomainCount is one Fig. 14 bar.
+type DomainCount struct {
+	Domain string `json:"domain"`
+	Count  int    `json:"count"`
+}

@@ -1,0 +1,173 @@
+package reports
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"malgraph/internal/ecosys"
+	"malgraph/internal/xrand"
+)
+
+func samplePkgs() []ecosys.Coord {
+	return []ecosys.Coord{
+		{Ecosystem: ecosys.PyPI, Name: "colorslib", Version: "4.6.11"},
+		{Ecosystem: ecosys.PyPI, Name: "httpslib", Version: "4.6.9"},
+		{Ecosystem: ecosys.PyPI, Name: "libhttps", Version: "4.6.12"},
+	}
+}
+
+func sampleIoCs() IoCSet {
+	return IoCSet{
+		IPs:        []string{"46.226.1.2", "51.178.3.4"},
+		URLs:       []string{"https://bananasquad.ru/grab", "http://kekwltd.ru/x/payload.exe"},
+		PowerShell: []string{"powershell -WindowStyle Hidden -EncodedCommand SQBFAFgA"},
+	}
+}
+
+func TestRenderAndExtractRoundTrip(t *testing.T) {
+	rng := xrand.New(1)
+	body := Render(rng, "Malicious Lolip0p packages on PyPI", ecosys.PyPI, samplePkgs(), sampleIoCs(), []string{"info stealing"})
+
+	pkgs := ExtractPackages(body)
+	if len(pkgs) != 3 {
+		t.Fatalf("extracted %d packages, want 3: %v", len(pkgs), pkgs)
+	}
+	for i, want := range samplePkgs() {
+		if pkgs[i] != want {
+			t.Fatalf("package %d = %v, want %v", i, pkgs[i], want)
+		}
+	}
+
+	iocs := ExtractIoCs(body)
+	if len(iocs.IPs) != 2 {
+		t.Fatalf("IPs = %v", iocs.IPs)
+	}
+	if len(iocs.URLs) != 2 {
+		t.Fatalf("URLs = %v", iocs.URLs)
+	}
+	if len(iocs.PowerShell) != 1 {
+		t.Fatalf("PowerShell = %v", iocs.PowerShell)
+	}
+	for _, ip := range iocs.IPs {
+		if strings.Contains(ip, "[") {
+			t.Fatalf("IP not refanged: %s", ip)
+		}
+	}
+	for _, u := range iocs.URLs {
+		if strings.Contains(u, "hxxp") || strings.Contains(u, "[.]") {
+			t.Fatalf("URL not refanged: %s", u)
+		}
+	}
+}
+
+func TestDefangRefangRoundTrip(t *testing.T) {
+	cases := []string{
+		"https://bananasquad.ru/grab",
+		"http://1.2.3.4/payload",
+		"46.226.1.2",
+	}
+	for _, in := range cases {
+		d := Defang(in)
+		if d == in {
+			t.Fatalf("Defang(%q) unchanged", in)
+		}
+		if got := Refang(d); got != in {
+			t.Fatalf("Refang(Defang(%q)) = %q", in, got)
+		}
+	}
+}
+
+func TestDefangProperty(t *testing.T) {
+	rng := xrand.New(2)
+	f := func(_ uint8) bool {
+		ioc := "https://example" + string(rune('a'+rng.Intn(26))) + ".ru/path"
+		return Refang(Defang(ioc)) == ioc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractIoCsRejectsInvalidIPs(t *testing.T) {
+	body := "IP: 999.1.1.1 and version 1.2.3.4 of something, IP: 10.0.0[.]5"
+	set := ExtractIoCs(body)
+	for _, ip := range set.IPs {
+		if ip == "999.1.1.1" {
+			t.Fatal("invalid IP accepted")
+		}
+	}
+	found := false
+	for _, ip := range set.IPs {
+		if ip == "10.0.0.5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defanged IP not recovered: %v", set.IPs)
+	}
+}
+
+func TestExtractPackagesIgnoresUnknownEcosystem(t *testing.T) {
+	body := "We discovered the package `x` version `1` in the FooBar registry.\n"
+	if got := ExtractPackages(body); len(got) != 0 {
+		t.Fatalf("unknown ecosystem accepted: %v", got)
+	}
+}
+
+func TestIoCSetMerge(t *testing.T) {
+	a := IoCSet{IPs: []string{"1.1.1.1"}, URLs: []string{"https://a/x"}}
+	b := IoCSet{IPs: []string{"1.1.1.1", "2.2.2.2"}, PowerShell: []string{"powershell -enc x"}}
+	m := a.Merge(b)
+	if len(m.IPs) != 2 || len(m.URLs) != 1 || len(m.PowerShell) != 1 {
+		t.Fatalf("merge = %+v", m)
+	}
+}
+
+func TestDomain(t *testing.T) {
+	cases := map[string]string{
+		"https://bananasquad.ru/grab/x":   "bananasquad.ru",
+		"http://cdn.discordapp.com/a?b=c": "cdn.discordapp.com",
+		"transfer.sh/abc":                 "transfer.sh",
+	}
+	for in, want := range cases {
+		if got := Domain(in); got != want {
+			t.Errorf("Domain(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTopDomains(t *testing.T) {
+	urls := []string{
+		"https://bananasquad.ru/1", "https://bananasquad.ru/2", "https://bananasquad.ru/3",
+		"https://kekwltd.ru/1", "https://kekwltd.ru/2",
+		"https://transfer.sh/1",
+	}
+	top := TopDomains(urls, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].Domain != "bananasquad.ru" || top[0].Count != 3 {
+		t.Fatalf("top[0] = %v", top[0])
+	}
+	if top[1].Domain != "kekwltd.ru" || top[1].Count != 2 {
+		t.Fatalf("top[1] = %v", top[1])
+	}
+}
+
+func TestTopDomainsDeterministicTieBreak(t *testing.T) {
+	urls := []string{"https://b.ru/1", "https://a.ru/1"}
+	top := TopDomains(urls, 0)
+	if top[0].Domain != "a.ru" {
+		t.Fatalf("tie break not lexicographic: %v", top)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CategoryCommercial.String() != "Commercial org." {
+		t.Fatal("category name wrong")
+	}
+	if len(AllCategories()) != 6 {
+		t.Fatal("Table III has 6 categories")
+	}
+}

@@ -1,0 +1,143 @@
+package sources
+
+import (
+	"testing"
+	"time"
+
+	"malgraph/internal/ecosys"
+)
+
+var t0 = time.Date(2023, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func coord(name string) ecosys.Coord {
+	return ecosys.Coord{Ecosystem: ecosys.PyPI, Name: name, Version: "1.0.0"}
+}
+
+func artifact(name string) *ecosys.Artifact {
+	return ecosys.NewArtifact(coord(name), "d", []ecosys.File{{Path: "setup.py", Content: "x=1"}})
+}
+
+func TestCatalogMatchesTableI(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 10 {
+		t.Fatalf("Table I has 10 sources, catalog has %d", len(cat))
+	}
+	carriers := 0
+	academia := 0
+	seen := map[ID]bool{}
+	for _, info := range cat {
+		if seen[info.ID] {
+			t.Fatalf("duplicate source %v", info.ID)
+		}
+		seen[info.ID] = true
+		if info.CarriesArtifacts {
+			carriers++
+		}
+		if info.Kind == KindAcademia {
+			academia++
+		}
+	}
+	// B.K, Maloss, Mal-PyPI and DataDog publish downloadable datasets.
+	if carriers != 4 {
+		t.Fatalf("artifact-carrying sources = %d, want 4", carriers)
+	}
+	if academia != 3 {
+		t.Fatalf("academia sources = %d, want 3", academia)
+	}
+}
+
+func TestInfoForAndString(t *testing.T) {
+	info, ok := InfoFor(Backstabber)
+	if !ok || info.Name != "Backstabber-Knife" || info.Abbrev != "B.K" {
+		t.Fatalf("InfoFor(Backstabber) = %+v", info)
+	}
+	if _, ok := InfoFor(ID(99)); ok {
+		t.Fatal("unknown ID resolved")
+	}
+	if Snyk.String() != "Snyk.io" {
+		t.Fatalf("Snyk.String() = %q", Snyk.String())
+	}
+	if got := ID(99).String(); got != "SourceID(99)" {
+		t.Fatalf("unknown ID String = %q", got)
+	}
+}
+
+func TestObserveArtifactPolicy(t *testing.T) {
+	set := NewSet()
+	// Academia keeps artifacts.
+	bk := set.Get(Backstabber)
+	bk.Observe(coord("a"), t0, artifact("a"))
+	if recs := bk.Records(); recs[0].Artifact == nil {
+		t.Fatal("Backstabber must retain artifacts")
+	}
+	// Industry names-only feeds drop them (§II-B: malware is an asset).
+	snyk := set.Get(Snyk)
+	snyk.Observe(coord("b"), t0, artifact("b"))
+	if recs := snyk.Records(); recs[0].Artifact != nil {
+		t.Fatal("Snyk must not retain artifacts")
+	}
+}
+
+func TestObserveKeepsEarliestTimestamp(t *testing.T) {
+	src := NewSource(Info{ID: Tianwen, Name: "Tianwen", CarriesArtifacts: false})
+	src.Observe(coord("x"), t0.AddDate(0, 0, 5), nil)
+	src.Observe(coord("x"), t0, nil) // earlier re-observation wins
+	src.Observe(coord("x"), t0.AddDate(0, 1, 0), nil)
+	recs := src.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if !recs[0].ObservedAt.Equal(t0) {
+		t.Fatalf("observed at %v, want %v", recs[0].ObservedAt, t0)
+	}
+}
+
+func TestHasAndSize(t *testing.T) {
+	src := NewSource(Info{ID: Phylum, Name: "Phylum"})
+	if src.Has(coord("x")) || src.Size() != 0 {
+		t.Fatal("empty source state wrong")
+	}
+	src.Observe(coord("x"), t0, nil)
+	if !src.Has(coord("x")) || src.Size() != 1 {
+		t.Fatal("observation not recorded")
+	}
+	if src.Has(coord("y")) {
+		t.Fatal("phantom record")
+	}
+}
+
+func TestRecordsSorted(t *testing.T) {
+	src := NewSource(Info{ID: Socket, Name: "Socket"})
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		src.Observe(coord(name), t0, nil)
+	}
+	recs := src.Records()
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Coord.Key() >= recs[i].Coord.Key() {
+			t.Fatal("records not sorted by key")
+		}
+	}
+}
+
+func TestSetAllInCatalogOrder(t *testing.T) {
+	set := NewSet()
+	all := set.All()
+	if len(all) != 10 {
+		t.Fatalf("set sources = %d", len(all))
+	}
+	for i, info := range Catalog() {
+		if all[i].Info().ID != info.ID {
+			t.Fatalf("All() order mismatch at %d", i)
+		}
+	}
+}
+
+func TestTotalObservationsCountsDuplicates(t *testing.T) {
+	set := NewSet()
+	set.Get(Backstabber).Observe(coord("x"), t0, artifact("x"))
+	set.Get(Snyk).Observe(coord("x"), t0, nil) // same package, second source
+	set.Get(Snyk).Observe(coord("y"), t0, nil)
+	if got := set.TotalObservations(); got != 3 {
+		t.Fatalf("TotalObservations = %d, want 3 (duplicates counted)", got)
+	}
+}

@@ -1,0 +1,391 @@
+package textsim
+
+import (
+	"sort"
+
+	"malgraph/internal/xrand"
+)
+
+// ClusterConfig parameterises the similarity clustering of §III-B step 4.
+type ClusterConfig struct {
+	// Threshold is the minimum cosine similarity for two packages to join
+	// the same group (paper: 0.7).
+	Threshold float64
+	// MinSilhouette drops clusters whose silhouette score falls below this
+	// value (paper: 0.3).
+	MinSilhouette float64
+	// MinSize drops clusters smaller than this (paper: subgraphs need ≥ 2).
+	MinSize int
+	// KMeansIters bounds the refinement iterations.
+	KMeansIters int
+	// LSHBands is the number of SimHash bands used for candidate pairing.
+	LSHBands int
+}
+
+// DefaultClusterConfig returns the paper's parameters.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{Threshold: 0.7, MinSilhouette: 0.3, MinSize: 2, KMeansIters: 8, LSHBands: 8}
+}
+
+// Item is one package entering the clustering stage.
+type Item struct {
+	ID     string
+	Vector []float64
+	Hash   uint64 // SimHash fingerprint
+}
+
+// Cluster is one similar-code group.
+type Cluster struct {
+	Members    []string // item IDs, sorted
+	Centroid   []float64
+	Silhouette float64
+	IntraSim   float64 // mean pairwise-to-centroid cosine (paper reports 99.9%)
+}
+
+// ClusterItems groups items whose code bases are similar. The pipeline is:
+//
+//  1. Banded-LSH candidate generation over SimHash fingerprints.
+//  2. Union–find merge of candidate pairs whose cosine ≥ Threshold.
+//  3. K-Means refinement seeded from the merged groups (k = #groups).
+//  4. Simplified-silhouette filtering (< MinSilhouette dropped) and MinSize
+//     filtering.
+//
+// The result is deterministic for a fixed seed and input order.
+func ClusterItems(items []Item, cfg ClusterConfig, rng *xrand.RNG) []Cluster {
+	if len(items) == 0 {
+		return nil
+	}
+	if cfg.Threshold == 0 {
+		cfg = DefaultClusterConfig()
+	}
+
+	parent := make([]int, len(items))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	// Step 1+2: LSH buckets → verified merges.
+	buckets := make(map[uint64][]int)
+	for i, it := range items {
+		for bi, band := range Bands(it.Hash, cfg.LSHBands) {
+			key := uint64(bi)<<60 | band
+			buckets[key] = append(buckets[key], i)
+		}
+	}
+	keys := make([]uint64, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		ids := buckets[k]
+		if len(ids) < 2 {
+			continue
+		}
+		// Verify each member against the bucket's first root representative
+		// chain; quadratic only within (small) buckets.
+		for i := 1; i < len(ids); i++ {
+			for j := 0; j < i; j++ {
+				if find(ids[i]) == find(ids[j]) {
+					continue
+				}
+				if Cosine(items[ids[i]].Vector, items[ids[j]].Vector) >= cfg.Threshold {
+					union(ids[i], ids[j])
+				}
+			}
+		}
+	}
+
+	groups := make(map[int][]int)
+	for i := range items {
+		root := find(i)
+		groups[root] = append(groups[root], i)
+	}
+
+	// Step 2b: rescue merge. Banded LSH can miss a variant whose fingerprint
+	// drifted in every band (rare, but real for token-poor packages). Compare
+	// each small group's centroid against the centroids of multi-member
+	// cores; merge on cosine ≥ Threshold. Cores are few, so this stays far
+	// from quadratic while restoring recall.
+	groups = rescueMerge(items, groups, cfg.Threshold)
+
+	// Step 3: K-Means refinement seeded at group centroids.
+	seeds := make([][]float64, 0, len(groups))
+	roots := make([]int, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		seeds = append(seeds, centroid(items, groups[root]))
+	}
+	assign := KMeans(vectors(items), seeds, cfg.KMeansIters, cfg.Threshold, rng)
+
+	// Step 4: silhouette + size filtering.
+	byCluster := make(map[int][]int)
+	for i, c := range assign {
+		if c >= 0 {
+			byCluster[c] = append(byCluster[c], i)
+		}
+	}
+	sil := SimplifiedSilhouette(vectors(items), assign, len(seeds))
+	var out []Cluster
+	cids := make([]int, 0, len(byCluster))
+	for c := range byCluster {
+		cids = append(cids, c)
+	}
+	sort.Ints(cids)
+	for _, c := range cids {
+		members := byCluster[c]
+		if len(members) < cfg.MinSize {
+			continue
+		}
+		if sil[c] < cfg.MinSilhouette {
+			continue
+		}
+		cent := centroid(items, members)
+		ids := make([]string, 0, len(members))
+		var intra float64
+		for _, m := range members {
+			ids = append(ids, items[m].ID)
+			intra += Cosine(items[m].Vector, cent)
+		}
+		sort.Strings(ids)
+		out = append(out, Cluster{
+			Members:    ids,
+			Centroid:   cent,
+			Silhouette: sil[c],
+			IntraSim:   intra / float64(len(members)),
+		})
+	}
+	return out
+}
+
+func rescueMerge(items []Item, groups map[int][]int, threshold float64) map[int][]int {
+	type core struct {
+		root     int
+		centroid []float64
+	}
+	var cores []core
+	roots := make([]int, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		if len(groups[root]) >= 2 {
+			cores = append(cores, core{root: root, centroid: centroid(items, groups[root])})
+		}
+	}
+	if len(cores) == 0 {
+		return groups
+	}
+	for _, root := range roots {
+		members := groups[root]
+		if len(members) >= 2 {
+			continue
+		}
+		c := centroid(items, members)
+		bestIdx, bestSim := -1, threshold
+		for ci := range cores {
+			if cores[ci].root == root {
+				continue
+			}
+			if sim := Cosine(c, cores[ci].centroid); sim >= bestSim {
+				bestIdx, bestSim = ci, sim
+			}
+		}
+		if bestIdx >= 0 {
+			dst := cores[bestIdx].root
+			groups[dst] = append(groups[dst], members...)
+			delete(groups, root)
+		}
+	}
+	return groups
+}
+
+func vectors(items []Item) [][]float64 {
+	v := make([][]float64, len(items))
+	for i := range items {
+		v[i] = items[i].Vector
+	}
+	return v
+}
+
+func centroid(items []Item, members []int) []float64 {
+	if len(members) == 0 {
+		return nil
+	}
+	dim := len(items[members[0]].Vector)
+	c := make([]float64, dim)
+	for _, m := range members {
+		for d, x := range items[m].Vector {
+			c[d] += x
+		}
+	}
+	normalize(c)
+	return c
+}
+
+// KMeans assigns each vector to its most-similar seed centroid, iterating
+// centroid updates up to iters times. Vectors whose best similarity falls
+// below threshold are left unassigned (-1) — K-Means here acts as refinement
+// of an over-complete seeding rather than discovery from random starts, so k
+// equals len(seeds).
+func KMeans(vecs [][]float64, seeds [][]float64, iters int, threshold float64, rng *xrand.RNG) []int {
+	k := len(seeds)
+	assign := make([]int, len(vecs))
+	if k == 0 {
+		for i := range assign {
+			assign[i] = -1
+		}
+		return assign
+	}
+	cents := make([][]float64, k)
+	for i, s := range seeds {
+		cents[i] = append([]float64(nil), s...)
+	}
+	for iter := 0; iter < max(iters, 1); iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestSim := -1, threshold
+			for c := 0; c < k; c++ {
+				if cents[c] == nil {
+					continue
+				}
+				if sim := Cosine(v, cents[c]); sim >= bestSim {
+					best, bestSim = c, sim
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				if iter > 0 && assign[i] != best {
+					changed = true
+				}
+				assign[i] = best
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		// Recompute centroids.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i, c := range assign {
+			if c < 0 {
+				continue
+			}
+			if sums[c] == nil {
+				sums[c] = make([]float64, len(vecs[i]))
+			}
+			for d, x := range vecs[i] {
+				sums[c][d] += x
+			}
+			counts[c]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				cents[c] = nil // dead centroid
+				continue
+			}
+			normalize(sums[c])
+			cents[c] = sums[c]
+		}
+	}
+	_ = rng // reserved for random restarts; refinement seeding is deterministic
+	return assign
+}
+
+// SimplifiedSilhouette computes the centroid-based silhouette per cluster:
+// a(i) = distance to own centroid, b(i) = distance to nearest other centroid,
+// s(i) = (b−a)/max(a,b), averaged per cluster. (The exact silhouette is
+// O(n²); the simplified variant is the standard corpus-scale approximation
+// and preserves the paper's "drop clusters with silhouette < 0.3" filter.)
+// Distance is cosine distance 1−cos. Unassigned points (-1) are skipped.
+// Singleton-cluster silhouette is defined as 1 (tight by construction).
+func SimplifiedSilhouette(vecs [][]float64, assign []int, k int) []float64 {
+	if k == 0 {
+		return nil
+	}
+	cents := make([][]float64, k)
+	counts := make([]int, k)
+	for i, c := range assign {
+		if c < 0 || c >= k {
+			continue
+		}
+		if cents[c] == nil {
+			cents[c] = make([]float64, len(vecs[i]))
+		}
+		for d, x := range vecs[i] {
+			cents[c][d] += x
+		}
+		counts[c]++
+	}
+	for c := range cents {
+		if counts[c] > 0 {
+			normalize(cents[c])
+		}
+	}
+	sums := make([]float64, k)
+	live := 0
+	for c := range counts {
+		if counts[c] > 0 {
+			live++
+		}
+	}
+	for i, c := range assign {
+		if c < 0 || c >= k || counts[c] == 0 {
+			continue
+		}
+		a := 1 - Cosine(vecs[i], cents[c])
+		b := 2.0
+		if live < 2 {
+			b = 1 // no other cluster: treat as max cosine distance
+		} else {
+			for o := 0; o < k; o++ {
+				if o == c || counts[o] == 0 {
+					continue
+				}
+				if d := 1 - Cosine(vecs[i], cents[o]); d < b {
+					b = d
+				}
+			}
+		}
+		den := a
+		if b > den {
+			den = b
+		}
+		if den == 0 {
+			sums[c] += 1
+			continue
+		}
+		sums[c] += (b - a) / den
+	}
+	out := make([]float64, k)
+	for c := range out {
+		if counts[c] > 0 {
+			out[c] = sums[c] / float64(counts[c])
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+package textsim
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// EmbedConfig parameterises package embedding. The defaults mirror §III-B:
+// 512-token snippets; MaxSnippets bounds the concatenated vector so every
+// package embeds to the same length (shorter packages are zero-padded, a
+// fixed-shape analogue of the paper's concatenation).
+type EmbedConfig struct {
+	SnippetTokens int // tokens per snippet (paper: 512)
+	SnippetDim    int // hashed dimensions per snippet vector
+	MaxSnippets   int // snippets concatenated per package
+}
+
+// DefaultEmbedConfig returns the configuration used across the repository.
+func DefaultEmbedConfig() EmbedConfig {
+	return EmbedConfig{SnippetTokens: 512, SnippetDim: 64, MaxSnippets: 4}
+}
+
+// Dim returns the package-vector dimensionality.
+func (c EmbedConfig) Dim() int { return c.SnippetDim * c.MaxSnippets }
+
+// Embedder converts source code into fixed-length vectors.
+type Embedder struct {
+	cfg EmbedConfig
+}
+
+// NewEmbedder returns an embedder; zero-valued config fields fall back to
+// defaults.
+func NewEmbedder(cfg EmbedConfig) *Embedder {
+	def := DefaultEmbedConfig()
+	if cfg.SnippetTokens <= 0 {
+		cfg.SnippetTokens = def.SnippetTokens
+	}
+	if cfg.SnippetDim <= 0 {
+		cfg.SnippetDim = def.SnippetDim
+	}
+	if cfg.MaxSnippets <= 0 {
+		cfg.MaxSnippets = def.MaxSnippets
+	}
+	return &Embedder{cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (e *Embedder) Config() EmbedConfig { return e.cfg }
+
+// EmbedSource embeds merged package source into an L2-normalised vector of
+// length Config().Dim().
+func (e *Embedder) EmbedSource(src string) []float64 {
+	return e.EmbedTokens(Tokenize(src))
+}
+
+// EmbedTokens embeds a pre-tokenised stream. Only informative tokens
+// contribute (punctuation, one/two-character fragments and language keywords
+// carry no code-base identity and would otherwise dominate the vectors), and
+// term frequencies are sublinear (sqrt) so a token repeated hundreds of times
+// cannot swamp a snippet — both standard code-retrieval weightings that stand
+// in for the contextual weighting CodeBERT learns.
+func (e *Embedder) EmbedTokens(tokens []string) []float64 {
+	vec := make([]float64, e.cfg.Dim())
+	snippets := Snippets(tokens, e.cfg.SnippetTokens)
+	for si, snip := range snippets {
+		if si >= e.cfg.MaxSnippets {
+			// Overflow snippets fold into the last slot so very large
+			// packages still contribute all their content.
+			si = e.cfg.MaxSnippets - 1
+		}
+		base := si * e.cfg.SnippetDim
+		counts := make(map[string]int, len(snip))
+		for _, tok := range snip {
+			norm := NormalizeToken(tok)
+			if !Informative(norm) {
+				continue
+			}
+			counts[norm]++
+		}
+		for tok, n := range counts {
+			h := fnv.New64a()
+			_, _ = h.Write([]byte(tok))
+			hv := h.Sum64()
+			idx := int(hv % uint64(e.cfg.SnippetDim))
+			sign := 1.0
+			if hv&(1<<63) != 0 {
+				sign = -1.0 // signed hashing reduces collision bias
+			}
+			vec[base+idx] += sign * math.Sqrt(float64(n))
+		}
+	}
+	normalize(vec)
+	return vec
+}
+
+// codeStopwords are language keywords and ubiquitous identifiers shared by
+// virtually every package; they carry no code-base identity.
+var codeStopwords = map[string]bool{
+	"def": true, "return": true, "import": true, "from": true, "const": true,
+	"let": true, "var": true, "function": true, "require": true, "class": true,
+	"if": true, "else": true, "elif": true, "for": true, "while": true,
+	"in": true, "of": true, "new": true, "this": true, "self": true,
+	"end": true, "do": true, "not": true, "and": true, "or": true,
+	"true": true, "false": true, "none": true, "null": true, "nil": true,
+	"print": true, "pass": true, "try": true, "except": true, "catch": true,
+	"raise": true, "throw": true, "async": true, "await": true, "module": true,
+	"exports": true, "lambda": true, "yield": true, "with": true, "as": true,
+	"loop": true, "puts": true, "https": true, "http": true, "com": true,
+	"org": true, "www": true,
+}
+
+// Informative reports whether a normalised token should contribute to
+// embeddings and fingerprints.
+func Informative(norm string) bool {
+	if len(norm) < 3 {
+		return false
+	}
+	if codeStopwords[norm] {
+		return false
+	}
+	digits := 0
+	for _, r := range norm {
+		if r >= '0' && r <= '9' {
+			digits++
+		}
+	}
+	// Pure numbers (version fragments, line counts) are noise; mixed
+	// alphanumerics (identifiers, IPs, base64 chunks) are signal.
+	return digits < len(norm)
+}
+
+func normalize(v []float64) {
+	var ss float64
+	for _, x := range v {
+		ss += x * x
+	}
+	if ss == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(ss)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors. For the
+// L2-normalised vectors produced by Embedder this is the plain dot product;
+// unnormalised inputs are handled by dividing through the norms.
+func Cosine(a, b []float64) float64 {
+	n := min(len(a), len(b))
+	var dot, na, nb float64
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+	}
+	for _, x := range a {
+		na += x * x
+	}
+	for _, x := range b {
+		nb += x * x
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// SimHash computes a 64-bit locality-sensitive fingerprint of the token
+// stream. Near-identical code bases produce fingerprints within a few bits
+// of each other, which the banded LSH in cluster.go exploits.
+func SimHash(tokens []string) uint64 {
+	var counts [64]int
+	for _, tok := range tokens {
+		norm := NormalizeToken(tok)
+		if !Informative(norm) {
+			continue
+		}
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(norm))
+		hv := h.Sum64()
+		for b := 0; b < 64; b++ {
+			if hv&(1<<uint(b)) != 0 {
+				counts[b]++
+			} else {
+				counts[b]--
+			}
+		}
+	}
+	var out uint64
+	for b := 0; b < 64; b++ {
+		if counts[b] > 0 {
+			out |= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// Bands splits a SimHash into nBands band values for LSH bucketing. Two
+// fingerprints that agree on any band become cluster candidates.
+func Bands(fingerprint uint64, nBands int) []uint64 {
+	if nBands <= 0 {
+		nBands = 4
+	}
+	width := 64 / nBands
+	out := make([]uint64, nBands)
+	for i := 0; i < nBands; i++ {
+		mask := (uint64(1)<<uint(width) - 1)
+		out[i] = (fingerprint >> uint(i*width)) & mask
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package textsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactSilhouetteSeparatedClusters(t *testing.T) {
+	vecs := [][]float64{
+		{1, 0}, {0.99, 0.01}, {0.98, 0.02},
+		{0, 1}, {0.01, 0.99}, {0.02, 0.98},
+	}
+	assign := []int{0, 0, 0, 1, 1, 1}
+	sil := ExactSilhouette(vecs, assign, 2)
+	for c, s := range sil {
+		if s < 0.8 {
+			t.Fatalf("cluster %d exact silhouette %v too low", c, s)
+		}
+	}
+}
+
+func TestExactSilhouetteMixedCluster(t *testing.T) {
+	// Cluster 0 contains a point that clearly belongs with cluster 1: its
+	// silhouette must drag cluster 0's average down.
+	vecs := [][]float64{
+		{1, 0}, {0.99, 0.01}, {0.02, 0.99}, // third point misplaced
+		{0, 1}, {0.01, 0.98},
+	}
+	assign := []int{0, 0, 0, 1, 1}
+	sil := ExactSilhouette(vecs, assign, 2)
+	if sil[0] >= sil[1] {
+		t.Fatalf("contaminated cluster must score lower: %v", sil)
+	}
+}
+
+func TestExactSilhouetteSingleton(t *testing.T) {
+	vecs := [][]float64{{1, 0}, {0, 1}, {0.01, 0.99}}
+	assign := []int{0, 1, 1}
+	sil := ExactSilhouette(vecs, assign, 2)
+	if sil[0] != 0 {
+		t.Fatalf("singleton cluster silhouette = %v, scikit convention is 0", sil[0])
+	}
+}
+
+func TestExactSilhouetteZeroK(t *testing.T) {
+	if got := ExactSilhouette(nil, nil, 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+// TestSilhouetteAgreement validates the pipeline's centroid approximation:
+// on compact, well-separated clusters (the regime where the 0.3 filter
+// operates) the simplified and exact statistics must agree to within 0.15.
+func TestSilhouetteAgreement(t *testing.T) {
+	items := makeItems(t, 5, 6)
+	vecs := make([][]float64, len(items))
+	assign := make([]int, len(items))
+	for i, it := range items {
+		vecs[i] = it.Vector
+		assign[i] = i / 6 // items are generated family-by-family
+	}
+	exact := ExactSilhouette(vecs, assign, 5)
+	approx := SimplifiedSilhouette(vecs, assign, 5)
+	for c := range exact {
+		if math.Abs(exact[c]-approx[c]) > 0.15 {
+			t.Errorf("cluster %d: exact %v vs simplified %v", c, exact[c], approx[c])
+		}
+		// Both must clear the paper's 0.3 acceptance threshold here.
+		if exact[c] < 0.3 || approx[c] < 0.3 {
+			t.Errorf("cluster %d below threshold: exact %v simplified %v", c, exact[c], approx[c])
+		}
+	}
+}

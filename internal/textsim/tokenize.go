@@ -1,0 +1,121 @@
+// Package textsim implements the code-similarity pipeline of §III-B: source
+// tokenisation, fixed-length snippet embedding, package-level vectors,
+// K-Means clustering under cosine similarity, and silhouette-score filtering.
+//
+// The paper embeds 512-token snippets with CodeBERT-base and concatenates the
+// snippet vectors. Our substitute embeds each snippet with feature-hashed
+// term frequencies: a classic locality-preserving code fingerprint that keeps
+// the property the pipeline relies on — packages sharing a code base map to
+// near-identical vectors (intra-group cosine ≈ 0.999) while unrelated code
+// maps far apart. A 64-bit SimHash plus banded LSH provides the candidate
+// pre-filter that makes corpus-scale clustering tractable.
+package textsim
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits source code into tokens: identifiers/keywords, number
+// literals, string-literal contents, and single punctuation runes. It is
+// language-agnostic across the .py/.js/.rb corpus.
+func Tokenize(src string) []string {
+	tokens := make([]string, 0, len(src)/6)
+	i := 0
+	n := len(src)
+	for i < n {
+		c := rune(src[i])
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			tokens = append(tokens, src[i:j])
+			i = j
+		case unicode.IsDigit(c):
+			j := i + 1
+			for j < n && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				j++
+			}
+			tokens = append(tokens, src[i:j])
+			i = j
+		case c == '"' || c == '\'' || c == '`':
+			quote := src[i]
+			j := i + 1
+			for j < n && src[j] != quote {
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				j++
+			}
+			inner := src[i+1 : min(j, n)]
+			// String contents matter (URLs, IPs, base64 blobs are the very
+			// things CC operations change) but long blobs are split so one
+			// giant literal does not dominate the snippet.
+			for _, part := range splitLongLiteral(inner) {
+				tokens = append(tokens, part)
+			}
+			i = j + 1
+		default:
+			if !unicode.IsSpace(c) {
+				tokens = append(tokens, string(c))
+			}
+			i++
+		}
+	}
+	return tokens
+}
+
+func splitLongLiteral(s string) []string {
+	const chunk = 16
+	if len(s) <= chunk {
+		if s == "" {
+			return nil
+		}
+		return []string{s}
+	}
+	out := make([]string, 0, len(s)/chunk+1)
+	for len(s) > chunk {
+		out = append(out, s[:chunk])
+		s = s[chunk:]
+	}
+	if s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func isIdentStart(c rune) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(c)
+}
+
+func isIdentPart(c rune) bool {
+	return isIdentStart(c) || unicode.IsDigit(c)
+}
+
+// Snippets splits tokens into consecutive windows of size tokensPer
+// (paper: 512 tokens per CodeBERT snippet). The final partial window is kept.
+func Snippets(tokens []string, tokensPer int) [][]string {
+	if tokensPer <= 0 || len(tokens) == 0 {
+		return nil
+	}
+	out := make([][]string, 0, len(tokens)/tokensPer+1)
+	for start := 0; start < len(tokens); start += tokensPer {
+		end := min(start+tokensPer, len(tokens))
+		out = append(out, tokens[start:end])
+	}
+	return out
+}
+
+// NormalizeToken lower-cases and trims a token for hashing.
+func NormalizeToken(t string) string { return strings.ToLower(t) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,324 @@
+package world
+
+import (
+	"fmt"
+	"time"
+
+	"malgraph/internal/attacker"
+	"malgraph/internal/codegen"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/xrand"
+)
+
+// persistClass buckets campaigns by how quickly their packages are taken
+// down; source assignment and therefore per-source missing rates key off it.
+type persistClass int
+
+const (
+	classSimilar persistClass = iota + 1
+	classDep
+	classFlood
+	classUltra // ultra-short singletons (Socket-style feeds)
+	classEarly // 2014–2017 releases predating most mirror epochs
+	classStd   // ordinary singletons
+)
+
+// classOf maps a campaign ID to its persistence class; populated during
+// campaign generation.
+type classMap map[string]persistClass
+
+// marqueeSpec pins the largest similar-code campaigns to the payload families
+// Table XI attributes to them.
+type marqueeSpec struct {
+	size    int
+	payload codegen.PayloadKind
+}
+
+func npmMarquees(c Config) []marqueeSpec {
+	return []marqueeSpec{
+		{c.n(827), codegen.PayloadBackdoorShell},   // Spyware, Backdoor, Exfiltration via TLS
+		{c.n(414), codegen.PayloadCredentialTheft}, // C2, credential collecting, DNS tunneling
+		{c.n(196), codegen.PayloadBeaconC2},        // Beaconing, fingerprint spoofing, C2
+		{c.n(149), codegen.PayloadWebhookExfil},    // Webhook abuse, surveillance
+		{c.n(118), codegen.PayloadWebhookExfil},    // Webhook abuse, fingerprinting
+		{c.n(118), codegen.PayloadBeaconC2},        // Beaconing, UA spoofing, C2
+		{c.n(118), codegen.PayloadEnvExfil},        // Identity + data exfiltration
+		{c.n(110), codegen.PayloadEnvExfil},        // Data exfiltration, PII, OAuth2 abuse
+	}
+}
+
+func pypiMarquees(c Config) []marqueeSpec {
+	return []marqueeSpec{
+		{c.n(829), codegen.PayloadWalletReplace},     // Chinese-obfuscated wallet replacement
+		{c.n(409), codegen.PayloadDiscordDropper},    // Discord delivery + PowerShell
+		{c.n(270), codegen.PayloadDropboxFetch},      // Dropbox malware fetch
+		{c.n(180), codegen.PayloadPowerShellDropper}, // Obfuscation + spoofing
+		{c.n(140), codegen.PayloadPowerShellDropper}, // PowerShell + spoofing
+		{c.n(134), codegen.PayloadDropboxFetch},      // Dropbox + PowerShell
+	}
+}
+
+func (w *World) buildCampaigns(sim *attacker.Simulator, rng *xrand.RNG) error {
+	classes := make(classMap)
+
+	// ---- Similar-code campaigns (Table VI calibration). ----
+	for _, plan := range w.Config.similarPlans() {
+		var marquees []marqueeSpec
+		switch plan.eco {
+		case ecosys.NPM:
+			marquees = npmMarquees(w.Config)
+		case ecosys.PyPI:
+			marquees = pypiMarquees(w.Config)
+		default:
+			marquees = []marqueeSpec{{plan.largest, codegen.PayloadBackdoorShell}}
+		}
+		sizes := planSizes(rng.Derive("sizes/"+plan.eco.String()), plan, marquees)
+		for i, spec := range sizes {
+			active := similarActivePeriod(rng, spec.size, i)
+			// Generation rates sit slightly off Fig. 9's measured values
+			// because the measured distribution also averages over the
+			// flood's zero-change transitions (fresh name, identical code):
+			// code changes are generated more often so the corpus-level
+			// measurement lands at the paper's CC ≈ 59%.
+			cfg := attacker.SimilarConfig{
+				Eco:        plan.eco,
+				Size:       spec.size,
+				Start:      drawStart(rng),
+				Active:     active,
+				Rates:      attacker.OpRates{Rename: 0.862, Description: 0.098, Dependency: 0.021, Code: 0.72},
+				Takedown:   attacker.TakedownModel{MeanDays: 1.2, MinHours: 2},
+				Payload:    spec.payload,
+				SquatNames: rng.Bool(0.55),
+			}
+			c, err := sim.SimilarCampaign(cfg)
+			if err != nil {
+				return fmt.Errorf("similar campaign %d/%s: %w", i, plan.eco, err)
+			}
+			classes[c.ID] = classSimilar
+			w.Campaigns = append(w.Campaigns, c)
+		}
+	}
+
+	// ---- Dependent-hidden campaigns (Tables VII/VIII calibration). ----
+	for _, plan := range w.Config.depPlans() {
+		major := attacker.DepHiddenConfig{
+			Eco:      plan.eco,
+			Specs:    plan.majorSpecs,
+			Start:    drawStart(rng),
+			Active:   depActivePeriod(rng, true),
+			Takedown: attacker.TakedownModel{MeanDays: 0.8, MinHours: 2},
+			Bridges:  plan.bridges,
+		}
+		c, err := sim.DependentHiddenCampaign(major)
+		if err != nil {
+			return fmt.Errorf("dep major %s: %w", plan.eco, err)
+		}
+		classes[c.ID] = classDep
+		w.Campaigns = append(w.Campaigns, c)
+
+		forge := ecosys.NewNameForge(rng.Derive("depnames/" + plan.eco.String()))
+		for _, spec := range plan.majorSpecs {
+			forge.ClaimExact(spec.Name) // keep small groups off the Table VIII names
+		}
+		for g := 0; g < plan.smallGroups; g++ {
+			cfg := attacker.DepHiddenConfig{
+				Eco:      plan.eco,
+				Specs:    []attacker.DepSpec{{Name: forge.CommonWord(), Fronts: 2 + rng.Intn(7)}},
+				Start:    drawStart(rng),
+				Active:   depActivePeriod(rng, false),
+				Takedown: attacker.TakedownModel{MeanDays: 0.8, MinHours: 2},
+			}
+			c, err := sim.DependentHiddenCampaign(cfg)
+			if err != nil {
+				return fmt.Errorf("dep small %s #%d: %w", plan.eco, g, err)
+			}
+			classes[c.ID] = classDep
+			w.Campaigns = append(w.Campaigns, c)
+		}
+	}
+
+	// ---- The Feb-2023 PyPI registration flood (Fig. 7 peak). ----
+	flood, err := sim.FloodCampaign(attacker.FloodConfig{
+		Eco:      ecosys.PyPI,
+		Size:     w.Config.floodSize(),
+		Start:    time.Date(2023, 2, 10, 6, 0, 0, 0, time.UTC),
+		Window:   60 * time.Hour,
+		Takedown: attacker.TakedownModel{MeanDays: 0.08, MinHours: 1},
+	})
+	if err != nil {
+		return fmt.Errorf("flood: %w", err)
+	}
+	classes[flood.ID] = classFlood
+	w.Campaigns = append(w.Campaigns, flood)
+
+	// ---- Singletons across all ten ecosystems. ----
+	ultra, early, std := w.Config.singletonCounts()
+	singletonEcos := singletonEcoDeck(rng, ultra+early+std)
+	idx := 0
+	emit := func(n int, class persistClass, takedown attacker.TakedownModel, early bool) error {
+		for i := 0; i < n; i++ {
+			eco := singletonEcos[idx]
+			idx++
+			at := drawStart(rng)
+			if early {
+				at = drawEarlyStart(rng)
+			}
+			c, err := sim.Singleton(eco, at, takedown)
+			if err != nil {
+				return err
+			}
+			classes[c.ID] = class
+			w.Campaigns = append(w.Campaigns, c)
+		}
+		return nil
+	}
+	if err := emit(ultra, classUltra, attacker.TakedownModel{MeanDays: 0.1, MinHours: 1}, false); err != nil {
+		return fmt.Errorf("ultra singletons: %w", err)
+	}
+	if err := emit(early, classEarly, attacker.TakedownModel{MeanDays: 0.5, MinHours: 2}, true); err != nil {
+		return fmt.Errorf("early singletons: %w", err)
+	}
+	if err := emit(std, classStd, attacker.TakedownModel{MeanDays: 1.9, MinHours: 2}, false); err != nil {
+		return fmt.Errorf("std singletons: %w", err)
+	}
+
+	w.classes = classes
+	return nil
+}
+
+// planSizes expands a similarPlan into campaign sizes: the marquee campaigns
+// first, then small groups of ≥2 filling the remaining package budget.
+func planSizes(rng *xrand.RNG, plan similarPlan, marquees []marqueeSpec) []marqueeSpec {
+	out := make([]marqueeSpec, 0, plan.groups)
+	used := 0
+	for _, m := range marquees {
+		if len(out) >= plan.groups || used+m.size > plan.total {
+			break
+		}
+		out = append(out, m)
+		used += m.size
+	}
+	remainingGroups := plan.groups - len(out)
+	remainingPkgs := plan.total - used
+	if remainingGroups <= 0 || remainingPkgs < 2 {
+		return out
+	}
+	// Every remaining group gets ≥2 packages; leftover spread Pareto-ish.
+	sizes := make([]int, remainingGroups)
+	for i := range sizes {
+		sizes[i] = 2
+	}
+	leftover := remainingPkgs - 2*remainingGroups
+	for leftover > 0 {
+		i := rng.Intn(remainingGroups)
+		grab := 1 + int(rng.Pareto(1, 1.6))
+		if grab > leftover {
+			grab = leftover
+		}
+		sizes[i] += grab
+		leftover -= grab
+	}
+	// Trojanized-library campaigns are over-weighted among the small groups:
+	// stealthy one-line beacons inside otherwise legitimate code are the
+	// long tail the paper's detection experiment struggles with.
+	payloads := append(codegen.AllPayloads(), codegen.PayloadTrojanLite, codegen.PayloadTrojanLite, codegen.PayloadTrojanLite)
+	for _, s := range sizes {
+		out = append(out, marqueeSpec{size: s, payload: xrand.Pick(rng, payloads)})
+	}
+	return out
+}
+
+// similarActivePeriod draws from the Fig. 10 mixture: 80% under 15 days,
+// a 15–60 day band, and a heavy tail (53 groups over 60 days, some past
+// 1,000) that pulls the mean to ≈45 days. The tail is assigned by stratified
+// index (every 12th campaign ≈ 8%) so down-scaled worlds keep the shape
+// instead of gambling on a handful of Bernoulli draws; marquee-size campaigns
+// additionally cannot be instantaneous.
+func similarActivePeriod(rng *xrand.RNG, size, idx int) time.Duration {
+	var days float64
+	switch {
+	case idx%12 == 5: // 8% heavy tail (the paper's 53 groups beyond 60 days)
+		days = rng.Pareto(60, 1.1)
+		if days > 1300 {
+			days = 1300
+		}
+	case rng.Bool(0.87):
+		days = 0.5 + rng.Float64()*14.5
+	default: // ≈12% of total
+		days = 15 + rng.Float64()*45
+	}
+	if size > 35 && days < 10 {
+		days = 10 + rng.Float64()*35
+	}
+	return time.Duration(days * 24 * float64(time.Hour))
+}
+
+// depActivePeriod draws from the Fig. 11 mixture: 80% under 10 days, mean
+// ≈10.5, long tail past 100 days.
+func depActivePeriod(rng *xrand.RNG, major bool) time.Duration {
+	var days float64
+	switch {
+	case rng.Bool(0.80):
+		days = 0.5 + rng.Float64()*9.5
+	case rng.Bool(0.90): // 18% of total
+		days = 10 + rng.Float64()*30
+	default: // 2% long tail
+		days = 100 + rng.Float64()*40
+	}
+	if major && days < 15 {
+		days = 15 + rng.Float64()*20
+	}
+	return time.Duration(days * 24 * float64(time.Hour))
+}
+
+// drawStart places a campaign start on the 2014–2024 timeline with the
+// year weights of Fig. 7 (volume grows toward 2022–2024).
+func drawStart(rng *xrand.RNG) time.Time {
+	years := []int{2014, 2015, 2016, 2017, 2018, 2019, 2020, 2021, 2022, 2023, 2024}
+	weights := []float64{0.4, 0.5, 0.8, 1.5, 2.5, 4, 8, 14, 24, 28, 16}
+	y := years[rng.WeightedIndex(weights)]
+	return randomInstantInYear(rng, y)
+}
+
+// drawEarlyStart draws a 2014–2017 instant (Fig. 8 cause 1: released before
+// the mirrors' sync epochs).
+func drawEarlyStart(rng *xrand.RNG) time.Time {
+	years := []int{2014, 2015, 2016, 2017}
+	weights := []float64{2, 3, 3, 2}
+	return randomInstantInYear(rng, years[rng.WeightedIndex(weights)])
+}
+
+func randomInstantInYear(rng *xrand.RNG, year int) time.Time {
+	maxDay := 364
+	if year == 2024 {
+		maxDay = 200 // keep clear of the collection instant
+	}
+	day := rng.Intn(maxDay)
+	hour := rng.Intn(24)
+	return time.Date(year, 1, 1, hour, rng.Intn(60), 0, 0, time.UTC).AddDate(0, 0, day)
+}
+
+// singletonEcoDeck pre-deals ecosystems for singleton campaigns: the big
+// three dominate, the remaining seven share a thin tail (Table I covers 10
+// ecosystems).
+func singletonEcoDeck(rng *xrand.RNG, n int) []ecosys.Ecosystem {
+	others := []ecosys.Ecosystem{
+		ecosys.Maven, ecosys.Cocoapods, ecosys.SourceForge, ecosys.Docker,
+		ecosys.Composer, ecosys.NuGet, ecosys.Rust,
+	}
+	deck := make([]ecosys.Ecosystem, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.40:
+			deck = append(deck, ecosys.NPM)
+		case r < 0.74:
+			deck = append(deck, ecosys.PyPI)
+		case r < 0.80:
+			deck = append(deck, ecosys.RubyGems)
+		default:
+			deck = append(deck, xrand.Pick(rng, others))
+		}
+	}
+	return deck
+}

