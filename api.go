@@ -14,6 +14,7 @@ import (
 	"malgraph/internal/detect"
 	"malgraph/internal/ecosys"
 	"malgraph/internal/graph"
+	"malgraph/internal/parallel"
 	"malgraph/internal/reports"
 	"malgraph/internal/world"
 	"malgraph/internal/xrand"
@@ -125,85 +126,107 @@ func (p *Pipeline) Analyze() (*Results, error) {
 		CoexistingEdges: p.Graph.G.EdgeCount(graph.Coexisting),
 	}
 
-	// RQ1 — Tables I, IV, V; Figs 6, 7, 8.
-	for _, row := range analysis.SourceSizes(p.Dataset) {
-		r.SourceSizes = append(r.SourceSizes, SourceSizeRow{
-			Source: row.Source.String(), Unavailable: row.Unavailable, Available: row.Available,
-		})
-	}
-	overlap := analysis.Overlap(p.Dataset)
-	for _, id := range overlap.IDs {
-		r.OverlapNames = append(r.OverlapNames, id.String())
-	}
-	r.Overlap = overlap.Matrix
-	rows, total := analysis.MissingRates(p.Dataset)
-	r.TotalMR = total
-	for _, row := range rows {
-		r.MissingRates = append(r.MissingRates, MissingRateRow{
-			Source: row.Source.String(), Missing: row.Missing, Total: row.Total,
-			LocalMR: row.LocalMR, GlobalMR: row.GlobalMR,
-		})
-	}
-	for eco, cdf := range analysis.OccurrenceCDF(p.Dataset) {
-		r.OccurrenceCDF = append(r.OccurrenceCDF, OccurrenceRow{
-			Ecosystem: eco.String(),
-			AtOne:     cdf.At(1), AtTwo: cdf.At(2), AtThree: cdf.At(3), Max: cdf.Quantile(1),
-		})
-	}
-	sortOccurrence(r.OccurrenceCDF)
-	for _, b := range analysis.Timeline(p.Dataset) {
-		r.Timeline = append(r.Timeline, TimelineRow{Year: b.Year, All: b.All, Missing: b.Missing})
-	}
-	causes := analysis.ClassifyMissing(p.Dataset, p.World.Fleet)
-	r.MissingCauses = MissingCausesRow{
-		EarlyRelease: causes.EarlyRelease, ShortPersistence: causes.ShortPersistence, Other: causes.Other,
-	}
-
-	// RQ2 — Table VI, Figs 9, 10.
-	r.SimilarSubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Similar))
-	r.SimilarOps = opsRow(analysis.Operations(p.Graph, graph.Similar))
-	r.SimilarActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Similar))
-	div := analysis.Diversity(p.Graph)
-	r.Diversity = DiversityRow{
-		Packages: div.Packages, Singletons: div.Singletons, Families: div.Families,
-		EffectiveFamilies: div.EffectiveFamilies, SimpsonIndex: div.SimpsonIndex,
-		Top5Share: div.Top5Share,
+	// The RQ blocks read the pipeline's immutable products (dataset, graph,
+	// reports) and write disjoint Results fields, so they run concurrently;
+	// every analysis is itself deterministic, making the merged Results
+	// identical to a sequential pass.
+	rq1 := func() error {
+		for _, row := range analysis.SourceSizes(p.Dataset) {
+			r.SourceSizes = append(r.SourceSizes, SourceSizeRow{
+				Source: row.Source.String(), Unavailable: row.Unavailable, Available: row.Available,
+			})
+		}
+		overlap := analysis.Overlap(p.Dataset)
+		for _, id := range overlap.IDs {
+			r.OverlapNames = append(r.OverlapNames, id.String())
+		}
+		r.Overlap = overlap.Matrix
+		rows, total := analysis.MissingRates(p.Dataset)
+		r.TotalMR = total
+		for _, row := range rows {
+			r.MissingRates = append(r.MissingRates, MissingRateRow{
+				Source: row.Source.String(), Missing: row.Missing, Total: row.Total,
+				LocalMR: row.LocalMR, GlobalMR: row.GlobalMR,
+			})
+		}
+		for eco, cdf := range analysis.OccurrenceCDF(p.Dataset) {
+			r.OccurrenceCDF = append(r.OccurrenceCDF, OccurrenceRow{
+				Ecosystem: eco.String(),
+				AtOne:     cdf.At(1), AtTwo: cdf.At(2), AtThree: cdf.At(3), Max: cdf.Quantile(1),
+			})
+		}
+		sortOccurrence(r.OccurrenceCDF)
+		for _, b := range analysis.Timeline(p.Dataset) {
+			r.Timeline = append(r.Timeline, TimelineRow{Year: b.Year, All: b.All, Missing: b.Missing})
+		}
+		causes := analysis.ClassifyMissing(p.Dataset, p.World.Fleet)
+		r.MissingCauses = MissingCausesRow{
+			EarlyRelease: causes.EarlyRelease, ShortPersistence: causes.ShortPersistence, Other: causes.Other,
+		}
+		return nil
 	}
 
-	// RQ3 — Tables VII, VIII; Fig 11.
-	r.DependencySubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Dependency))
-	for _, d := range analysis.TopDependencyTargets(p.Graph, 2) {
-		r.DependencyTargets = append(r.DependencyTargets, DepTargetRow{
-			Ecosystem: d.Eco.String(), Name: d.Name, Count: d.Count,
-		})
+	rq2 := func() error {
+		r.SimilarSubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Similar))
+		r.SimilarOps = opsRow(analysis.Operations(p.Graph, graph.Similar))
+		r.SimilarActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Similar))
+		div := analysis.Diversity(p.Graph)
+		r.Diversity = DiversityRow{
+			Packages: div.Packages, Singletons: div.Singletons, Families: div.Families,
+			EffectiveFamilies: div.EffectiveFamilies, SimpsonIndex: div.SimpsonIndex,
+			Top5Share: div.Top5Share,
+		}
+		return nil
 	}
-	cores, fronts := analysis.DependencyReuse(p.Graph, 3)
-	r.DepCores, r.DepFronts = cores, fronts
-	r.DependencyActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Dependency))
 
-	// RQ4 — Table IX; Figs 12, 13, 14.
-	r.CoexistSubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Coexisting))
-	r.CoexistOps = opsRow(analysis.Operations(p.Graph, graph.Coexisting))
-	r.CoexistActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Coexisting))
-	iocs := analysis.IoCs(p.Reports, 10)
-	r.IoCs = IoCRow{
-		UniqueURLs: iocs.UniqueURLs, UniqueIPs: iocs.UniqueIPs,
-		PowerShell: iocs.PowerShell, MaxSameIPReports: iocs.MaxSameIPReports,
+	rq3 := func() error {
+		r.DependencySubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Dependency))
+		for _, d := range analysis.TopDependencyTargets(p.Graph, 2) {
+			r.DependencyTargets = append(r.DependencyTargets, DepTargetRow{
+				Ecosystem: d.Eco.String(), Name: d.Name, Count: d.Count,
+			})
+		}
+		cores, fronts := analysis.DependencyReuse(p.Graph, 3)
+		r.DepCores, r.DepFronts = cores, fronts
+		r.DependencyActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Dependency))
+		return nil
 	}
-	for _, d := range iocs.TopDomains {
-		r.TopDomains = append(r.TopDomains, DomainRow{Domain: d.Domain, Count: d.Count})
+
+	rq4 := func() error {
+		r.CoexistSubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Coexisting))
+		r.CoexistOps = opsRow(analysis.Operations(p.Graph, graph.Coexisting))
+		r.CoexistActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Coexisting))
+		iocs := analysis.IoCs(p.Reports, 10)
+		r.IoCs = IoCRow{
+			UniqueURLs: iocs.UniqueURLs, UniqueIPs: iocs.UniqueIPs,
+			PowerShell: iocs.PowerShell, MaxSameIPReports: iocs.MaxSameIPReports,
+		}
+		for _, d := range iocs.TopDomains {
+			r.TopDomains = append(r.TopDomains, DomainRow{Domain: d.Domain, Count: d.Count})
+		}
+		return nil
 	}
 
 	// §VI-B — Table XI.
-	for _, row := range behavior.TableXI(p.Graph, p.Config.MinBehaviorGroup) {
-		r.Behaviors = append(r.Behaviors, BehaviorRow{
-			Ecosystem: row.Eco.String(), Size: row.Size,
-			Behaviors: row.Behaviors, Source: row.Source,
-		})
+	behaviors := func() error {
+		for _, row := range behavior.TableXI(p.Graph, p.Config.MinBehaviorGroup) {
+			r.Behaviors = append(r.Behaviors, BehaviorRow{
+				Ecosystem: row.Eco.String(), Size: row.Size,
+				Behaviors: row.Behaviors, Source: row.Source,
+			})
+		}
+		return nil
 	}
 
-	// §IV-A — controlled validation experiment.
-	r.Validation = p.runValidation()
+	// §IV-A — controlled validation experiment (own derived RNG stream).
+	validation := func() error {
+		r.Validation = p.runValidation()
+		return nil
+	}
+
+	if err := parallel.Do(rq1, rq2, rq3, rq4, behaviors, validation); err != nil {
+		return nil, err
+	}
 
 	// §VI-A — Table X (optional).
 	if p.Config.Detection {

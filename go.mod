@@ -1,0 +1,3 @@
+module malgraph
+
+go 1.24

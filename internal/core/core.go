@@ -22,11 +22,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"malgraph/internal/collect"
 	"malgraph/internal/depscan"
 	"malgraph/internal/ecosys"
 	"malgraph/internal/graph"
+	"malgraph/internal/parallel"
 	"malgraph/internal/reports"
 	"malgraph/internal/sources"
 	"malgraph/internal/textsim"
@@ -172,11 +174,13 @@ func (mg *MalGraph) addDuplicatedEdges() error {
 		if e.Artifact != nil {
 			attrs["match"] = "name+version+hash"
 		}
-		for i := 0; i < len(e.Sources); i++ {
-			for j := i + 1; j < len(e.Sources); j++ {
-				a := RecordNodeID(e.Sources[i], e.Coord)
-				b := RecordNodeID(e.Sources[j], e.Coord)
-				if err := mg.G.AddEdge(a, b, graph.Duplicated, attrs); err != nil {
+		recIDs := make([]string, len(e.Sources))
+		for i, s := range e.Sources {
+			recIDs[i] = RecordNodeID(s, e.Coord)
+		}
+		for i := 0; i < len(recIDs); i++ {
+			for j := i + 1; j < len(recIDs); j++ {
+				if err := mg.G.AddEdge(recIDs[i], recIDs[j], graph.Duplicated, attrs); err != nil {
 					return err
 				}
 			}
@@ -186,27 +190,65 @@ func (mg *MalGraph) addDuplicatedEdges() error {
 }
 
 // addSimilarEdges runs the §III-B pipeline per ecosystem over available
-// artifacts and joins cluster members.
+// artifacts and joins cluster members. The per-artifact tokenize→hash→
+// embed→fingerprint work fans out across workers and is merged back in
+// dataset order; each ecosystem then clusters concurrently on its own
+// derived RNG stream. Both merges preserve sequential order, so the graph
+// is identical under any GOMAXPROCS.
 func (mg *MalGraph) addSimilarEdges(cfg Config) error {
 	embedder := textsim.NewEmbedder(cfg.Embed)
+	avail := mg.Dataset.Available()
+	type embedded struct {
+		eco  ecosys.Ecosystem
+		item textsim.Item
+	}
+	// Token and hash buffers are recycled across artifacts (one pair per
+	// worker via the pool); only the embedding vector and fingerprint — the
+	// values that outlive the loop — are allocated per item.
+	type scratch struct {
+		tokens []string
+		hashed []textsim.TokenHash
+	}
+	var pool sync.Pool
+	items := parallel.Map(len(avail), func(i int) embedded {
+		e := avail[i]
+		sc, _ := pool.Get().(*scratch)
+		if sc == nil {
+			sc = &scratch{}
+		}
+		defer pool.Put(sc)
+		// Tokenize once and share the hashed stream between the embedding
+		// and the SimHash fingerprint instead of normalising and hashing
+		// every token twice.
+		sc.tokens = textsim.TokenizeAppend(sc.tokens[:0], e.Artifact.MergedSource())
+		tokens := sc.tokens
+		sc.hashed = textsim.HashTokens(tokens, sc.hashed)
+		hashed := sc.hashed
+		return embedded{
+			eco: e.Coord.Ecosystem,
+			item: textsim.Item{
+				ID:     NodeID(e.Coord),
+				Vector: embedder.EmbedHashed(hashed),
+				Hash:   textsim.SimHashHashed(hashed),
+			},
+		}
+	})
 	byEco := make(map[ecosys.Ecosystem][]textsim.Item)
-	for _, e := range mg.Dataset.Available() {
-		src := e.Artifact.MergedSource()
-		tokens := textsim.Tokenize(src)
-		byEco[e.Coord.Ecosystem] = append(byEco[e.Coord.Ecosystem], textsim.Item{
-			ID:     NodeID(e.Coord),
-			Vector: embedder.EmbedTokens(tokens),
-			Hash:   textsim.SimHash(tokens),
-		})
+	for _, em := range items {
+		byEco[em.eco] = append(byEco[em.eco], em.item)
 	}
 	ecos := make([]ecosys.Ecosystem, 0, len(byEco))
 	for eco := range byEco {
 		ecos = append(ecos, eco)
 	}
 	sort.Slice(ecos, func(i, j int) bool { return ecos[i] < ecos[j] })
-	for _, eco := range ecos {
+	clustersByEco := parallel.Map(len(ecos), func(i int) []textsim.Cluster {
+		eco := ecos[i]
 		rng := xrand.New(cfg.Seed).Derive("similar/" + eco.String())
-		clusters := textsim.ClusterItems(byEco[eco], cfg.Cluster, rng)
+		return textsim.ClusterItems(byEco[eco], cfg.Cluster, rng)
+	})
+	for i, eco := range ecos {
+		clusters := clustersByEco[i]
 		mg.SimilarClusters[eco] = clusters
 		for ci, cluster := range clusters {
 			attrs := graph.Attrs{
@@ -237,18 +279,31 @@ func (mg *MalGraph) addDependencyEdges() error {
 		byName[eco][e.Coord.Name] = append(byName[eco][e.Coord.Name], NodeID(e.Coord))
 		corpus[eco][e.Coord.Name] = true
 	}
-	for _, e := range mg.Dataset.Available() {
-		eco := e.Coord.Ecosystem
-		deps, err := scanner.MaliciousDepsFast(e.Artifact, corpus[eco])
-		if err != nil {
-			return fmt.Errorf("dep scan %s: %w", e.Coord, err)
+	// The regex scans are independent per artifact (Scanner is immutable);
+	// fan them out and insert edges sequentially in dataset order so edge
+	// order — and the first error reported — stay deterministic.
+	avail := mg.Dataset.Available()
+	type scanResult struct {
+		deps []string
+		err  error
+	}
+	scans := parallel.Map(len(avail), func(i int) scanResult {
+		e := avail[i]
+		deps, err := scanner.MaliciousDepsFast(e.Artifact, corpus[e.Coord.Ecosystem])
+		return scanResult{deps: deps, err: err}
+	})
+	for i, e := range avail {
+		if scans[i].err != nil {
+			return fmt.Errorf("dep scan %s: %w", e.Coord, scans[i].err)
 		}
-		for _, dep := range deps {
+		eco := e.Coord.Ecosystem
+		front := NodeID(e.Coord)
+		for _, dep := range scans[i].deps {
 			for _, target := range byName[eco][dep] {
-				if target == NodeID(e.Coord) {
+				if target == front {
 					continue
 				}
-				err := mg.G.AddEdge(NodeID(e.Coord), target, graph.Dependency, graph.Attrs{"dep": dep})
+				err := mg.G.AddEdge(front, target, graph.Dependency, graph.Attrs{"dep": dep})
 				if err != nil {
 					return err
 				}

@@ -24,21 +24,39 @@ var (
 	rbRequireRe    = regexp.MustCompile(`(?m)^\s*require\s+['"]([\w./-]+)['"]`)
 )
 
+// importProbe pairs an import regexp with a literal substring every match
+// must contain; strings.Contains is an order of magnitude cheaper than
+// entering the regexp engine, so files without the keyword skip it outright.
+type importProbe struct {
+	re      *regexp.Regexp
+	keyword string
+}
+
+var (
+	pyProbes = []importProbe{{pyImportRe, "import"}, {pyFromImportRe, "import"}}
+	rbProbes = []importProbe{{rbRequireRe, "require"}}
+	jsProbes = []importProbe{{jsRequireRe, "require("}, {jsImportFromRe, "import"}, {jsImportBareRe, "import"}}
+)
+
 // ExtractImports returns the set of top-level module names imported by the
 // artifact's source files, with comment-line references filtered out.
 func ExtractImports(a *ecosys.Artifact) []string {
 	found := make(map[string]bool)
 	for _, f := range a.SourceFiles() {
-		var res []*regexp.Regexp
+		var probes []importProbe
 		switch {
 		case strings.HasSuffix(f.Path, ".py"):
-			res = []*regexp.Regexp{pyImportRe, pyFromImportRe}
+			probes = pyProbes
 		case strings.HasSuffix(f.Path, ".rb"):
-			res = []*regexp.Regexp{rbRequireRe}
+			probes = rbProbes
 		default:
-			res = []*regexp.Regexp{jsRequireRe, jsImportFromRe, jsImportBareRe}
+			probes = jsProbes
 		}
-		for _, re := range res {
+		for _, probe := range probes {
+			if !strings.Contains(f.Content, probe.keyword) {
+				continue
+			}
+			re := probe.re
 			for _, m := range re.FindAllStringSubmatchIndex(f.Content, -1) {
 				if InComment(f.Content, m[0]) {
 					continue

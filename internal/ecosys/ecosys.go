@@ -100,9 +100,19 @@ type Coord struct {
 	Version   string    `json:"version"`
 }
 
-// String renders "ecosystem/name@version".
+// String renders "ecosystem/name@version". Manual concatenation keeps this
+// a single allocation — coordinates are stringified once per node and edge
+// during graph construction, so Sprintf boxing showed up in profiles.
 func (c Coord) String() string {
-	return fmt.Sprintf("%s/%s@%s", c.Ecosystem, c.Name, c.Version)
+	eco := c.Ecosystem.String()
+	var b strings.Builder
+	b.Grow(len(eco) + 1 + len(c.Name) + 1 + len(c.Version))
+	b.WriteString(eco)
+	b.WriteByte('/')
+	b.WriteString(c.Name)
+	b.WriteByte('@')
+	b.WriteString(c.Version)
+	return b.String()
 }
 
 // Key returns a map key that uniquely identifies the coordinate.

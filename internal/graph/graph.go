@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -92,14 +93,19 @@ type Graph struct {
 	adjacency map[EdgeType]map[string][]int
 	edges     []Edge
 	edgeSeen  map[string]bool // dedup key type|min|max (undirected) or type|from|to (directed)
+	// countByType is maintained on insert so EdgeCount stays O(1) — the
+	// analyses poll per-type counts concurrently and must not scan the
+	// edge list under the read lock each time.
+	countByType map[EdgeType]int
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	g := &Graph{
-		nodes:     make(map[string]*Node),
-		adjacency: make(map[EdgeType]map[string][]int),
-		edgeSeen:  make(map[string]bool),
+		nodes:       make(map[string]*Node),
+		adjacency:   make(map[EdgeType]map[string][]int),
+		edgeSeen:    make(map[string]bool),
+		countByType: make(map[EdgeType]int, len(EdgeTypes())),
 	}
 	for _, t := range EdgeTypes() {
 		g.adjacency[t] = make(map[string][]int)
@@ -152,7 +158,8 @@ func (g *Graph) NodeCount() int {
 }
 
 // EdgeCount returns the total number of edges, or the count for one type if
-// given.
+// given. Counts come from the per-type index, so this is O(#types) however
+// large the graph grows.
 func (g *Graph) EdgeCount(types ...EdgeType) int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -160,13 +167,14 @@ func (g *Graph) EdgeCount(types ...EdgeType) int {
 		return len(g.edges)
 	}
 	n := 0
-	for _, e := range g.edges {
-		for _, t := range types {
-			if e.Type == t {
-				n++
-				break
-			}
+	seen := 0
+	for _, t := range types {
+		// Guard against the same type listed twice: count each type once.
+		if seen&(1<<uint(t)) != 0 {
+			continue
 		}
+		seen |= 1 << uint(t)
+		n += g.countByType[t]
 	}
 	return n
 }
@@ -175,7 +183,16 @@ func edgeKey(t EdgeType, from, to string) string {
 	if t != Dependency && from > to {
 		from, to = to, from
 	}
-	return fmt.Sprintf("%d|%s|%s", t, from, to)
+	// One allocation per key: this runs for every AddEdge/HasEdge call, and
+	// Sprintf boxing dominated graph-construction alloc profiles.
+	var b strings.Builder
+	b.Grow(2 + len(from) + 1 + len(to))
+	b.WriteByte(byte('0' + int(t)))
+	b.WriteByte('|')
+	b.WriteString(from)
+	b.WriteByte('|')
+	b.WriteString(to)
+	return b.String()
 }
 
 // AddEdge inserts a typed edge between existing nodes. Self-loops are
@@ -201,6 +218,7 @@ func (g *Graph) AddEdge(from, to string, t EdgeType, attrs Attrs) error {
 	g.edges = append(g.edges, Edge{From: from, To: to, Type: t, Attrs: attrs.clone()})
 	g.adjacency[t][from] = append(g.adjacency[t][from], idx)
 	g.adjacency[t][to] = append(g.adjacency[t][to], idx)
+	g.countByType[t]++
 	return nil
 }
 

@@ -2,9 +2,17 @@ package textsim
 
 import (
 	"sort"
+	"sync/atomic"
 
+	"malgraph/internal/parallel"
 	"malgraph/internal/xrand"
 )
+
+// assignChunk is the fixed work-unit size for parallel assignment and
+// silhouette loops. Chunk boundaries depend only on the input length, so
+// per-chunk partial sums merged in chunk order are identical under any
+// GOMAXPROCS — see internal/parallel.
+const assignChunk = 256
 
 // ClusterConfig parameterises the similarity clustering of §III-B step 4.
 type ClusterConfig struct {
@@ -103,7 +111,9 @@ func ClusterItems(items []Item, cfg ClusterConfig, rng *xrand.RNG) []Cluster {
 				if find(ids[i]) == find(ids[j]) {
 					continue
 				}
-				if Cosine(items[ids[i]].Vector, items[ids[j]].Vector) >= cfg.Threshold {
+				// Item vectors are L2-normalised (EmbedTokens invariant),
+				// so Dot is their cosine.
+				if Dot(items[ids[i]].Vector, items[ids[j]].Vector) >= cfg.Threshold {
 					union(ids[i], ids[j])
 				}
 			}
@@ -133,7 +143,10 @@ func ClusterItems(items []Item, cfg ClusterConfig, rng *xrand.RNG) []Cluster {
 	for _, root := range roots {
 		seeds = append(seeds, centroid(items, groups[root]))
 	}
-	assign := KMeans(vectors(items), seeds, cfg.KMeansIters, cfg.Threshold, rng)
+	vecs := vectors(items)
+	assign := KMeans(vecs, seeds, cfg.KMeansIters, cfg.Threshold)
+	_ = rng // reserved for randomised restarts; kept so every ecosystem
+	// retains its own derived stream if K-Means ever grows a stochastic mode
 
 	// Step 4: silhouette + size filtering.
 	byCluster := make(map[int][]int)
@@ -142,7 +155,7 @@ func ClusterItems(items []Item, cfg ClusterConfig, rng *xrand.RNG) []Cluster {
 			byCluster[c] = append(byCluster[c], i)
 		}
 	}
-	sil := SimplifiedSilhouette(vectors(items), assign, len(seeds))
+	sil := SimplifiedSilhouette(vecs, assign, len(seeds))
 	var out []Cluster
 	cids := make([]int, 0, len(byCluster))
 	for c := range byCluster {
@@ -162,7 +175,7 @@ func ClusterItems(items []Item, cfg ClusterConfig, rng *xrand.RNG) []Cluster {
 		var intra float64
 		for _, m := range members {
 			ids = append(ids, items[m].ID)
-			intra += Cosine(items[m].Vector, cent)
+			intra += Dot(items[m].Vector, cent) // both sides L2-normalised
 		}
 		sort.Strings(ids)
 		out = append(out, Cluster{
@@ -205,7 +218,7 @@ func rescueMerge(items []Item, groups map[int][]int, threshold float64) map[int]
 			if cores[ci].root == root {
 				continue
 			}
-			if sim := Cosine(c, cores[ci].centroid); sim >= bestSim {
+			if sim := Dot(c, cores[ci].centroid); sim >= bestSim {
 				bestIdx, bestSim = ci, sim
 			}
 		}
@@ -245,8 +258,15 @@ func centroid(items []Item, members []int) []float64 {
 // centroid updates up to iters times. Vectors whose best similarity falls
 // below threshold are left unassigned (-1) — K-Means here acts as refinement
 // of an over-complete seeding rather than discovery from random starts, so k
-// equals len(seeds).
-func KMeans(vecs [][]float64, seeds [][]float64, iters int, threshold float64, rng *xrand.RNG) []int {
+// equals len(seeds). Seeds and vectors must be L2-normalised (the
+// EmbedTokens invariant); assignment uses Dot as the cosine.
+//
+// The assignment loop — the clustering stage's dominant O(n·k·d) kernel —
+// fans out across fixed-size chunks; each chunk writes disjoint assign
+// entries, so the result is identical under any worker count. Centroid
+// recomputation stays sequential to keep its floating-point accumulation
+// order fixed.
+func KMeans(vecs [][]float64, seeds [][]float64, iters int, threshold float64) []int {
 	k := len(seeds)
 	assign := make([]int, len(vecs))
 	if k == 0 {
@@ -256,29 +276,54 @@ func KMeans(vecs [][]float64, seeds [][]float64, iters int, threshold float64, r
 		return assign
 	}
 	cents := make([][]float64, k)
+	stride := 0
 	for i, s := range seeds {
 		cents[i] = append([]float64(nil), s...)
+		if len(s) > stride {
+			stride = len(s)
+		}
 	}
+	// Live centroids are repacked into one contiguous buffer per iteration
+	// (zero-padded to a fixed stride, which cannot change any Dot value) so
+	// the O(n·k·d) assignment scan walks memory sequentially instead of
+	// chasing k separately-allocated slices.
+	flat := make([]float64, 0, k*stride)
+	liveIdx := make([]int, 0, k)
 	for iter := 0; iter < max(iters, 1); iter++ {
-		changed := false
-		for i, v := range vecs {
-			best, bestSim := -1, threshold
-			for c := 0; c < k; c++ {
-				if cents[c] == nil {
-					continue
-				}
-				if sim := Cosine(v, cents[c]); sim >= bestSim {
-					best, bestSim = c, sim
-				}
+		liveIdx = liveIdx[:0]
+		flat = flat[:0]
+		for c := 0; c < k; c++ {
+			if cents[c] == nil {
+				continue
 			}
-			if assign[i] != best || iter == 0 {
-				if iter > 0 && assign[i] != best {
-					changed = true
+			liveIdx = append(liveIdx, c)
+			flat = append(flat, cents[c]...)
+			for p := len(cents[c]); p < stride; p++ {
+				flat = append(flat, 0)
+			}
+		}
+		first := iter == 0
+		var changed atomic.Bool
+		parallel.ForEachChunk(len(vecs), assignChunk, func(_, lo, hi int) {
+			chunkChanged := false
+			for i := lo; i < hi; i++ {
+				v := vecs[i]
+				best, bestSim := -1, threshold
+				for j, c := range liveIdx {
+					if sim := Dot(v, flat[j*stride:j*stride+stride]); sim >= bestSim {
+						best, bestSim = c, sim
+					}
+				}
+				if !first && assign[i] != best {
+					chunkChanged = true
 				}
 				assign[i] = best
 			}
-		}
-		if iter > 0 && !changed {
+			if chunkChanged {
+				changed.Store(true)
+			}
+		})
+		if !first && !changed.Load() {
 			break
 		}
 		// Recompute centroids.
@@ -305,7 +350,6 @@ func KMeans(vecs [][]float64, seeds [][]float64, iters int, threshold float64, r
 			cents[c] = sums[c]
 		}
 	}
-	_ = rng // reserved for random restarts; refinement seeding is deterministic
 	return assign
 }
 
@@ -339,40 +383,73 @@ func SimplifiedSilhouette(vecs [][]float64, assign []int, k int) []float64 {
 			normalize(cents[c])
 		}
 	}
-	sums := make([]float64, k)
-	live := 0
-	for c := range counts {
-		if counts[c] > 0 {
-			live++
+	// Pack live centroids contiguously, as in KMeans, so the b(i) scan over
+	// all other centroids is a sequential walk.
+	stride := 0
+	for c := range cents {
+		if len(cents[c]) > stride {
+			stride = len(cents[c])
 		}
 	}
-	for i, c := range assign {
-		if c < 0 || c >= k || counts[c] == 0 {
+	liveIdx := make([]int, 0, k)
+	flat := make([]float64, 0, k*stride)
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
 			continue
 		}
-		a := 1 - Cosine(vecs[i], cents[c])
-		b := 2.0
-		if live < 2 {
-			b = 1 // no other cluster: treat as max cosine distance
-		} else {
-			for o := 0; o < k; o++ {
-				if o == c || counts[o] == 0 {
-					continue
-				}
-				if d := 1 - Cosine(vecs[i], cents[o]); d < b {
-					b = d
+		liveIdx = append(liveIdx, c)
+		flat = append(flat, cents[c]...)
+		for p := len(cents[c]); p < stride; p++ {
+			flat = append(flat, 0)
+		}
+	}
+	live := len(liveIdx)
+	// The per-point a/b scan is O(n·k·d) — the other dominant kernel next
+	// to K-Means assignment. Points are scored in parallel over fixed
+	// chunks; per-chunk partial sums are merged in chunk-index order so the
+	// floating-point totals match a sequential run bit for bit.
+	nchunks := parallel.NumChunks(len(assign), assignChunk)
+	partial := make([][]float64, nchunks)
+	parallel.ForEachChunk(len(assign), assignChunk, func(ci, lo, hi int) {
+		sums := make([]float64, k)
+		for i := lo; i < hi; i++ {
+			c := assign[i]
+			if c < 0 || c >= k || counts[c] == 0 {
+				continue
+			}
+			// Centroids are L2-normalised above; vecs hold the EmbedTokens
+			// invariant, so Dot is their cosine.
+			a := 1 - Dot(vecs[i], cents[c])
+			b := 2.0
+			if live < 2 {
+				b = 1 // no other cluster: treat as max cosine distance
+			} else {
+				for j, o := range liveIdx {
+					if o == c {
+						continue
+					}
+					if d := 1 - Dot(vecs[i], flat[j*stride:j*stride+stride]); d < b {
+						b = d
+					}
 				}
 			}
+			den := a
+			if b > den {
+				den = b
+			}
+			if den == 0 {
+				sums[c] += 1
+				continue
+			}
+			sums[c] += (b - a) / den
 		}
-		den := a
-		if b > den {
-			den = b
+		partial[ci] = sums
+	})
+	sums := make([]float64, k)
+	for _, part := range partial {
+		for c, s := range part {
+			sums[c] += s
 		}
-		if den == 0 {
-			sums[c] += 1
-			continue
-		}
-		sums[c] += (b - a) / den
 	}
 	out := make([]float64, k)
 	for c := range out {

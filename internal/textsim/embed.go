@@ -1,8 +1,8 @@
 package textsim
 
 import (
-	"hash/fnv"
 	"math"
+	"slices"
 )
 
 // EmbedConfig parameterises package embedding. The defaults mirror §III-B:
@@ -59,34 +59,54 @@ func (e *Embedder) EmbedSource(src string) []float64 {
 // term frequencies are sublinear (sqrt) so a token repeated hundreds of times
 // cannot swamp a snippet — both standard code-retrieval weightings that stand
 // in for the contextual weighting CodeBERT learns.
+//
+// Invariant: the returned vector is L2-normalised (or all-zero when no token
+// is informative), so downstream similarity code may use Dot in place of
+// Cosine without renormalising.
 func (e *Embedder) EmbedTokens(tokens []string) []float64 {
+	return e.EmbedHashed(HashTokens(tokens, nil))
+}
+
+// EmbedHashed embeds a stream already passed through HashTokens, the
+// allocation-lean path for callers that share one hashed stream between
+// embedding and SimHash fingerprinting. The output satisfies the same
+// L2-normalisation invariant as EmbedTokens.
+func (e *Embedder) EmbedHashed(hashed []TokenHash) []float64 {
 	vec := make([]float64, e.cfg.Dim())
-	snippets := Snippets(tokens, e.cfg.SnippetTokens)
-	for si, snip := range snippets {
+	scratch := make([]uint64, 0, min(len(hashed), e.cfg.SnippetTokens))
+	for lo := 0; lo < len(hashed); lo += e.cfg.SnippetTokens {
+		si := lo / e.cfg.SnippetTokens
 		if si >= e.cfg.MaxSnippets {
 			// Overflow snippets fold into the last slot so very large
 			// packages still contribute all their content.
 			si = e.cfg.MaxSnippets - 1
 		}
 		base := si * e.cfg.SnippetDim
-		counts := make(map[string]int, len(snip))
-		for _, tok := range snip {
-			norm := NormalizeToken(tok)
-			if !Informative(norm) {
-				continue
+		hi := min(lo+e.cfg.SnippetTokens, len(hashed))
+		scratch = scratch[:0]
+		for _, th := range hashed[lo:hi] {
+			if !th.Skip {
+				scratch = append(scratch, th.Hash)
 			}
-			counts[norm]++
 		}
-		for tok, n := range counts {
-			h := fnv.New64a()
-			_, _ = h.Write([]byte(tok))
-			hv := h.Sum64()
+		// Sorting fixes the floating-point accumulation order (map-based
+		// counting would add colliding dimensions in random order, making
+		// embeddings differ in the last bit between runs) and counts each
+		// distinct token as one run.
+		slices.Sort(scratch)
+		for s := 0; s < len(scratch); {
+			hv := scratch[s]
+			n := s + 1
+			for n < len(scratch) && scratch[n] == hv {
+				n++
+			}
 			idx := int(hv % uint64(e.cfg.SnippetDim))
 			sign := 1.0
 			if hv&(1<<63) != 0 {
 				sign = -1.0 // signed hashing reduces collision bias
 			}
-			vec[base+idx] += sign * math.Sqrt(float64(n))
+			vec[base+idx] += sign * math.Sqrt(float64(n-s))
+			s = n
 		}
 	}
 	normalize(vec)
@@ -143,15 +163,14 @@ func normalize(v []float64) {
 	}
 }
 
-// Cosine returns the cosine similarity of two equal-length vectors. For the
-// L2-normalised vectors produced by Embedder this is the plain dot product;
-// unnormalised inputs are handled by dividing through the norms.
+// Cosine returns the cosine similarity of two equal-length vectors,
+// dividing through both norms. Hot paths that hold the EmbedTokens
+// L2-normalisation invariant (clustering, silhouette, K-Means) call Dot
+// directly and skip the two norm passes; Cosine remains the safe entry
+// point for vectors of unknown provenance.
 func Cosine(a, b []float64) float64 {
-	n := min(len(a), len(b))
-	var dot, na, nb float64
-	for i := 0; i < n; i++ {
-		dot += a[i] * b[i]
-	}
+	dot := Dot(a, b)
+	var na, nb float64
 	for _, x := range a {
 		na += x * x
 	}
@@ -168,21 +187,22 @@ func Cosine(a, b []float64) float64 {
 // stream. Near-identical code bases produce fingerprints within a few bits
 // of each other, which the banded LSH in cluster.go exploits.
 func SimHash(tokens []string) uint64 {
+	return SimHashHashed(HashTokens(tokens, nil))
+}
+
+// SimHashHashed fingerprints a stream already passed through HashTokens,
+// sharing the normalize+hash pass with EmbedHashed. The per-bit update is
+// branchless (2·bit−1 ∈ {−1,+1}): hash bits are uniform, so a conditional
+// here mispredicts half the time on the hottest loop in fingerprinting.
+func SimHashHashed(hashed []TokenHash) uint64 {
 	var counts [64]int
-	for _, tok := range tokens {
-		norm := NormalizeToken(tok)
-		if !Informative(norm) {
+	for _, th := range hashed {
+		if th.Skip {
 			continue
 		}
-		h := fnv.New64a()
-		_, _ = h.Write([]byte(norm))
-		hv := h.Sum64()
+		hv := th.Hash
 		for b := 0; b < 64; b++ {
-			if hv&(1<<uint(b)) != 0 {
-				counts[b]++
-			} else {
-				counts[b]--
-			}
+			counts[b] += int((hv>>uint(b))&1)*2 - 1
 		}
 	}
 	var out uint64

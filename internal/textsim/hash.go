@@ -1,0 +1,139 @@
+package textsim
+
+import "unicode/utf8"
+
+// This file holds the allocation-free kernel of the §III-B pipeline: an
+// inline FNV-1a (hash/fnv heap-allocates a hasher per call), the shared
+// normalize→filter→hash token pass that EmbedHashed and SimHashHashed both
+// consume, and the Dot fast path for L2-normalised vectors.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv1a64 hashes s with FNV-1a without allocating.
+func fnv1a64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// TokenHash is one token after the shared normalize→filter→hash pass. Skip
+// marks tokens Informative rejects; their Hash is meaningless.
+type TokenHash struct {
+	Hash uint64
+	Skip bool
+}
+
+// stopwordByHash indexes codeStopwords by FNV-1a hash; the stored word
+// confirms the match so an (astronomically unlikely) hash collision cannot
+// silently drop a real identifier.
+var stopwordByHash = func() map[uint64]string {
+	m := make(map[uint64]string, len(codeStopwords))
+	for w := range codeStopwords {
+		m[fnv1a64(w)] = w
+	}
+	return m
+}()
+
+// HashTokens normalizes, filters and hashes a token stream in one pass,
+// returning one entry per input token so snippet boundaries computed over
+// the raw tokens apply unchanged to the hashed stream. Callers tokenize an
+// artifact once and feed the result to both EmbedHashed and SimHashHashed,
+// instead of lower-casing and hashing every token twice. dst is reused when
+// its capacity suffices.
+func HashTokens(tokens []string, dst []TokenHash) []TokenHash {
+	if cap(dst) < len(tokens) {
+		dst = make([]TokenHash, len(tokens))
+	}
+	dst = dst[:len(tokens)]
+	for i, t := range tokens {
+		dst[i] = hashToken(t)
+	}
+	return dst
+}
+
+// hashToken lower-cases, filters and hashes one token without allocating.
+// The ASCII fast path folds case inline; non-ASCII tokens take the exact
+// NormalizeToken+Informative route.
+func hashToken(t string) TokenHash {
+	if len(t) < 3 {
+		return TokenHash{Skip: true}
+	}
+	h := uint64(fnvOffset64)
+	digits := 0
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c >= utf8.RuneSelf {
+			return hashTokenSlow(t)
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c >= '0' && c <= '9' {
+			digits++
+		}
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	if digits == len(t) {
+		return TokenHash{Skip: true} // pure numbers are noise
+	}
+	if w, ok := stopwordByHash[h]; ok && equalFoldASCII(t, w) {
+		return TokenHash{Skip: true}
+	}
+	return TokenHash{Hash: h}
+}
+
+func hashTokenSlow(t string) TokenHash {
+	norm := NormalizeToken(t)
+	if !Informative(norm) {
+		return TokenHash{Skip: true}
+	}
+	return TokenHash{Hash: fnv1a64(norm)}
+}
+
+// equalFoldASCII reports whether lower-casing ASCII t yields w (w is already
+// lower-case).
+func equalFoldASCII(t, w string) bool {
+	if len(t) != len(w) {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot returns the inner product of two equal-length vectors. For the
+// L2-normalised vectors Embedder.EmbedTokens produces (and the normalised
+// centroids derived from them) this equals Cosine at a third of the memory
+// traffic, which is why every clustering-stage comparison uses it. The
+// four-lane unrolling fixes the summation order, so results are bit-stable
+// across runs and worker counts.
+func Dot(a, b []float64) float64 {
+	n := min(len(a), len(b))
+	a, b = a[:n], b[:n]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}

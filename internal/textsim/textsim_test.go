@@ -259,7 +259,7 @@ func TestClusterDeterminism(t *testing.T) {
 func TestKMeansUnassignedBelowThreshold(t *testing.T) {
 	vecs := [][]float64{{1, 0}, {0, 1}}
 	seeds := [][]float64{{1, 0}}
-	assign := KMeans(vecs, seeds, 4, 0.7, xrand.New(1))
+	assign := KMeans(vecs, seeds, 4, 0.7)
 	if assign[0] != 0 {
 		t.Fatalf("aligned vector unassigned: %v", assign)
 	}
@@ -269,7 +269,7 @@ func TestKMeansUnassignedBelowThreshold(t *testing.T) {
 }
 
 func TestKMeansNoSeeds(t *testing.T) {
-	assign := KMeans([][]float64{{1}}, nil, 3, 0.7, xrand.New(1))
+	assign := KMeans([][]float64{{1}}, nil, 3, 0.7)
 	if assign[0] != -1 {
 		t.Fatal("no seeds must leave everything unassigned")
 	}

@@ -20,7 +20,18 @@ import (
 // literals, string-literal contents, and single punctuation runes. It is
 // language-agnostic across the .py/.js/.rb corpus.
 func Tokenize(src string) []string {
-	tokens := make([]string, 0, len(src)/6)
+	return TokenizeAppend(nil, src)
+}
+
+// TokenizeAppend tokenizes src, appending to dst (which may be nil or a
+// recycled buffer with its length reset to 0). Hot loops that tokenize many
+// artifacts reuse one buffer per worker instead of growing a fresh []string
+// for every package.
+func TokenizeAppend(dst []string, src string) []string {
+	tokens := dst
+	if cap(tokens) == 0 {
+		tokens = make([]string, 0, len(src)/6)
+	}
 	i := 0
 	n := len(src)
 	for i < n {

@@ -1,0 +1,111 @@
+package malgraph
+
+// The parallel MALGRAPH construction promises bit-identical output to a
+// sequential run for a fixed seed (ISSUE: "parallel == sequential graph").
+// These tests build the pipeline under GOMAXPROCS=1 and under a forced
+// multi-worker setting and require the graphs to agree exactly: same nodes,
+// same per-type edge counts, same serialized bytes (which pins edge
+// insertion order, attributes and cluster labels), and same SimilarClusters
+// membership.
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"malgraph/internal/ecosys"
+	"malgraph/internal/graph"
+)
+
+// buildAt builds the pipeline with the given GOMAXPROCS, restoring the
+// previous setting before returning.
+func buildAt(t *testing.T, procs int, scale float64) *Pipeline {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	p, err := BuildPipeline(context.Background(), Config{Scale: scale})
+	if err != nil {
+		t.Fatalf("BuildPipeline(GOMAXPROCS=%d): %v", procs, err)
+	}
+	return p
+}
+
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	seq := buildAt(t, 1, 0.05)
+	par := buildAt(t, 8, 0.05) // forced >1 even on single-core machines
+
+	if got, want := par.Graph.G.NodeCount(), seq.Graph.G.NodeCount(); got != want {
+		t.Errorf("node count: parallel %d, sequential %d", got, want)
+	}
+	for _, et := range graph.EdgeTypes() {
+		if got, want := par.Graph.G.EdgeCount(et), seq.Graph.G.EdgeCount(et); got != want {
+			t.Errorf("%s edge count: parallel %d, sequential %d", et, got, want)
+		}
+	}
+
+	// Byte-level equality pins everything the counts can miss: node
+	// attributes, edge endpoints and order, cluster/silhouette labels.
+	var seqJSON, parJSON bytes.Buffer
+	if err := seq.Graph.G.WriteJSON(&seqJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Graph.G.WriteJSON(&parJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON.Bytes(), parJSON.Bytes()) {
+		t.Errorf("serialized graphs differ (%d vs %d bytes)", seqJSON.Len(), parJSON.Len())
+	}
+
+	// SimilarClusters membership, per ecosystem, in order.
+	for _, eco := range []ecosys.Ecosystem{ecosys.NPM, ecosys.PyPI, ecosys.RubyGems} {
+		sc, pc := seq.Graph.SimilarClusters[eco], par.Graph.SimilarClusters[eco]
+		if len(sc) != len(pc) {
+			t.Errorf("%s: %d clusters sequential, %d parallel", eco, len(sc), len(pc))
+			continue
+		}
+		for i := range sc {
+			if sc[i].Silhouette != pc[i].Silhouette {
+				t.Errorf("%s cluster %d: silhouette %v vs %v", eco, i, sc[i].Silhouette, pc[i].Silhouette)
+			}
+			if len(sc[i].Members) != len(pc[i].Members) {
+				t.Errorf("%s cluster %d: %d members vs %d", eco, i, len(sc[i].Members), len(pc[i].Members))
+				continue
+			}
+			for j := range sc[i].Members {
+				if sc[i].Members[j] != pc[i].Members[j] {
+					t.Errorf("%s cluster %d member %d: %q vs %q",
+						eco, i, j, sc[i].Members[j], pc[i].Members[j])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAnalyzeMatchesSequential runs the full Analyze stage (the
+// fanned-out RQ1–RQ4 blocks) under both settings and compares the rendered
+// reports, which serialize every table and figure.
+func TestParallelAnalyzeMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	render := func(procs int) string {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		res, err := Run(Config{Scale: 0.05})
+		if err != nil {
+			t.Fatalf("Run(GOMAXPROCS=%d): %v", procs, err)
+		}
+		var buf bytes.Buffer
+		res.Render(&buf)
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("rendered results differ between GOMAXPROCS=1 and 8:\n--- seq len %d\n--- par len %d", len(seq), len(par))
+	}
+}

@@ -1,0 +1,322 @@
+package malgraph
+
+// The Results type aggregates every table and figure of the paper's
+// evaluation (§V–§VI) into one plain-data summary. Fields use only built-in
+// types and local row structs so callers never import internal packages.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Results is the complete output of a pipeline run: one field (or slice of
+// rows) per paper artifact, in paper order.
+type Results struct {
+	Seed  uint64
+	Scale float64
+
+	// Corpus shape (§II-B / Table I aggregates).
+	TotalPackages int
+	Available     int
+	Missing       int
+	TotalMR       float64
+
+	// Crawl and graph shape.
+	CrawledPages    int
+	CrawledReports  int
+	GraphNodes      int
+	GraphEdges      int
+	DuplicatedEdges int
+	SimilarEdges    int
+	DependencyEdges int
+	CoexistingEdges int
+
+	// RQ1 — Tables I, IV, V; Figs 6, 7, 8.
+	SourceSizes   []SourceSizeRow
+	OverlapNames  []string
+	Overlap       [][]int
+	MissingRates  []MissingRateRow
+	OccurrenceCDF []OccurrenceRow
+	Timeline      []TimelineRow
+	MissingCauses MissingCausesRow
+
+	// RQ2 — Table VI; Figs 9, 10; diversity.
+	SimilarSubgraphs []SubgraphRow
+	SimilarOps       OpsRow
+	SimilarActive    ActiveRow
+	Diversity        DiversityRow
+
+	// RQ3 — Tables VII, VIII; Fig 11.
+	DependencySubgraphs []SubgraphRow
+	DependencyTargets   []DepTargetRow
+	DepCores            int
+	DepFronts           int
+	DependencyActive    ActiveRow
+
+	// RQ4 — Table IX; Figs 12, 13, 14.
+	CoexistSubgraphs []SubgraphRow
+	CoexistOps       OpsRow
+	CoexistActive    ActiveRow
+	IoCs             IoCRow
+	TopDomains       []DomainRow
+
+	// §VI-B — Table XI.
+	Behaviors []BehaviorRow
+
+	// §IV-A — controlled validation.
+	Validation ValidationRow
+
+	// §VI-A — Table X (empty unless Config.Detection).
+	Detection []DetectionRow
+}
+
+// SourceSizeRow is one Table I row.
+type SourceSizeRow struct {
+	Source      string
+	Unavailable int
+	Available   int
+}
+
+// MissingRateRow is one Table V row.
+type MissingRateRow struct {
+	Source   string
+	Missing  int
+	Total    int
+	LocalMR  float64
+	GlobalMR float64
+}
+
+// OccurrenceRow is one Fig 6 curve summary.
+type OccurrenceRow struct {
+	Ecosystem string
+	AtOne     float64
+	AtTwo     float64
+	AtThree   float64
+	Max       float64
+}
+
+// TimelineRow is one Fig 7 bar.
+type TimelineRow struct {
+	Year    int
+	All     int
+	Missing int
+}
+
+// MissingCausesRow is the Fig 8 breakdown.
+type MissingCausesRow struct {
+	EarlyRelease     int
+	ShortPersistence int
+	Other            int
+}
+
+// SubgraphRow is one row of Tables VI, VII or IX.
+type SubgraphRow struct {
+	Ecosystem   string
+	PkgNum      int
+	SubgraphNum int
+	AvgSize     float64
+	LargestSize int
+}
+
+// OpsRow is the Fig 9 / Fig 12 operation distribution.
+type OpsRow struct {
+	CN, CV, CD, CDep, CC float64
+	Transitions          int
+	AvgChangedLines      float64
+}
+
+// ActiveRow summarises an active-period distribution (Figs 10, 11, 13).
+type ActiveRow struct {
+	Groups          int
+	MeanDays        float64
+	MedianDays      float64
+	P80Days         float64
+	Under15DaysFrac float64
+	Under10DaysFrac float64
+	Over60Days      int
+}
+
+// DiversityRow quantifies corpus diversity over similar-code families.
+type DiversityRow struct {
+	Packages          int
+	Singletons        int
+	Families          int
+	EffectiveFamilies float64
+	SimpsonIndex      float64
+	Top5Share         float64
+}
+
+// DepTargetRow is one Table VIII entry.
+type DepTargetRow struct {
+	Ecosystem string
+	Name      string
+	Count     int
+}
+
+// IoCRow is the §V-D context accounting (Fig 14).
+type IoCRow struct {
+	UniqueURLs       int
+	UniqueIPs        int
+	PowerShell       int
+	MaxSameIPReports int
+}
+
+// DomainRow is one Fig 14 top-domain bar.
+type DomainRow struct {
+	Domain string
+	Count  int
+}
+
+// BehaviorRow is one Table XI row.
+type BehaviorRow struct {
+	Ecosystem string
+	Size      int
+	Behaviors []string
+	Source    string
+}
+
+// ValidationRow is the §IV-A experiment summary.
+type ValidationRow struct {
+	Experiments  int
+	SampleSize   int
+	ScannerRate  float64
+	VerifiedRate float64
+}
+
+// DetectionRow is one Table X row.
+type DetectionRow struct {
+	Algorithm     string
+	AccWithout    float64
+	AccWith       float64
+	RecallWithout float64
+	RecallWith    float64
+}
+
+func sortOccurrence(rows []OccurrenceRow) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Ecosystem < rows[j].Ecosystem })
+}
+
+// Render writes every artifact as a readable report, in paper order.
+func (r *Results) Render(w io.Writer) {
+	fmt.Fprintf(w, "MALGRAPH reproduction — seed %d, scale %.2f\n", r.Seed, r.Scale)
+	fmt.Fprintf(w, "corpus: %d packages (%d available / %d missing), %d reports from %d crawled pages\n",
+		r.TotalPackages, r.Available, r.Missing, r.CrawledReports, r.CrawledPages)
+	fmt.Fprintf(w, "graph : %d nodes, %d edges (dup %d / sim %d / dep %d / coex %d)\n\n",
+		r.GraphNodes, r.GraphEdges, r.DuplicatedEdges, r.SimilarEdges, r.DependencyEdges, r.CoexistingEdges)
+
+	fmt.Fprintf(w, "== Table I — source and size ==\n")
+	for _, s := range r.SourceSizes {
+		fmt.Fprintf(w, "  %-18s unavailable %5d  available %5d\n", s.Source, s.Unavailable, s.Available)
+	}
+
+	fmt.Fprintf(w, "\n== Table IV — overlap matrix ==\n")
+	for i, name := range r.OverlapNames {
+		fmt.Fprintf(w, "  %-18s", name)
+		for j := range r.OverlapNames {
+			fmt.Fprintf(w, " %5d", r.Overlap[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\n== Table V — missing rates (total %.2f%%) ==\n", r.TotalMR*100)
+	for _, m := range r.MissingRates {
+		fmt.Fprintf(w, "  %-18s local %6.2f%%  global %6.2f%%  (%d/%d)\n",
+			m.Source, m.LocalMR*100, m.GlobalMR*100, m.Missing, m.Total)
+	}
+
+	fmt.Fprintf(w, "\n== Fig 6 — occurrence CDF ==\n")
+	for _, o := range r.OccurrenceCDF {
+		fmt.Fprintf(w, "  %-8s P(1) %5.1f%%  P(<=2) %5.1f%%  P(<=3) %5.1f%%  max %.0f\n",
+			o.Ecosystem, o.AtOne*100, o.AtTwo*100, o.AtThree*100, o.Max)
+	}
+
+	fmt.Fprintf(w, "\n== Fig 7 — release timeline ==\n")
+	for _, b := range r.Timeline {
+		fmt.Fprintf(w, "  %d  all %5d  missing %5d\n", b.Year, b.All, b.Missing)
+	}
+
+	fmt.Fprintf(w, "\n== Fig 8 — causes of unavailability ==\n")
+	fmt.Fprintf(w, "  early release %d   short persistence %d   other %d\n",
+		r.MissingCauses.EarlyRelease, r.MissingCauses.ShortPersistence, r.MissingCauses.Other)
+
+	fmt.Fprintf(w, "\n== Table VI — similar subgraphs ==\n")
+	renderSubgraphs(w, r.SimilarSubgraphs)
+	fmt.Fprintf(w, "  diversity: %d families over %d pkgs (+%d singletons), effective %.1f, Simpson %.3f, top-5 share %.1f%%\n",
+		r.Diversity.Families, r.Diversity.Packages, r.Diversity.Singletons,
+		r.Diversity.EffectiveFamilies, r.Diversity.SimpsonIndex, r.Diversity.Top5Share*100)
+
+	fmt.Fprintf(w, "\n== Fig 9 — operations in similar subgraphs ==\n")
+	renderOps(w, r.SimilarOps)
+
+	fmt.Fprintf(w, "\n== Fig 10 — active periods (similar) ==\n")
+	renderActive(w, r.SimilarActive)
+
+	fmt.Fprintf(w, "\n== Table VII — dependency subgraphs ==\n")
+	renderSubgraphs(w, r.DependencySubgraphs)
+
+	fmt.Fprintf(w, "\n== Table VIII — dependency reuse (%d cores hide %d fronts) ==\n", r.DepCores, r.DepFronts)
+	for i, d := range r.DependencyTargets {
+		if i >= 10 {
+			fmt.Fprintf(w, "  … and %d more\n", len(r.DependencyTargets)-10)
+			break
+		}
+		fmt.Fprintf(w, "  %-8s %-24s %d dependents\n", d.Ecosystem, d.Name, d.Count)
+	}
+
+	fmt.Fprintf(w, "\n== Fig 11 — active periods (dependency) ==\n")
+	renderActive(w, r.DependencyActive)
+
+	fmt.Fprintf(w, "\n== Table IX — co-existing subgraphs ==\n")
+	renderSubgraphs(w, r.CoexistSubgraphs)
+
+	fmt.Fprintf(w, "\n== Fig 12 — operations in co-existing subgraphs ==\n")
+	renderOps(w, r.CoexistOps)
+
+	fmt.Fprintf(w, "\n== Fig 13 — active periods (co-existing) ==\n")
+	renderActive(w, r.CoexistActive)
+
+	fmt.Fprintf(w, "\n== Fig 14 — IoCs ==\n")
+	fmt.Fprintf(w, "  %d unique URLs, %d unique IPs, %d PowerShell, max same-IP reports %d\n",
+		r.IoCs.UniqueURLs, r.IoCs.UniqueIPs, r.IoCs.PowerShell, r.IoCs.MaxSameIPReports)
+	for i, d := range r.TopDomains {
+		fmt.Fprintf(w, "  %2d. %-28s %d\n", i+1, d.Domain, d.Count)
+	}
+
+	fmt.Fprintf(w, "\n== Table X — detection with and without MALGRAPH ==\n")
+	if len(r.Detection) == 0 {
+		fmt.Fprintf(w, "  (skipped; enable Config.Detection)\n")
+	}
+	for _, d := range r.Detection {
+		fmt.Fprintf(w, "  %-4s acc %.3f→%.3f   recall %.3f→%.3f\n",
+			d.Algorithm, d.AccWithout, d.AccWith, d.RecallWithout, d.RecallWith)
+	}
+
+	fmt.Fprintf(w, "\n== Table XI — behaviours of the largest similar groups ==\n")
+	for _, b := range r.Behaviors {
+		fmt.Fprintf(w, "  %-8s %5d pkgs  [%s]  %v\n", b.Ecosystem, b.Size, b.Source, b.Behaviors)
+	}
+
+	fmt.Fprintf(w, "\n== §IV-A — controlled validation ==\n")
+	fmt.Fprintf(w, "  %d×%d samples, scanner %.1f%%, verified %.1f%%\n",
+		r.Validation.Experiments, r.Validation.SampleSize,
+		r.Validation.ScannerRate*100, r.Validation.VerifiedRate*100)
+}
+
+func renderSubgraphs(w io.Writer, rows []SubgraphRow) {
+	for _, s := range rows {
+		fmt.Fprintf(w, "  %-8s groups %4d  pkgs %5d  avg %7.2f  max %5d\n",
+			s.Ecosystem, s.SubgraphNum, s.PkgNum, s.AvgSize, s.LargestSize)
+	}
+}
+
+func renderOps(w io.Writer, d OpsRow) {
+	fmt.Fprintf(w, "  CN %.2f%%  CV %.2f%%  CD %.2f%%  CDep %.2f%%  CC %.2f%%  (%d transitions, %.2f lines/CC)\n",
+		d.CN*100, d.CV*100, d.CD*100, d.CDep*100, d.CC*100, d.Transitions, d.AvgChangedLines)
+}
+
+func renderActive(w io.Writer, a ActiveRow) {
+	fmt.Fprintf(w, "  %d groups, mean %.2fd, median %.2fd, P80 %.2fd, <=15d %.1f%%, <=10d %.1f%%, >60d %d\n",
+		a.Groups, a.MeanDays, a.MedianDays, a.P80Days,
+		a.Under15DaysFrac*100, a.Under10DaysFrac*100, a.Over60Days)
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the headline MALGRAPH benchmarks and emit machine-readable
+# perf records, so every PR leaves a comparable perf data point behind.
+#
+# Usage:
+#   scripts/bench.sh [output-dir]           # default output-dir: .
+#
+# Environment:
+#   MALGRAPH_BENCH_SCALE   corpus scale (default 0.05; 1.0 ≈ paper size)
+#   BENCH_TIME             -benchtime value (default 3x; use 1x for CI smoke)
+#
+# Outputs:
+#   BENCH_clustering.json  BenchmarkTable6_ClusteringStage (§III-B hot path)
+#   BENCH_pipeline.json    BenchmarkPipeline_EndToEnd (whole-corpus envelope)
+#
+# Each record carries ns/op, B/op, allocs/op and the benchmark's shape
+# metrics (edge/package counts), keyed by scale, so future sessions can plot
+# the perf trajectory without re-parsing go test output.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT_DIR="${1:-.}"
+mkdir -p "$OUT_DIR"
+SCALE="${MALGRAPH_BENCH_SCALE:-0.05}"
+TIME="${BENCH_TIME:-3x}"
+STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
+    -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$' \
+    -benchmem -benchtime "$TIME" . |
+awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    out = ""
+    if (name == "BenchmarkTable6_ClusteringStage") out = dir "/BENCH_clustering.json"
+    if (name == "BenchmarkPipeline_EndToEnd")      out = dir "/BENCH_pipeline.json"
+    if (out == "") next
+    metrics = ""
+    line = sprintf("{\"benchmark\":\"%s\",\"generated_utc\":\"%s\",\"scale\":%s,\"iterations\":%s",
+                   name, stamp, scale, $2)
+    for (i = 3; i < NF; i += 2) {
+      val = $i; unit = $(i + 1)
+      if (unit == "ns/op")          line = line sprintf(",\"ns_per_op\":%s", val)
+      else if (unit == "B/op")      line = line sprintf(",\"bytes_per_op\":%s", val)
+      else if (unit == "allocs/op") line = line sprintf(",\"allocs_per_op\":%s", val)
+      else metrics = metrics sprintf("%s\"%s\":%s", (metrics == "" ? "" : ","), unit, val)
+    }
+    line = line sprintf(",\"metrics\":{%s}}", metrics)
+    print line > out
+    close(out)
+    print "wrote " out ": " line
+  }'
