@@ -3,6 +3,8 @@ package malgraph
 import (
 	"context"
 	"fmt"
+	"io"
+	"sync"
 
 	"malgraph/internal/analysis"
 	"malgraph/internal/attacker"
@@ -36,6 +38,10 @@ type Config struct {
 	// MinBehaviorGroup is the Table XI group-size threshold; 0 scales the
 	// paper's 100 by Scale.
 	MinBehaviorGroup int
+	// MaxPages bounds the §III-D report crawl (0 = 200,000 — effectively
+	// unbounded at paper scale). Serve-mode re-crawls set this lower to keep
+	// ingest latency bounded.
+	MaxPages int
 }
 
 func (c Config) withDefaults() Config {
@@ -54,11 +60,18 @@ func (c Config) withDefaults() Config {
 			c.MinBehaviorGroup = 3
 		}
 	}
+	if c.MaxPages <= 0 {
+		c.MaxPages = 200000
+	}
 	return c
 }
 
 // Pipeline holds every intermediate product of a run, for callers that want
-// to go deeper than the Results summary.
+// to go deeper than the Results summary. A Pipeline is either *batch* (built
+// by BuildPipeline, fully ingested) or *streaming* (built by
+// NewStreamingPipeline, fed incrementally through Append/AppendNext); in
+// both modes Analyze serves from a cache that only recomputes the analysis
+// blocks each batch actually invalidated.
 type Pipeline struct {
 	Config  Config
 	World   *world.World
@@ -66,6 +79,59 @@ type Pipeline struct {
 	Reports []*reports.Report
 	Graph   *core.MalGraph
 	Crawl   crawler.Result
+	Engine  *core.Engine
+
+	mu    sync.Mutex
+	feed  []core.Batch // pending ingest batches (streaming mode)
+	fed   int
+	cache *Results
+	dirty dirtyBlocks
+	// source retains the collected dataset and parsed report corpus the feed
+	// was cut from (with its recorded per-entry accounting), for callers that
+	// re-partition the world — the shuffle property tests and serve mode.
+	source        *collect.Result
+	sourceReports []*reports.Report
+}
+
+// Source returns the full collected dataset and report corpus behind the
+// pipeline's feed — the world as collected, independent of how much of it
+// has been ingested.
+func (p *Pipeline) Source() (*collect.Result, []*reports.Report) {
+	return p.source, p.sourceReports
+}
+
+// dirtyBlocks tracks which Analyze blocks must recompute after an Append.
+type dirtyBlocks struct {
+	rq1, rq2, rq3, rq4, behaviors, validation, detection bool
+}
+
+func allDirty() dirtyBlocks {
+	return dirtyBlocks{rq1: true, rq2: true, rq3: true, rq4: true, behaviors: true, validation: true, detection: true}
+}
+
+func (d *dirtyBlocks) merge(st core.IngestStats) {
+	if st.UpdatedEntries > 0 {
+		// Merged entries can shift timestamps and availability anywhere;
+		// recompute everything rather than track field-level provenance.
+		*d = allDirty()
+		return
+	}
+	if st.DatasetChanged() {
+		d.rq1 = true
+		d.validation = true
+	}
+	if st.SimilarChanged() {
+		d.rq2 = true
+		d.behaviors = true
+		d.detection = true
+	}
+	if st.DependencyChanged() {
+		d.rq3 = true
+	}
+	if st.CoexistingChanged() {
+		d.rq4 = true
+		d.behaviors = true
+	}
 }
 
 // Run executes the complete reproduction pipeline: build the simulated
@@ -79,8 +145,27 @@ func Run(cfg Config) (*Results, error) {
 	return p.Analyze()
 }
 
-// BuildPipeline runs every stage up to and including MALGRAPH construction.
+// BuildPipeline runs every stage up to and including MALGRAPH construction
+// (the whole corpus ingested as one batch).
 func BuildPipeline(ctx context.Context, cfg Config) (*Pipeline, error) {
+	p, err := NewStreamingPipeline(ctx, cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok, err := p.AppendNext(); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("malgraph: empty feed")
+	}
+	return p, nil
+}
+
+// NewStreamingPipeline builds the simulated world, runs collection and the
+// report crawl, and partitions the corpus into `batches` time-ordered ingest
+// batches — but ingests none of them. The caller drives the engine through
+// AppendNext (replaying the world's timeline) or Append (arbitrary batches);
+// Analyze works at any point and reflects what has been ingested so far.
+func NewStreamingPipeline(ctx context.Context, cfg Config, batches int) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
 	w, err := world.Build(world.Config{Seed: cfg.Seed, Scale: cfg.Scale})
 	if err != nil {
@@ -90,25 +175,183 @@ func BuildPipeline(ctx context.Context, cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("malgraph: collect: %w", err)
 	}
-	cr := crawler.New(w.Web, w.Web, crawler.Config{MaxPages: 200000})
+	cr := crawler.New(w.Web, w.Web, crawler.Config{MaxPages: cfg.MaxPages})
 	crawlRes := cr.Crawl(ctx, w.SeedURLs)
 	reportCorpus := reports.FromPages(crawlRes.Relevant, w.Config.CollectAt)
-	mg, err := core.Build(ds, reportCorpus, core.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("malgraph: build graph: %w", err)
+
+	eng := core.NewEngine(core.DefaultConfig())
+	p := &Pipeline{
+		Config:        cfg,
+		World:         w,
+		Dataset:       eng.Dataset(),
+		Reports:       eng.Reports(),
+		Graph:         eng.Graph(),
+		Crawl:         crawlRes,
+		Engine:        eng,
+		feed:          BatchFeed(ds, reportCorpus, batches),
+		dirty:         allDirty(),
+		source:        ds,
+		sourceReports: reportCorpus,
 	}
-	return &Pipeline{
-		Config:  cfg,
-		World:   w,
-		Dataset: ds,
-		Reports: reportCorpus,
-		Graph:   mg,
-		Crawl:   crawlRes,
-	}, nil
+	return p, nil
 }
 
-// Analyze computes the Results for a built pipeline.
+// BatchFeed partitions a collected dataset and its report corpus into k
+// ingest batches: entries in timeline order (collect.NewFeed), reports in
+// contiguous URL-order slices.
+func BatchFeed(ds *collect.Result, reportCorpus []*reports.Report, k int) []core.Batch {
+	feed := collect.NewFeed(ds, k)
+	out := make([]core.Batch, 0, feed.Len())
+	n := feed.Len()
+	for i := 0; ; i++ {
+		cb, ok := feed.Next()
+		if !ok {
+			break
+		}
+		lo, hi := i*len(reportCorpus)/n, (i+1)*len(reportCorpus)/n
+		out = append(out, core.Batch{
+			Entries:   cb.Entries,
+			PerSource: cb.PerSource,
+			Reports:   reportCorpus[lo:hi],
+			At:        cb.At,
+		})
+	}
+	return out
+}
+
+// Append ingests one batch into the engine and invalidates exactly the
+// Results blocks the batch touched. The next Analyze recomputes those blocks
+// and serves the rest from cache.
+func (p *Pipeline) Append(b core.Batch) (core.IngestStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.appendLocked(b)
+}
+
+func (p *Pipeline) appendLocked(b core.Batch) (core.IngestStats, error) {
+	st, err := p.Engine.Ingest(b)
+	if err != nil {
+		return st, fmt.Errorf("malgraph: append: %w", err)
+	}
+	p.Dataset = p.Engine.Dataset()
+	p.Reports = p.Engine.Reports()
+	p.Graph = p.Engine.Graph()
+	p.dirty.merge(st)
+	return st, nil
+}
+
+// AppendNext ingests the next pending feed batch; ok=false when the feed is
+// exhausted.
+func (p *Pipeline) AppendNext() (st core.IngestStats, ok bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fed >= len(p.feed) {
+		return core.IngestStats{}, false, nil
+	}
+	b := p.feed[p.fed]
+	p.fed++
+	st, err = p.appendLocked(b)
+	return st, true, err
+}
+
+// PendingBatches reports how many feed batches AppendNext has not ingested.
+func (p *Pipeline) PendingBatches() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.feed) - p.fed
+}
+
+// PipelineStats is a consistent snapshot of the corpus and graph shape,
+// taken under the pipeline lock (safe against a concurrent Append).
+type PipelineStats struct {
+	Entries        int
+	Available      int
+	MissingRate    float64
+	Reports        int
+	Nodes          int
+	Edges          int
+	EdgesByType    map[string]int
+	PendingBatches int
+}
+
+// Stats reports the current pipeline shape.
+func (p *Pipeline) Stats() PipelineStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PipelineStats{
+		Entries:        len(p.Dataset.Entries),
+		Available:      len(p.Dataset.Available()),
+		MissingRate:    p.Dataset.TotalMR(),
+		Reports:        len(p.Reports),
+		Nodes:          p.Graph.G.NodeCount(),
+		Edges:          p.Graph.G.EdgeCount(),
+		EdgesByType:    make(map[string]int, 4),
+		PendingBatches: len(p.feed) - p.fed,
+	}
+	for _, et := range graph.EdgeTypes() {
+		st.EdgesByType[et.String()] = p.Graph.G.EdgeCount(et)
+	}
+	return st
+}
+
+// Node resolves one graph node and its sorted per-type neighbors, under the
+// pipeline lock.
+func (p *Pipeline) Node(id string) (graph.Node, map[string][]string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, ok := p.Graph.G.Node(id)
+	if !ok {
+		return graph.Node{}, nil, false
+	}
+	neighbors := make(map[string][]string)
+	for _, et := range graph.EdgeTypes() {
+		if nb := p.Graph.G.Neighbors(id, et); len(nb) > 0 {
+			neighbors[et.String()] = nb
+		}
+	}
+	return n, neighbors, true
+}
+
+// SnapshotEngine checkpoints the engine (graph, dataset, caches) to w.
+func (p *Pipeline) SnapshotEngine(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Engine.Snapshot(w)
+}
+
+// RestoreEngine swaps in an engine checkpoint (core.RestoreEngine) — the
+// warm-restart path: embeddings, cluster state and scan caches come back
+// with the graph, so serving resumes without an O(corpus) rebuild. The feed
+// is left untouched; replaying already-ingested batches through AppendNext
+// is an idempotent no-op, so a restarted server can simply drain the feed.
+func (p *Pipeline) RestoreEngine(r io.Reader) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	eng, err := core.RestoreEngine(r)
+	if err != nil {
+		return fmt.Errorf("malgraph: restore: %w", err)
+	}
+	p.Engine = eng
+	p.Dataset = eng.Dataset()
+	p.Reports = eng.Reports()
+	p.Graph = eng.Graph()
+	p.cache = nil
+	p.dirty = allDirty()
+	return nil
+}
+
+// Analyze computes the Results for the pipeline's current state. Results
+// are cached: after an Append, only the analysis blocks the batch
+// invalidated (per core.IngestStats) are recomputed — a small delta after a
+// large corpus costs the affected RQ blocks, not a full re-analysis. The
+// first call (and any call after an entry merge) computes everything.
 func (p *Pipeline) Analyze() (*Results, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dirty := p.dirty
+	if p.cache == nil {
+		dirty = allDirty()
+	}
 	r := &Results{
 		Seed:            p.Config.Seed,
 		Scale:           p.Config.Scale,
@@ -224,18 +467,57 @@ func (p *Pipeline) Analyze() (*Results, error) {
 		return nil
 	}
 
-	if err := parallel.Do(rq1, rq2, rq3, rq4, behaviors, validation); err != nil {
+	// Run only the invalidated blocks; serve the rest from the cache.
+	tasks := make([]func() error, 0, 6)
+	for _, blk := range []struct {
+		dirty bool
+		run   func() error
+		reuse func(from *Results)
+	}{
+		{dirty.rq1, rq1, func(c *Results) {
+			r.SourceSizes, r.OverlapNames, r.Overlap = c.SourceSizes, c.OverlapNames, c.Overlap
+			r.MissingRates, r.OccurrenceCDF, r.Timeline = c.MissingRates, c.OccurrenceCDF, c.Timeline
+			r.MissingCauses = c.MissingCauses
+		}},
+		{dirty.rq2, rq2, func(c *Results) {
+			r.SimilarSubgraphs, r.SimilarOps = c.SimilarSubgraphs, c.SimilarOps
+			r.SimilarActive, r.Diversity = c.SimilarActive, c.Diversity
+		}},
+		{dirty.rq3, rq3, func(c *Results) {
+			r.DependencySubgraphs, r.DependencyTargets = c.DependencySubgraphs, c.DependencyTargets
+			r.DepCores, r.DepFronts, r.DependencyActive = c.DepCores, c.DepFronts, c.DependencyActive
+		}},
+		{dirty.rq4, rq4, func(c *Results) {
+			r.CoexistSubgraphs, r.CoexistOps, r.CoexistActive = c.CoexistSubgraphs, c.CoexistOps, c.CoexistActive
+			r.IoCs, r.TopDomains = c.IoCs, c.TopDomains
+		}},
+		{dirty.behaviors, behaviors, func(c *Results) { r.Behaviors = c.Behaviors }},
+		{dirty.validation, validation, func(c *Results) { r.Validation = c.Validation }},
+	} {
+		if blk.dirty {
+			tasks = append(tasks, blk.run)
+		} else {
+			blk.reuse(p.cache)
+		}
+	}
+	if err := parallel.Do(tasks...); err != nil {
 		return nil, err
 	}
 
 	// §VI-A — Table X (optional).
 	if p.Config.Detection {
-		det, err := p.RunDetection(p.Config.DetectionIterations)
-		if err != nil {
-			return nil, err
+		if dirty.detection {
+			det, err := p.RunDetection(p.Config.DetectionIterations)
+			if err != nil {
+				return nil, err
+			}
+			r.Detection = det
+		} else {
+			r.Detection = p.cache.Detection
 		}
-		r.Detection = det
 	}
+	p.cache = r
+	p.dirty = dirtyBlocks{}
 	return r, nil
 }
 

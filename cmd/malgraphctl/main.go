@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	malgraphctl run     [-scale 0.05] [-seed N] [-detect] [-iters 50]
+//	malgraphctl run     [-scale 0.05] [-seed N] [-detect] [-iters 50] [-maxpages N]
 //	malgraphctl graph   [-scale 0.05] [-seed N] [-out graph.json]
 //	malgraphctl crawl   [-scale 0.05] [-seed N]
-//	malgraphctl serve   [-scale 0.05] [-seed N] [-addr :8080]
+//	malgraphctl serve   [-scale 0.05] [-seed N] [-addr :8080] [-batches 10] [-snapshot state.json]
 //	malgraphctl dataset [-scale 0.05] [-seed N] [-out data.json] [-full]
 //
 // run executes the full pipeline and renders every table and figure; graph
 // exports MALGRAPH as JSON; crawl reports what the §III-D crawler found;
-// serve exposes the simulated PyPI root registry and its mirrors over HTTP;
+// serve runs the streaming MALGRAPH service — batch ingest, graph queries
+// and incrementally recomputed results over HTTP, alongside the simulated
+// PyPI root registry and its mirrors (warm-restartable via -snapshot);
 // dataset exports the collected corpus (public metadata by default, -full
 // embeds artifacts, mirroring the paper's two-tier release).
 package main
@@ -26,8 +28,6 @@ import (
 
 	"malgraph"
 	"malgraph/internal/collect"
-	"malgraph/internal/ecosys"
-	"malgraph/internal/registry"
 )
 
 func main() {
@@ -50,11 +50,17 @@ func run(args []string) error {
 	out := fs.String("out", "", "output file (graph/dataset; default stdout)")
 	addr := fs.String("addr", ":8080", "listen address (serve only)")
 	full := fs.Bool("full", false, "embed artifacts in the dataset export (dataset only)")
+	maxPages := fs.Int("maxpages", 0, "crawl page budget (0 = library default)")
+	batches := fs.Int("batches", 10, "ingest batches the feed is partitioned into (serve only)")
+	snapshot := fs.String("snapshot", "", "engine snapshot file for warm restarts (serve only)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
 
-	cfg := malgraph.Config{Seed: *seed, Scale: *scale, Detection: *detect, DetectionIterations: *iters}
+	cfg := malgraph.Config{
+		Seed: *seed, Scale: *scale, Detection: *detect,
+		DetectionIterations: *iters, MaxPages: *maxPages,
+	}
 	switch cmd {
 	case "run":
 		return cmdRun(cfg)
@@ -63,7 +69,7 @@ func run(args []string) error {
 	case "crawl":
 		return cmdCrawl(cfg)
 	case "serve":
-		return cmdServe(cfg, *addr)
+		return cmdServe(cfg, *addr, *batches, *snapshot)
 	case "dataset":
 		return cmdDataset(cfg, *out, *full)
 	default:
@@ -147,26 +153,37 @@ func cmdCrawl(cfg malgraph.Config) error {
 	return nil
 }
 
-// cmdServe exposes the simulated PyPI root registry at /root/ and each of
-// its mirrors at /mirror/<name>/, demonstrating the §II-B recovery setup
-// over real HTTP.
-func cmdServe(cfg malgraph.Config, addr string) error {
-	p, err := malgraph.BuildPipeline(context.Background(), cfg)
+// cmdServe runs the streaming MALGRAPH service: the world's timeline cut
+// into ingest batches, with ingest/query/results over HTTP (see serve.go)
+// plus the simulated PyPI registry endpoints. With -snapshot, existing
+// engine state warm-restarts the server and POST /api/v1/snapshot
+// checkpoints it again.
+func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath string) error {
+	p, err := malgraph.NewStreamingPipeline(context.Background(), cfg, batches)
 	if err != nil {
 		return err
 	}
-	root, ok := p.World.Fleet.Root(ecosys.PyPI)
-	if !ok {
-		return fmt.Errorf("no PyPI root registry")
+	if snapshotPath != "" {
+		f, err := os.Open(snapshotPath)
+		switch {
+		case err == nil:
+			restoreErr := p.RestoreEngine(f)
+			f.Close()
+			if restoreErr != nil {
+				return fmt.Errorf("warm restart from %s: %w", snapshotPath, restoreErr)
+			}
+			fmt.Printf("warm restart: %d packages, %d edges from %s\n",
+				len(p.Dataset.Entries), p.Graph.G.EdgeCount(), snapshotPath)
+		case os.IsNotExist(err):
+			fmt.Printf("cold start: no snapshot at %s yet\n", snapshotPath)
+		default:
+			return fmt.Errorf("warm restart from %s: %w", snapshotPath, err)
+		}
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/root/", http.StripPrefix("/root", registry.NewServer(root)))
-	for _, m := range p.World.Fleet.Mirrors(ecosys.PyPI) {
-		prefix := "/mirror/" + m.Name()
-		mux.Handle(prefix+"/", http.StripPrefix(prefix, registry.NewServer(m)))
-	}
-	fmt.Printf("serving PyPI root at %s/root/api/v1/… and %d mirrors at %s/mirror/<name>/…\n",
-		addr, len(p.World.Fleet.Mirrors(ecosys.PyPI)), addr)
-	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := newServer(p, snapshotPath)
+	fmt.Printf("serving MALGRAPH at %s: POST /api/v1/ingest (%d batches pending), "+
+		"GET /api/v1/{results,stats,node,snapshot}, /healthz, PyPI registry at /root/ and /mirror/<name>/\n",
+		addr, p.PendingBatches())
+	server := &http.Server{Addr: addr, Handler: srv.handler(), ReadHeaderTimeout: 5 * time.Second}
 	return server.ListenAndServe()
 }

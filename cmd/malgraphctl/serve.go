@@ -1,0 +1,232 @@
+package main
+
+// Serve mode turns the reproduction into the long-lived service the paper's
+// collection layer implies (§II-B is continuous): the simulated world's
+// timeline is partitioned into ingest batches, and an HTTP API drives the
+// streaming engine — ingest the next batch, query the graph, read the
+// (incrementally recomputed) Results — alongside the simulated PyPI registry
+// and mirror endpoints the earlier serve mode exposed. A snapshot file gives
+// warm restarts: engine state (graph + embeddings + scan caches) reloads
+// without an O(corpus) rebuild.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"malgraph"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/graph"
+	"malgraph/internal/registry"
+)
+
+// server wraps a streaming pipeline with the ingest/query/results API.
+type server struct {
+	p            *malgraph.Pipeline
+	snapshotPath string
+}
+
+func newServer(p *malgraph.Pipeline, snapshotPath string) *server {
+	return &server{p: p, snapshotPath: snapshotPath}
+}
+
+// handler builds the full route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/api/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/api/v1/results", s.handleResults)
+	mux.HandleFunc("/api/v1/stats", s.handleStats)
+	mux.HandleFunc("/api/v1/node", s.handleNode)
+	mux.HandleFunc("/api/v1/snapshot", s.handleSnapshot)
+
+	// The §II-B recovery setup over real HTTP: simulated PyPI root registry
+	// and its mirror fleet.
+	if root, ok := s.p.World.Fleet.Root(ecosys.PyPI); ok {
+		mux.Handle("/root/", http.StripPrefix("/root", registry.NewServer(root)))
+		for _, m := range s.p.World.Fleet.Mirrors(ecosys.PyPI) {
+			prefix := "/mirror/" + m.Name()
+			mux.Handle(prefix+"/", http.StripPrefix(prefix, registry.NewServer(m)))
+		}
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"pending": s.p.PendingBatches(),
+	})
+}
+
+// handleIngest advances the feed: POST /api/v1/ingest ingests the next
+// pending batch (?n=K for several, ?all=1 to drain) and returns the ingest
+// stats, so a feed scheduler can poll-and-push exactly like the
+// package-analysis loader loop.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	n := 1
+	if r.URL.Query().Get("all") != "" {
+		n = s.p.PendingBatches()
+	} else if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n=%q", raw))
+			return
+		}
+		n = v
+	}
+	type batchOut struct {
+		NewEntries      int      `json:"newEntries"`
+		UpdatedEntries  int      `json:"updatedEntries"`
+		NewArtifacts    int      `json:"newArtifacts"`
+		NewReports      int      `json:"newReports"`
+		Reclustered     []string `json:"reclustered,omitempty"`
+		DuplicatedDelta int      `json:"duplicatedDelta"`
+		DependencyDelta int      `json:"dependencyDelta"`
+		SimilarDelta    int      `json:"similarDelta"`
+		CoexistingDelta int      `json:"coexistingDelta"`
+	}
+	var ingested []batchOut
+	for i := 0; i < n; i++ {
+		st, ok, err := s.p.AppendNext()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !ok {
+			break
+		}
+		out := batchOut{
+			NewEntries:      st.NewEntries,
+			UpdatedEntries:  st.UpdatedEntries,
+			NewArtifacts:    st.NewArtifacts,
+			NewReports:      st.NewReports,
+			DuplicatedDelta: st.DuplicatedDelta,
+			DependencyDelta: st.DependencyDelta,
+			SimilarDelta:    st.SimilarDelta,
+			CoexistingDelta: st.CoexistingDelta,
+		}
+		for _, eco := range st.Reclustered {
+			out.Reclustered = append(out.Reclustered, eco.String())
+		}
+		ingested = append(ingested, out)
+	}
+	status := http.StatusOK
+	if len(ingested) == 0 {
+		status = http.StatusConflict // feed exhausted
+	}
+	writeJSON(w, status, map[string]any{
+		"ingested": ingested,
+		"pending":  s.p.PendingBatches(),
+	})
+}
+
+// handleResults serves the cached Analyze — after a small ingest delta only
+// the invalidated RQ blocks recompute.
+func (s *server) handleResults(w http.ResponseWriter, _ *http.Request) {
+	res, err := s.p.Analyze()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	// Pipeline.Stats reads under the pipeline lock — handlers run
+	// concurrently with POST /api/v1/ingest.
+	st := s.p.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"entries":        st.Entries,
+		"available":      st.Available,
+		"missingRate":    st.MissingRate,
+		"reports":        st.Reports,
+		"nodes":          st.Nodes,
+		"edges":          st.Edges,
+		"duplicated":     st.EdgesByType[graph.Duplicated.String()],
+		"similar":        st.EdgesByType[graph.Similar.String()],
+		"dependency":     st.EdgesByType[graph.Dependency.String()],
+		"coexisting":     st.EdgesByType[graph.Coexisting.String()],
+		"pendingBatches": st.PendingBatches,
+	})
+}
+
+// handleNode resolves one graph node: GET /api/v1/node?id=PyPI/name@1.0.0
+// returns its attributes and per-type neighbors.
+func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("id parameter required"))
+		return
+	}
+	n, neighbors, ok := s.p.Node(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("node %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":        n.ID,
+		"attrs":     n.Attrs,
+		"neighbors": neighbors,
+	})
+}
+
+// handleSnapshot checkpoints the engine: GET streams the snapshot; POST
+// writes it to the configured -snapshot path for the next warm restart.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.p.SnapshotEngine(w); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+	case http.MethodPost:
+		if s.snapshotPath == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("no -snapshot path configured"))
+			return
+		}
+		// Write-then-rename: an interrupted checkpoint must never destroy
+		// the last good snapshot.
+		tmp, err := os.CreateTemp(filepath.Dir(s.snapshotPath), ".snapshot-*")
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if err := s.p.SnapshotEngine(tmp); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if err := os.Rename(tmp.Name(), s.snapshotPath); err != nil {
+			os.Remove(tmp.Name())
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"snapshot": s.snapshotPath})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST required"))
+	}
+}

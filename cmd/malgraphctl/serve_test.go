@@ -1,0 +1,213 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"malgraph"
+)
+
+func newTestServer(t *testing.T, batches int, snapshotPath string) (*server, *httptest.Server) {
+	t.Helper()
+	p, err := malgraph.NewStreamingPipeline(context.Background(), malgraph.Config{Scale: 0.02}, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(p, snapshotPath)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+	return out
+}
+
+func TestServeIngestQueryResults(t *testing.T) {
+	_, ts := newTestServer(t, 3, "")
+
+	// Health reports the pending feed.
+	health := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if health["status"] != "ok" || health["pending"].(float64) != 3 {
+		t.Fatalf("health = %v", health)
+	}
+
+	// Before any ingest the graph is empty.
+	stats := getJSON(t, ts.URL+"/api/v1/stats", http.StatusOK)
+	if stats["nodes"].(float64) != 0 || stats["pendingBatches"].(float64) != 3 {
+		t.Fatalf("pre-ingest stats = %v", stats)
+	}
+
+	// Ingest one batch, then drain.
+	one := postJSON(t, ts.URL+"/api/v1/ingest", http.StatusOK)
+	if one["pending"].(float64) != 2 {
+		t.Fatalf("after one ingest: %v", one)
+	}
+	if n := len(one["ingested"].([]any)); n != 1 {
+		t.Fatalf("ingested %d batches", n)
+	}
+	rest := postJSON(t, ts.URL+"/api/v1/ingest?all=1", http.StatusOK)
+	if rest["pending"].(float64) != 0 {
+		t.Fatalf("after drain: %v", rest)
+	}
+	// Exhausted feed → 409.
+	postJSON(t, ts.URL+"/api/v1/ingest", http.StatusConflict)
+	// GET is not allowed.
+	getJSON(t, ts.URL+"/api/v1/ingest", http.StatusMethodNotAllowed)
+
+	// Stats now show the full corpus; results render all tables.
+	stats = getJSON(t, ts.URL+"/api/v1/stats", http.StatusOK)
+	if stats["nodes"].(float64) == 0 || stats["edges"].(float64) == 0 {
+		t.Fatalf("post-ingest stats = %v", stats)
+	}
+	results := getJSON(t, ts.URL+"/api/v1/results", http.StatusOK)
+	if results["TotalPackages"].(float64) == 0 || results["GraphEdges"].(float64) == 0 {
+		t.Fatalf("results = %v", results["TotalPackages"])
+	}
+	if len(results["SourceSizes"].([]any)) != 10 {
+		t.Fatal("results missing Table I rows")
+	}
+
+	// Node query round-trip: pick a node from the graph.
+	nodeID := firstCanonicalNode(t)
+	node := getJSON(t, ts.URL+"/api/v1/node?id="+nodeID, http.StatusOK)
+	if node["id"] != nodeID {
+		t.Fatalf("node = %v", node)
+	}
+	getJSON(t, ts.URL+"/api/v1/node?id=nope", http.StatusNotFound)
+	getJSON(t, ts.URL+"/api/v1/node", http.StatusBadRequest)
+
+	// Registry endpoints ride along.
+	resp, err := http.Get(ts.URL + "/root/api/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		t.Fatal("registry endpoint missing")
+	}
+}
+
+// firstCanonicalNode returns a node ID guaranteed to exist in any 0.02-scale
+// world (the world is a pure function of seed+scale, so a separate pipeline
+// sees the same corpus the server ingested).
+func firstCanonicalNode(t *testing.T) string {
+	t.Helper()
+	p, err := malgraph.BuildPipeline(context.Background(), malgraph.Config{Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Dataset.Entries) == 0 {
+		t.Fatal("no entries")
+	}
+	return p.Dataset.Entries[0].Coord.Key()
+}
+
+func TestServeSnapshotWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "engine.json")
+	s, ts := newTestServer(t, 2, snapPath)
+
+	postJSON(t, ts.URL+"/api/v1/ingest", http.StatusOK)
+	snapResp := postJSON(t, ts.URL+"/api/v1/snapshot", http.StatusOK)
+	if snapResp["snapshot"] != snapPath {
+		t.Fatalf("snapshot response = %v", snapResp)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("snapshot file: %v", err)
+	}
+	wantNodes := s.p.Graph.G.NodeCount()
+	wantEdges := s.p.Graph.G.EdgeCount()
+
+	// Warm restart: fresh pipeline, restore, drain the remaining feed.
+	p2, err := malgraph.NewStreamingPipeline(context.Background(), malgraph.Config{Scale: 0.02}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.RestoreEngine(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if p2.Graph.G.NodeCount() != wantNodes || p2.Graph.G.EdgeCount() != wantEdges {
+		t.Fatalf("restored graph %d/%d nodes/edges, want %d/%d",
+			p2.Graph.G.NodeCount(), p2.Graph.G.EdgeCount(), wantNodes, wantEdges)
+	}
+	// Replay the whole feed: batch 1 is an idempotent no-op, batch 2 new.
+	for {
+		_, ok, err := p2.AppendNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	// Final state must match the original server fully drained.
+	postJSON(t, ts.URL+"/api/v1/ingest?all=1", http.StatusOK)
+	if p2.Graph.G.NodeCount() != s.p.Graph.G.NodeCount() ||
+		p2.Graph.G.EdgeCount() != s.p.Graph.G.EdgeCount() {
+		t.Fatalf("warm-restarted graph diverged: %d/%d vs %d/%d nodes/edges",
+			p2.Graph.G.NodeCount(), p2.Graph.G.EdgeCount(),
+			s.p.Graph.G.NodeCount(), s.p.Graph.G.EdgeCount())
+	}
+	res1, err := p2.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s.p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.TotalPackages != res2.TotalPackages || res1.GraphEdges != res2.GraphEdges ||
+		res1.SimilarEdges != res2.SimilarEdges || res1.TotalMR != res2.TotalMR {
+		t.Fatalf("warm-restarted results diverged: %+v vs %+v", res1, res2)
+	}
+	// Table I/V derive from PerSource accounting — the replayed feed batch
+	// must not double-count it.
+	if !reflect.DeepEqual(res1.SourceSizes, res2.SourceSizes) {
+		t.Fatalf("warm-restarted source sizes diverged:\n %v\n %v", res1.SourceSizes, res2.SourceSizes)
+	}
+	if !reflect.DeepEqual(res1.MissingRates, res2.MissingRates) {
+		t.Fatalf("warm-restarted missing rates diverged")
+	}
+}

@@ -19,6 +19,24 @@
 //	results.Render(os.Stdout)
 //
 // Scale 1.0 reproduces the paper-size corpus (≈24k packages); 0.05 builds a
-// ≈1.2k-package world in about a second. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-vs-measured numbers.
+// ≈1.2k-package world in about a second.
+//
+// Beyond the one-shot reproduction, the package runs as a streaming service:
+// the §II-B collection layer is continuous in the real world, so core.Engine
+// ingests (entries, reports) batches incrementally — duplicated, dependency,
+// similar and co-existing edges are maintained through persistent indexes,
+// and only ecosystems whose artifact set changed re-cluster. Ingesting the
+// corpus in any batch partition yields components and analyses identical to
+// a one-shot build.
+//
+//	p, _ := malgraph.NewStreamingPipeline(ctx, malgraph.Config{Scale: 0.05}, 10)
+//	for {
+//	    if _, ok, _ := p.AppendNext(); !ok { break }  // replay the timeline
+//	    res, _ := p.Analyze()                          // only dirty RQ blocks recompute
+//	    _ = res
+//	}
+//
+// `malgraphctl serve` exposes the same loop over HTTP (ingest, graph queries,
+// results, snapshot-based warm restarts). See README.md for the architecture
+// diagram and benchmark instructions.
 package malgraph

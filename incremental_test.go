@@ -1,0 +1,285 @@
+package malgraph
+
+// Tests for the streaming ingest architecture's determinism contract
+// (ISSUE 2): ingesting the corpus in any batch partition must yield a graph
+// whose components and all RQ analyses are identical to a one-shot Build.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"malgraph/internal/collect"
+	"malgraph/internal/core"
+	"malgraph/internal/graph"
+	"malgraph/internal/reports"
+	"malgraph/internal/xrand"
+)
+
+// oneShot builds the classic batch pipeline and its Results once per scale.
+func oneShot(t *testing.T, scale float64) (*Pipeline, *Results) {
+	t.Helper()
+	p, err := BuildPipeline(context.Background(), Config{Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res
+}
+
+func assertResultsEqual(t *testing.T, got, want *Results, label string) {
+	t.Helper()
+	if reflect.DeepEqual(got, want) {
+		return
+	}
+	// Localise the difference for debuggability before failing.
+	gv, wv := reflect.ValueOf(*got), reflect.ValueOf(*want)
+	tp := gv.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		if !reflect.DeepEqual(gv.Field(i).Interface(), wv.Field(i).Interface()) {
+			t.Errorf("%s: Results.%s differs:\n got %v\nwant %v",
+				label, tp.Field(i).Name, gv.Field(i).Interface(), wv.Field(i).Interface())
+		}
+	}
+	if !t.Failed() {
+		t.Errorf("%s: Results differ in unexported state", label)
+	}
+}
+
+func assertComponentsEqual(t *testing.T, got, want *core.MalGraph, label string) {
+	t.Helper()
+	for _, et := range graph.EdgeTypes() {
+		g, w := got.PackageSubgraphs(et, 2), want.PackageSubgraphs(et, 2)
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: %s component structure differs (%d vs %d subgraphs)", label, et, len(g), len(w))
+		}
+		if gc, wc := got.G.EdgeCount(et), want.G.EdgeCount(et); gc != wc {
+			t.Errorf("%s: %s edge count %d, want %d", label, et, gc, wc)
+		}
+	}
+}
+
+// TestIncrementalTenBatchesMatchesOneShot is the acceptance criterion:
+// Scale=0.05, the corpus ingested in 10 time-ordered batches via
+// Engine.Ingest, producing identical Results (all RQ tables) to a one-shot
+// core.Build.
+func TestIncrementalTenBatchesMatchesOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	batch, want := oneShot(t, 0.05)
+
+	p, err := NewStreamingPipeline(context.Background(), Config{Scale: 0.05}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PendingBatches(); got != 10 {
+		t.Fatalf("pending batches = %d", got)
+	}
+	steps := 0
+	for {
+		_, ok, err := p.AppendNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		steps++
+		// Analyze mid-stream to exercise the cache invalidation path on
+		// every batch, not just the final state.
+		if _, err := p.Analyze(); err != nil {
+			t.Fatalf("analyze after batch %d: %v", steps, err)
+		}
+	}
+	if steps != 10 {
+		t.Fatalf("fed %d batches", steps)
+	}
+	got, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertComponentsEqual(t, p.Graph, batch.Graph, "10-batch")
+	assertResultsEqual(t, got, want, "10-batch")
+
+	// The rendered report — every table and figure — must match too.
+	var gb, wb bytes.Buffer
+	got.Render(&gb)
+	want.Render(&wb)
+	if gb.String() != wb.String() {
+		t.Error("10-batch rendered results differ from one-shot")
+	}
+}
+
+// TestShuffledBatchIngestMatchesOneShot is the satellite property test: the
+// corpus shuffled into k ∈ {1, 3, 10} batches must reproduce the one-shot
+// component structure and every Results table, for the same seed.
+func TestShuffledBatchIngestMatchesOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	const scale = 0.05
+	batch, want := oneShot(t, scale)
+
+	for _, k := range []int{1, 3, 10} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			p, err := NewStreamingPipeline(context.Background(), Config{Scale: scale}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Re-partition the collected world by shuffling its entries
+			// (seeded by k so every subtest sees a different order).
+			ds, reportCorpus := p.Source()
+			entries := make([]*collect.Entry, len(ds.Entries))
+			copy(entries, ds.Entries)
+			rng := xrand.New(uint64(1000 + k))
+			for i := len(entries) - 1; i > 0; i-- {
+				j := int(rng.Uint64() % uint64(i+1))
+				entries[i], entries[j] = entries[j], entries[i]
+			}
+			for bi, cb := range collect.PartitionBatches(ds, entries, k) {
+				b := core.Batch{Entries: cb.Entries, PerSource: cb.PerSource, At: cb.At}
+				lo, hi := bi*len(reportCorpus)/k, (bi+1)*len(reportCorpus)/k
+				b.Reports = reportCorpus[lo:hi]
+				if _, err := p.Append(b); err != nil {
+					t.Fatalf("append shuffled batch %d: %v", bi, err)
+				}
+			}
+			got, err := p.Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertComponentsEqual(t, p.Graph, batch.Graph, fmt.Sprintf("shuffle k=%d", k))
+			assertResultsEqual(t, got, want, fmt.Sprintf("shuffle k=%d", k))
+		})
+	}
+}
+
+// --- Incremental-vs-rebuild benchmarks (ISSUE 2 acceptance) ---
+
+var (
+	incBenchOnce    sync.Once
+	incBenchDataset *collect.Result
+	incBenchReports []*reports.Report
+	incBenchErr     error
+)
+
+// incrementalBenchWorld collects the bench-scale corpus once per binary.
+func incrementalBenchWorld(b *testing.B) (*collect.Result, []*reports.Report) {
+	b.Helper()
+	incBenchOnce.Do(func() {
+		var p *Pipeline
+		p, incBenchErr = NewStreamingPipeline(context.Background(), Config{Scale: benchScale()}, 1)
+		if incBenchErr == nil {
+			incBenchDataset, incBenchReports = p.Source()
+		}
+	})
+	if incBenchErr != nil {
+		b.Fatalf("bench world: %v", incBenchErr)
+	}
+	return incBenchDataset, incBenchReports
+}
+
+// BenchmarkIncremental_FullRebuild is the baseline the streaming engine
+// competes against: a complete core.Build of the corpus, the cost every new
+// observation used to pay.
+func BenchmarkIncremental_FullRebuild(b *testing.B) {
+	ds, reportCorpus := incrementalBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mg, err := core.Build(ds, reportCorpus, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(mg.G.EdgeCount()), "edges")
+	}
+}
+
+// BenchmarkIncremental_Append measures ingesting a 1% timeline delta into an
+// engine warm with the other 99% — the steady-state cost of the streaming
+// architecture. Engine state is reset between iterations via
+// Snapshot/Restore (outside the timer), so every measured Ingest performs
+// identical work.
+func BenchmarkIncremental_Append(b *testing.B) {
+	ds, reportCorpus := incrementalBenchWorld(b)
+	feed := BatchFeed(ds, reportCorpus, 100)
+	if len(feed) < 2 {
+		b.Fatalf("feed too small: %d batches", len(feed))
+	}
+	delta := feed[len(feed)-1]
+	base := core.NewEngine(core.DefaultConfig())
+	for _, batch := range feed[:len(feed)-1] {
+		if _, err := base.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := base.Snapshot(&snap); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(delta.Entries)), "delta_entries")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := core.RestoreEngine(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Restore churns decoder garbage; collect it outside the timer so
+		// the measured op is the append, not the reset harness.
+		runtime.GC()
+		b.StartTimer()
+		st, err := eng.Ingest(delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(st.Reclustered)), "reclustered_ecos")
+		b.ReportMetric(float64(st.NewArtifacts), "new_artifacts")
+	}
+}
+
+// TestAnalyzeCacheMatchesFresh verifies the Results-cache invalidation: an
+// Analyze served partly from cache after a delta append equals a fresh
+// full analysis of the same state.
+func TestAnalyzeCacheMatchesFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	p, err := NewStreamingPipeline(context.Background(), Config{Scale: 0.05}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ingest all but the last batch, analyze (warms the cache), then append
+	// the final delta and analyze again — partially from cache.
+	for p.PendingBatches() > 1 {
+		if _, _, err := p.AppendNext(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.AppendNext(); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh analysis of identical state: drop the cache.
+	p.mu.Lock()
+	p.cache = nil
+	p.mu.Unlock()
+	fresh, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, cached, fresh, "cache-vs-fresh")
+}

@@ -88,6 +88,29 @@ type Result struct {
 	CollectedAt time.Time
 
 	byKey map[string]*Entry
+	// statsByKey records each entry's contribution to PerSource, so the
+	// dataset can be replayed as batches (see feed.go) whose per-batch
+	// accounting sums back to the whole. Populated by Run; nil for datasets
+	// assembled by hand or loaded from JSON (Feed then falls back to the
+	// availability-derived approximation).
+	statsByKey map[string]entryStat
+}
+
+// entryStat is one entry's per-source accounting delta: which of its sources
+// counted it locally unavailable, and whether it was globally missing.
+type entryStat struct {
+	local  []sources.ID
+	global bool
+}
+
+// NewResult returns an empty dataset shell for incremental assembly (the
+// streaming-ingest path: core.Engine merges batch entries into one of these).
+func NewResult(at time.Time) *Result {
+	return &Result{
+		PerSource:   make(map[sources.ID]SourceStats),
+		CollectedAt: at,
+		byKey:       make(map[string]*Entry),
+	}
 }
 
 // Run executes the collection pipeline at the given instant against any
@@ -97,11 +120,8 @@ func Run(set *sources.Set, fleet registry.View, at time.Time) (*Result, error) {
 	if set == nil || fleet == nil {
 		return nil, fmt.Errorf("collect: nil sources or fleet")
 	}
-	res := &Result{
-		PerSource:   make(map[sources.ID]SourceStats),
-		CollectedAt: at,
-		byKey:       make(map[string]*Entry),
-	}
+	res := NewResult(at)
+	res.statsByKey = make(map[string]entryStat)
 
 	// Step 1: merge all source records (duplicates collapse by coordinate).
 	type obs struct {
@@ -172,17 +192,21 @@ func Run(set *sources.Set, fleet registry.View, at time.Time) (*Result, error) {
 				break
 			}
 		}
+		var es entryStat
 		for _, o := range obsList {
 			stats := res.PerSource[o.id]
 			stats.Total++
 			if o.rec.Artifact == nil && !mirrorOK {
 				stats.LocalUnavailable++
+				es.local = append(es.local, o.id)
 				if !anySourceCarried {
 					stats.GlobalMissing++
+					es.global = true
 				}
 			}
 			res.PerSource[o.id] = stats
 		}
+		res.statsByKey[key] = es
 	}
 	return res, nil
 }

@@ -1,0 +1,214 @@
+package collect
+
+// Batch replay turns a one-shot collection Result into the feed a long-lived
+// ingest service consumes: the paper's registries and report feeds publish new
+// malicious packages continuously (§II-B), so the streaming architecture
+// replays the simulated world's timeline as time-ordered entry batches whose
+// per-batch source accounting sums back to the whole. core.Engine ingests
+// these batches; the Upsert/AddSourceStats helpers below are the merge
+// primitives it uses to maintain its own incremental Result.
+
+import (
+	"sort"
+	"time"
+
+	"malgraph/internal/sources"
+)
+
+// Batch is one feed installment: a slice of dataset entries plus the slice of
+// per-source accounting those entries contributed to the full collection.
+type Batch struct {
+	Entries   []*Entry
+	PerSource map[sources.ID]SourceStats
+	// At is the collection instant of the originating dataset (constant
+	// across batches — availability was evaluated once, at collection time).
+	At time.Time
+}
+
+// Feed iterates a dataset as consecutive batches.
+type Feed struct {
+	batches []Batch
+	next    int
+}
+
+// NewFeed partitions the dataset into k time-ordered batches (by earliest
+// observation, ties broken by coordinate key) of near-equal size. k is
+// clamped to [1, len(entries)]; an empty dataset yields a single empty batch.
+func NewFeed(r *Result, k int) *Feed {
+	ordered := make([]*Entry, len(r.Entries))
+	copy(ordered, r.Entries)
+	sort.Slice(ordered, func(i, j int) bool {
+		if !ordered[i].ObservedAt.Equal(ordered[j].ObservedAt) {
+			return ordered[i].ObservedAt.Before(ordered[j].ObservedAt)
+		}
+		return ordered[i].Coord.Key() < ordered[j].Coord.Key()
+	})
+	return &Feed{batches: PartitionBatches(r, ordered, k)}
+}
+
+// PartitionBatches splits an explicit entry ordering into k contiguous
+// batches with accounting sliced per batch. The ordering must be a
+// permutation of r.Entries (the shuffle property tests exercise arbitrary
+// permutations; NewFeed supplies the timeline ordering).
+func PartitionBatches(r *Result, ordered []*Entry, k int) []Batch {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ordered) && len(ordered) > 0 {
+		k = len(ordered)
+	}
+	if len(ordered) == 0 {
+		return []Batch{{PerSource: map[sources.ID]SourceStats{}, At: r.CollectedAt}}
+	}
+	out := make([]Batch, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*len(ordered)/k, (i+1)*len(ordered)/k
+		out = append(out, r.BatchOf(ordered[lo:hi]))
+	}
+	return out
+}
+
+// Next returns the next batch, or ok=false when the feed is exhausted.
+func (f *Feed) Next() (Batch, bool) {
+	if f.next >= len(f.batches) {
+		return Batch{}, false
+	}
+	b := f.batches[f.next]
+	f.next++
+	return b, true
+}
+
+// Len returns the total number of batches in the feed.
+func (f *Feed) Len() int { return len(f.batches) }
+
+// Remaining returns how many batches Next has not yet returned.
+func (f *Feed) Remaining() int { return len(f.batches) - f.next }
+
+// BatchOf assembles the batch for a subset of this dataset's entries,
+// attributing exactly the per-source accounting those entries generated
+// during Run. For datasets without recorded per-entry stats (hand-built or
+// JSON-loaded), the accounting is approximated from each entry's final
+// availability: a Missing entry counts against every source that reported it.
+func (r *Result) BatchOf(entries []*Entry) Batch {
+	b := Batch{
+		Entries:   entries,
+		PerSource: make(map[sources.ID]SourceStats),
+		At:        r.CollectedAt,
+	}
+	for _, e := range entries {
+		es, recorded := entryStat{}, false
+		if r.statsByKey != nil {
+			es, recorded = r.statsByKey[e.Coord.Key()]
+		}
+		if !recorded && e.Availability == Missing {
+			es = entryStat{local: e.Sources, global: true}
+		}
+		for _, id := range e.Sources {
+			st := b.PerSource[id]
+			st.Total++
+			b.PerSource[id] = st
+		}
+		for _, id := range es.local {
+			st := b.PerSource[id]
+			st.LocalUnavailable++
+			if es.global {
+				st.GlobalMissing++
+			}
+			b.PerSource[id] = st
+		}
+	}
+	return b
+}
+
+// AddSourceStats accumulates a batch's per-source accounting.
+func (r *Result) AddSourceStats(stats map[sources.ID]SourceStats) {
+	for id, st := range stats {
+		cur := r.PerSource[id]
+		cur.Total += st.Total
+		cur.LocalUnavailable += st.LocalUnavailable
+		cur.GlobalMissing += st.GlobalMissing
+		r.PerSource[id] = cur
+	}
+}
+
+// Upsert merges one entry into the dataset. A new coordinate stores the entry
+// as-is and reports added=true. A known coordinate is merged field-wise —
+// union of sources, earliest observation, artifact adopted when previously
+// absent, zero timestamps filled — into a fresh copy (the previously stored
+// entry is never mutated, so pointers handed out before the upsert stay
+// consistent snapshots); changed reports whether anything differed. The
+// merged (or stored) entry is returned. Entries stays sorted by key.
+func (r *Result) Upsert(e *Entry) (merged *Entry, added, changed bool) {
+	key := e.Coord.Key()
+	cur, ok := r.byKey[key]
+	if !ok {
+		r.byKey[key] = e
+		i := sort.Search(len(r.Entries), func(i int) bool { return r.Entries[i].Coord.Key() >= key })
+		r.Entries = append(r.Entries, nil)
+		copy(r.Entries[i+1:], r.Entries[i:])
+		r.Entries[i] = e
+		return e, true, false
+	}
+	next := *cur
+	if srcs, grew := unionSources(cur.Sources, e.Sources); grew {
+		next.Sources = srcs
+		changed = true
+	}
+	if !e.ObservedAt.IsZero() && (next.ObservedAt.IsZero() || e.ObservedAt.Before(next.ObservedAt)) {
+		next.ObservedAt = e.ObservedAt
+		changed = true
+	}
+	if next.Artifact == nil && e.Artifact != nil {
+		next.Artifact = e.Artifact
+		next.Availability = e.Availability
+		next.RecoveredFrom = e.RecoveredFrom
+		changed = true
+	}
+	if next.ReleasedAt.IsZero() && !e.ReleasedAt.IsZero() {
+		next.ReleasedAt = e.ReleasedAt
+		changed = true
+	}
+	if next.RemovedAt.IsZero() && !e.RemovedAt.IsZero() {
+		next.RemovedAt = e.RemovedAt
+		changed = true
+	}
+	if !changed {
+		return cur, false, false
+	}
+	r.byKey[key] = &next
+	i := sort.Search(len(r.Entries), func(i int) bool { return r.Entries[i].Coord.Key() >= key })
+	r.Entries[i] = &next
+	return &next, false, true
+}
+
+// unionSources merges two ascending source lists, reporting whether the
+// result has members beyond a.
+func unionSources(a, b []sources.ID) ([]sources.ID, bool) {
+	missing := 0
+	for _, id := range b {
+		if !containsID(a, id) {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return a, false
+	}
+	out := make([]sources.ID, 0, len(a)+missing)
+	out = append(out, a...)
+	for _, id := range b {
+		if !containsID(a, id) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+func containsID(ids []sources.ID, id sources.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

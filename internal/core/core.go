@@ -22,17 +22,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"malgraph/internal/collect"
-	"malgraph/internal/depscan"
 	"malgraph/internal/ecosys"
 	"malgraph/internal/graph"
-	"malgraph/internal/parallel"
 	"malgraph/internal/reports"
 	"malgraph/internal/sources"
 	"malgraph/internal/textsim"
-	"malgraph/internal/xrand"
 )
 
 // RecordNodePrefix marks per-source record node IDs.
@@ -75,41 +71,24 @@ type MalGraph struct {
 	entryByID map[string]*collect.Entry
 }
 
-// Build constructs MALGRAPH from a collected dataset and a report corpus.
+// Build constructs MALGRAPH from a collected dataset and a report corpus —
+// the one-shot (single-batch) case of the streaming Engine, kept as the
+// convenience entry point for batch pipelines and benchmarks.
 func Build(dataset *collect.Result, reportCorpus []*reports.Report, cfg Config) (*MalGraph, error) {
 	if dataset == nil {
 		return nil, fmt.Errorf("core: nil dataset")
 	}
-	if cfg.PairwiseLimit <= 0 {
-		cfg = DefaultConfig()
+	eng := NewEngine(cfg)
+	_, err := eng.Ingest(Batch{
+		Entries:   dataset.Entries,
+		PerSource: dataset.PerSource,
+		Reports:   reportCorpus,
+		At:        dataset.CollectedAt,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core build: %w", err)
 	}
-	mg := &MalGraph{
-		G:                graph.New(),
-		Dataset:          dataset,
-		Reports:          reportCorpus,
-		SimilarClusters:  make(map[ecosys.Ecosystem][]textsim.Cluster),
-		ReportsByPackage: make(map[string][]*reports.Report),
-		entryByID:        make(map[string]*collect.Entry, len(dataset.Entries)),
-	}
-	for _, e := range dataset.Entries {
-		mg.entryByID[NodeID(e.Coord)] = e
-	}
-	if err := mg.addNodes(); err != nil {
-		return nil, fmt.Errorf("core nodes: %w", err)
-	}
-	if err := mg.addDuplicatedEdges(); err != nil {
-		return nil, fmt.Errorf("core duplicated: %w", err)
-	}
-	if err := mg.addSimilarEdges(cfg); err != nil {
-		return nil, fmt.Errorf("core similar: %w", err)
-	}
-	if err := mg.addDependencyEdges(); err != nil {
-		return nil, fmt.Errorf("core dependency: %w", err)
-	}
-	if err := mg.addCoexistingEdges(cfg); err != nil {
-		return nil, fmt.Errorf("core coexisting: %w", err)
-	}
-	return mg, nil
+	return eng.Graph(), nil
 }
 
 // NodeID returns the canonical node ID for a coordinate.
@@ -122,221 +101,6 @@ func RecordNodeID(id sources.ID, coord ecosys.Coord) string {
 
 // IsRecordNode reports whether a node ID names a per-source record.
 func IsRecordNode(nodeID string) bool { return strings.HasPrefix(nodeID, RecordNodePrefix) }
-
-func (mg *MalGraph) addNodes() error {
-	for _, e := range mg.Dataset.Entries {
-		attrs := graph.Attrs{
-			"kind":      "package",
-			"name":      e.Coord.Name,
-			"version":   e.Coord.Version,
-			"ecosystem": e.Coord.Ecosystem.String(),
-			"avail":     e.Availability.String(),
-			"occ":       strconv.Itoa(e.OccurrenceCount()),
-		}
-		if e.Artifact != nil {
-			attrs["hash"] = e.Artifact.Hash()
-		}
-		ids := make([]string, 0, len(e.Sources))
-		for _, s := range e.Sources {
-			ids = append(ids, strconv.Itoa(int(s)))
-		}
-		attrs["sources"] = strings.Join(ids, ",")
-		if err := mg.G.AddNode(NodeID(e.Coord), attrs); err != nil {
-			return err
-		}
-		for _, s := range e.Sources {
-			recAttrs := graph.Attrs{
-				"kind":      "record",
-				"name":      e.Coord.Name,
-				"version":   e.Coord.Version,
-				"ecosystem": e.Coord.Ecosystem.String(),
-				"source":    strconv.Itoa(int(s)),
-			}
-			if e.Artifact != nil {
-				recAttrs["hash"] = e.Artifact.Hash()
-			}
-			if err := mg.G.AddNode(RecordNodeID(s, e.Coord), recAttrs); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// addDuplicatedEdges joins the record nodes of each package pairwise: same
-// name+version across sources, hash-confirmed when artifacts exist (§III-A).
-func (mg *MalGraph) addDuplicatedEdges() error {
-	for _, e := range mg.Dataset.Entries {
-		if len(e.Sources) < 2 {
-			continue
-		}
-		attrs := graph.Attrs{"match": "name+version"}
-		if e.Artifact != nil {
-			attrs["match"] = "name+version+hash"
-		}
-		recIDs := make([]string, len(e.Sources))
-		for i, s := range e.Sources {
-			recIDs[i] = RecordNodeID(s, e.Coord)
-		}
-		for i := 0; i < len(recIDs); i++ {
-			for j := i + 1; j < len(recIDs); j++ {
-				if err := mg.G.AddEdge(recIDs[i], recIDs[j], graph.Duplicated, attrs); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// addSimilarEdges runs the §III-B pipeline per ecosystem over available
-// artifacts and joins cluster members. The per-artifact tokenize→hash→
-// embed→fingerprint work fans out across workers and is merged back in
-// dataset order; each ecosystem then clusters concurrently on its own
-// derived RNG stream. Both merges preserve sequential order, so the graph
-// is identical under any GOMAXPROCS.
-func (mg *MalGraph) addSimilarEdges(cfg Config) error {
-	embedder := textsim.NewEmbedder(cfg.Embed)
-	avail := mg.Dataset.Available()
-	type embedded struct {
-		eco  ecosys.Ecosystem
-		item textsim.Item
-	}
-	// Token and hash buffers are recycled across artifacts (one pair per
-	// worker via the pool); only the embedding vector and fingerprint — the
-	// values that outlive the loop — are allocated per item.
-	type scratch struct {
-		tokens []string
-		hashed []textsim.TokenHash
-	}
-	var pool sync.Pool
-	items := parallel.Map(len(avail), func(i int) embedded {
-		e := avail[i]
-		sc, _ := pool.Get().(*scratch)
-		if sc == nil {
-			sc = &scratch{}
-		}
-		defer pool.Put(sc)
-		// Tokenize once and share the hashed stream between the embedding
-		// and the SimHash fingerprint instead of normalising and hashing
-		// every token twice.
-		sc.tokens = textsim.TokenizeAppend(sc.tokens[:0], e.Artifact.MergedSource())
-		tokens := sc.tokens
-		sc.hashed = textsim.HashTokens(tokens, sc.hashed)
-		hashed := sc.hashed
-		return embedded{
-			eco: e.Coord.Ecosystem,
-			item: textsim.Item{
-				ID:     NodeID(e.Coord),
-				Vector: embedder.EmbedHashed(hashed),
-				Hash:   textsim.SimHashHashed(hashed),
-			},
-		}
-	})
-	byEco := make(map[ecosys.Ecosystem][]textsim.Item)
-	for _, em := range items {
-		byEco[em.eco] = append(byEco[em.eco], em.item)
-	}
-	ecos := make([]ecosys.Ecosystem, 0, len(byEco))
-	for eco := range byEco {
-		ecos = append(ecos, eco)
-	}
-	sort.Slice(ecos, func(i, j int) bool { return ecos[i] < ecos[j] })
-	clustersByEco := parallel.Map(len(ecos), func(i int) []textsim.Cluster {
-		eco := ecos[i]
-		rng := xrand.New(cfg.Seed).Derive("similar/" + eco.String())
-		return textsim.ClusterItems(byEco[eco], cfg.Cluster, rng)
-	})
-	for i, eco := range ecos {
-		clusters := clustersByEco[i]
-		mg.SimilarClusters[eco] = clusters
-		for ci, cluster := range clusters {
-			attrs := graph.Attrs{
-				"cluster":    fmt.Sprintf("%s-%d", eco, ci),
-				"silhouette": fmt.Sprintf("%.3f", cluster.Silhouette),
-			}
-			if err := mg.connectGroup(cluster.Members, graph.Similar, attrs, cfg.PairwiseLimit); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// addDependencyEdges scans available artifacts for dependencies on other
-// malicious packages (§III-C) and adds directed front→core edges.
-func (mg *MalGraph) addDependencyEdges() error {
-	scanner := depscan.NewScanner()
-	// Corpus dictionary: name → canonical node IDs per ecosystem.
-	byName := make(map[ecosys.Ecosystem]map[string][]string)
-	corpus := make(map[ecosys.Ecosystem]map[string]bool)
-	for _, e := range mg.Dataset.Entries {
-		eco := e.Coord.Ecosystem
-		if byName[eco] == nil {
-			byName[eco] = make(map[string][]string)
-			corpus[eco] = make(map[string]bool)
-		}
-		byName[eco][e.Coord.Name] = append(byName[eco][e.Coord.Name], NodeID(e.Coord))
-		corpus[eco][e.Coord.Name] = true
-	}
-	// The regex scans are independent per artifact (Scanner is immutable);
-	// fan them out and insert edges sequentially in dataset order so edge
-	// order — and the first error reported — stay deterministic.
-	avail := mg.Dataset.Available()
-	type scanResult struct {
-		deps []string
-		err  error
-	}
-	scans := parallel.Map(len(avail), func(i int) scanResult {
-		e := avail[i]
-		deps, err := scanner.MaliciousDepsFast(e.Artifact, corpus[e.Coord.Ecosystem])
-		return scanResult{deps: deps, err: err}
-	})
-	for i, e := range avail {
-		if scans[i].err != nil {
-			return fmt.Errorf("dep scan %s: %w", e.Coord, scans[i].err)
-		}
-		eco := e.Coord.Ecosystem
-		front := NodeID(e.Coord)
-		for _, dep := range scans[i].deps {
-			for _, target := range byName[eco][dep] {
-				if target == front {
-					continue
-				}
-				err := mg.G.AddEdge(front, target, graph.Dependency, graph.Attrs{"dep": dep})
-				if err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// addCoexistingEdges joins packages named by the same report (§III-D).
-func (mg *MalGraph) addCoexistingEdges(cfg Config) error {
-	for _, rep := range mg.Reports {
-		var members []string
-		for _, coord := range rep.Packages {
-			id := NodeID(coord)
-			if _, ok := mg.G.Node(id); !ok {
-				continue // report names a package outside the dataset
-			}
-			members = append(members, id)
-			mg.ReportsByPackage[id] = append(mg.ReportsByPackage[id], rep)
-		}
-		sort.Strings(members)
-		members = uniqueStrings(members)
-		if len(members) < 2 {
-			continue
-		}
-		attrs := graph.Attrs{"report": rep.URL}
-		if err := mg.connectGroup(members, graph.Coexisting, attrs, cfg.PairwiseLimit); err != nil {
-			return err
-		}
-	}
-	return nil
-}
 
 // connectGroup joins members into one component: full clique up to limit,
 // hub-and-path beyond (identical components, linear edge count).

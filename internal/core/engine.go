@@ -1,0 +1,627 @@
+package core
+
+// Engine is the streaming counterpart of Build: a long-lived MALGRAPH
+// instance that ingests (entries, reports) batches as registries and report
+// feeds publish them (§II-B is a continuous collection process; the one-shot
+// Build is the degenerate single-batch case). All four edge families are
+// maintained incrementally through persistent indexes:
+//
+//   - duplicated: per-entry record cliques, appended as sources accumulate.
+//   - dependency: a corpus dictionary (name → canonical nodes) plus a
+//     reverse import index (imported name → scanned fronts), so a new
+//     package links both directions — to the corpus members it imports and
+//     from the previously ingested fronts that import *it* — without
+//     rescanning anything.
+//   - similar: per-artifact tokenize→hash→embed→SimHash products are cached
+//     per node; only ecosystems whose artifact set changed re-cluster, and
+//     the ecosystem's similar edges are dropped and re-derived wholesale.
+//   - co-existing: reports are merged into a URL-sorted corpus and the
+//     (cheap) report-join stage is re-derived when a batch adds reports or
+//     packages that earlier reports were waiting for.
+//
+// Determinism contract: ingesting a corpus in any batch partition yields a
+// graph whose connected components, edge sets and all downstream analyses
+// are identical to a one-shot Build of the merged corpus. (Edge *insertion
+// order* — and therefore serialized JSON byte order — may differ between
+// partitions; every analysis consumes components, counts or sorted views.)
+// The contract holds because every stage either derives a monotone edge set
+// (duplicated, dependency) or re-derives the affected family from merged
+// state that is itself partition-independent: items enter clustering sorted
+// by node ID and reports sorted by URL, exactly the order Build sees.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"malgraph/internal/collect"
+	"malgraph/internal/depscan"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/graph"
+	"malgraph/internal/parallel"
+	"malgraph/internal/reports"
+	"malgraph/internal/sources"
+	"malgraph/internal/textsim"
+	"malgraph/internal/xrand"
+)
+
+// Batch is one ingest installment: new dataset entries with their source
+// accounting (see collect.Feed) plus newly published security reports.
+type Batch struct {
+	Entries   []*collect.Entry
+	PerSource map[sources.ID]collect.SourceStats
+	Reports   []*reports.Report
+	// At is the collection instant; recorded once (first non-zero wins).
+	At time.Time
+}
+
+// IngestStats summarises what one Ingest call changed — the invalidation
+// signal the API layer uses to recompute only affected analysis blocks.
+type IngestStats struct {
+	NewEntries     int
+	UpdatedEntries int
+	NewArtifacts   int
+	NewReports     int
+	// Reclustered lists the ecosystems whose §III-B clustering re-ran.
+	Reclustered []ecosys.Ecosystem
+	// Edge deltas by type (coexisting counts the net effect of a rebuild).
+	DuplicatedDelta int
+	DependencyDelta int
+	SimilarDelta    int
+	CoexistingDelta int
+	// CoexistingRebuilt reports whether the report-join stage re-ran.
+	CoexistingRebuilt bool
+}
+
+// DatasetChanged reports whether the merged dataset differs from before the
+// batch (RQ1 and validation inputs).
+func (s IngestStats) DatasetChanged() bool { return s.NewEntries > 0 || s.UpdatedEntries > 0 }
+
+// SimilarChanged reports whether similar clusters may differ (RQ2, Table XI,
+// detection inputs).
+func (s IngestStats) SimilarChanged() bool { return len(s.Reclustered) > 0 }
+
+// DependencyChanged reports whether dependency edges were added (RQ3 inputs).
+func (s IngestStats) DependencyChanged() bool { return s.DependencyDelta != 0 }
+
+// CoexistingChanged reports whether co-existing edges or the report corpus
+// changed (RQ4 inputs).
+func (s IngestStats) CoexistingChanged() bool { return s.CoexistingRebuilt || s.NewReports > 0 }
+
+// Engine maintains MALGRAPH incrementally across Ingest batches.
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+	mg  *MalGraph
+
+	embedder *textsim.Embedder
+	scanner  *depscan.Scanner
+
+	// Corpus dictionaries (§III-C): name → canonical node IDs, and the name
+	// set, per ecosystem. Both grow monotonically.
+	byName map[ecosys.Ecosystem]map[string][]string
+	corpus map[ecosys.Ecosystem]map[string]bool
+	// Reverse import index: imported name → canonical node IDs of the
+	// already-scanned fronts importing it (self-name imports excluded).
+	importers map[ecosys.Ecosystem]map[string][]string
+	// importsOf caches each scanned artifact's manifest+source import names.
+	importsOf map[string][]string
+
+	// itemsByEco caches the §III-B per-artifact products, sorted by node ID
+	// (the order a one-shot Build clusters in).
+	itemsByEco map[ecosys.Ecosystem][]textsim.Item
+
+	// reportSeen dedupes reports by URL; wanted indexes every coordinate any
+	// ingested report names, so a later batch that delivers such a package
+	// triggers a co-existing re-join.
+	reportSeen map[string]bool
+	wanted     map[string]bool
+}
+
+// NewEngine creates an empty engine. Zero-valued config falls back to the
+// paper's parameters, as Build does.
+func NewEngine(cfg Config) *Engine {
+	if cfg.PairwiseLimit <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Engine{
+		cfg: cfg,
+		mg: &MalGraph{
+			G:                graph.New(),
+			Dataset:          collect.NewResult(time.Time{}),
+			SimilarClusters:  make(map[ecosys.Ecosystem][]textsim.Cluster),
+			ReportsByPackage: make(map[string][]*reports.Report),
+			entryByID:        make(map[string]*collect.Entry),
+		},
+		embedder:   textsim.NewEmbedder(cfg.Embed),
+		scanner:    depscan.NewScanner(),
+		byName:     make(map[ecosys.Ecosystem]map[string][]string),
+		corpus:     make(map[ecosys.Ecosystem]map[string]bool),
+		importers:  make(map[ecosys.Ecosystem]map[string][]string),
+		importsOf:  make(map[string][]string),
+		itemsByEco: make(map[ecosys.Ecosystem][]textsim.Item),
+		reportSeen: make(map[string]bool),
+		wanted:     make(map[string]bool),
+	}
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Graph returns the live MALGRAPH. The graph store itself is safe for
+// concurrent reads; a concurrent Ingest may be observed mid-batch.
+func (e *Engine) Graph() *MalGraph { return e.mg }
+
+// Dataset returns the merged dataset the engine has ingested so far.
+func (e *Engine) Dataset() *collect.Result { return e.mg.Dataset }
+
+// Reports returns the merged, URL-sorted report corpus.
+func (e *Engine) Reports() []*reports.Report { return e.mg.Reports }
+
+// entryChange tracks what one batch entry did to the merged dataset.
+type entryChange struct {
+	entry       *collect.Entry
+	isNew       bool
+	newArtifact bool
+	newSources  []sources.ID // sources not present before the batch
+}
+
+// Ingest merges one batch of entries and reports into MALGRAPH. Cost is
+// O(batch + dirty-ecosystem clustering + report re-join), not O(corpus).
+func (e *Engine) Ingest(b Batch) (IngestStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var st IngestStats
+
+	if e.mg.Dataset.CollectedAt.IsZero() && !b.At.IsZero() {
+		e.mg.Dataset.CollectedAt = b.At
+	}
+	changes := e.mergeEntries(b.Entries, &st)
+	// A batch's PerSource is the accounting its entries contributed to the
+	// collection. Batches are disjoint under the partition contract, so the
+	// stats apply exactly once — when the batch actually introduces entries.
+	// A fully replayed batch (warm-restart feed drain) merges zero entries
+	// and must not re-add its accounting.
+	if st.NewEntries > 0 || st.UpdatedEntries > 0 {
+		e.mg.Dataset.AddSourceStats(b.PerSource)
+	}
+	if err := e.applyNodes(changes, &st); err != nil {
+		return st, fmt.Errorf("core ingest nodes: %w", err)
+	}
+	if err := e.applyDependency(changes, &st); err != nil {
+		return st, fmt.Errorf("core ingest dependency: %w", err)
+	}
+	if err := e.applySimilar(changes, &st); err != nil {
+		return st, fmt.Errorf("core ingest similar: %w", err)
+	}
+	if err := e.applyCoexisting(b.Reports, changes, &st); err != nil {
+		return st, fmt.Errorf("core ingest coexisting: %w", err)
+	}
+	return st, nil
+}
+
+func (e *Engine) mergeEntries(entries []*collect.Entry, st *IngestStats) []entryChange {
+	changes := make([]entryChange, 0, len(entries))
+	for _, in := range entries {
+		if in == nil {
+			continue
+		}
+		prev, existed := e.mg.Dataset.Entry(in.Coord)
+		var prevSources []sources.ID
+		prevArtifact := false
+		if existed {
+			prevSources = prev.Sources
+			prevArtifact = prev.Artifact != nil
+		}
+		merged, added, changed := e.mg.Dataset.Upsert(in)
+		if !added && !changed {
+			continue
+		}
+		ch := entryChange{
+			entry:       merged,
+			isNew:       added,
+			newArtifact: merged.Artifact != nil && !prevArtifact,
+		}
+		for _, s := range merged.Sources {
+			if !existed || !containsSource(prevSources, s) {
+				ch.newSources = append(ch.newSources, s)
+			}
+		}
+		if added {
+			st.NewEntries++
+		} else {
+			st.UpdatedEntries++
+		}
+		if ch.newArtifact {
+			st.NewArtifacts++
+		}
+		e.mg.entryByID[NodeID(merged.Coord)] = merged
+		changes = append(changes, ch)
+	}
+	return changes
+}
+
+// applyNodes inserts or refreshes canonical and record nodes and appends the
+// duplicated-edge cliques (§III-A).
+func (e *Engine) applyNodes(changes []entryChange, st *IngestStats) error {
+	before := e.mg.G.EdgeCount(graph.Duplicated)
+	for _, ch := range changes {
+		en := ch.entry
+		id := NodeID(en.Coord)
+		attrs := canonicalAttrs(en)
+		if ch.isNew {
+			if err := e.mg.G.AddNode(id, attrs); err != nil {
+				return err
+			}
+		} else {
+			for k, v := range attrs {
+				if err := e.mg.G.SetAttr(id, k, v); err != nil {
+					return err
+				}
+			}
+		}
+		for _, s := range ch.newSources {
+			recAttrs := graph.Attrs{
+				"kind":      "record",
+				"name":      en.Coord.Name,
+				"version":   en.Coord.Version,
+				"ecosystem": en.Coord.Ecosystem.String(),
+				"source":    strconv.Itoa(int(s)),
+			}
+			if en.Artifact != nil {
+				recAttrs["hash"] = en.Artifact.Hash()
+			}
+			if err := e.mg.G.AddNode(RecordNodeID(s, en.Coord), recAttrs); err != nil {
+				return err
+			}
+		}
+		if ch.newArtifact && !ch.isNew {
+			// Late-arriving artifact: stamp the hash on pre-existing records
+			// and drop the entry's duplicated edges so the clique below
+			// re-derives them with the hash-confirmed match attr — what a
+			// one-shot build of the merged corpus would have produced.
+			for _, s := range en.Sources {
+				if err := e.mg.G.SetAttr(RecordNodeID(s, en.Coord), "hash", en.Artifact.Hash()); err != nil {
+					return err
+				}
+			}
+			suffix := "|" + en.Coord.Key()
+			e.mg.G.RemoveEdgesWhere(graph.Duplicated, func(ed graph.Edge) bool {
+				return strings.HasSuffix(ed.From, suffix)
+			})
+		}
+		if len(en.Sources) >= 2 {
+			dupAttrs := graph.Attrs{"match": "name+version"}
+			if en.Artifact != nil {
+				dupAttrs["match"] = "name+version+hash"
+			}
+			recIDs := make([]string, len(en.Sources))
+			for i, s := range en.Sources {
+				recIDs[i] = RecordNodeID(s, en.Coord)
+			}
+			for i := 0; i < len(recIDs); i++ {
+				for j := i + 1; j < len(recIDs); j++ {
+					if err := e.mg.G.AddEdge(recIDs[i], recIDs[j], graph.Duplicated, dupAttrs); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	st.DuplicatedDelta = e.mg.G.EdgeCount(graph.Duplicated) - before
+	return nil
+}
+
+func canonicalAttrs(en *collect.Entry) graph.Attrs {
+	attrs := graph.Attrs{
+		"kind":      "package",
+		"name":      en.Coord.Name,
+		"version":   en.Coord.Version,
+		"ecosystem": en.Coord.Ecosystem.String(),
+		"avail":     en.Availability.String(),
+		"occ":       strconv.Itoa(en.OccurrenceCount()),
+	}
+	if en.Artifact != nil {
+		attrs["hash"] = en.Artifact.Hash()
+	}
+	ids := make([]string, 0, len(en.Sources))
+	for _, s := range en.Sources {
+		ids = append(ids, strconv.Itoa(int(s)))
+	}
+	attrs["sources"] = strings.Join(ids, ",")
+	return attrs
+}
+
+// applyDependency extends the §III-C dependency edges in both directions:
+// new artifacts are scanned once (imports cached), linked to the corpus
+// members they import, and registered in the reverse index; new corpus names
+// are linked back from previously scanned importers.
+func (e *Engine) applyDependency(changes []entryChange, st *IngestStats) error {
+	before := e.mg.G.EdgeCount(graph.Dependency)
+	// 1. Grow the corpus dictionary with every new entry (missing packages
+	// are legitimate dependency targets — names survive takedown).
+	for _, ch := range changes {
+		if !ch.isNew {
+			continue
+		}
+		eco, name := ch.entry.Coord.Ecosystem, ch.entry.Coord.Name
+		if e.byName[eco] == nil {
+			e.byName[eco] = make(map[string][]string)
+			e.corpus[eco] = make(map[string]bool)
+		}
+		e.byName[eco][name] = append(e.byName[eco][name], NodeID(ch.entry.Coord))
+		e.corpus[eco][name] = true
+	}
+	// 2. Scan new artifacts (parallel, order-preserving) and link forward.
+	newArts := artifactChanges(changes)
+	type scanResult struct {
+		deps []string
+		err  error
+	}
+	scans := parallel.Map(len(newArts), func(i int) scanResult {
+		en := newArts[i].entry
+		manifest, err := e.scanner.FromManifest(en.Artifact)
+		if err != nil {
+			return scanResult{err: err}
+		}
+		imported := depscan.ExtractImports(en.Artifact)
+		seen := make(map[string]bool, len(manifest)+len(imported))
+		deps := make([]string, 0, len(manifest)+len(imported))
+		for _, list := range [][]string{manifest, imported} {
+			for _, d := range list {
+				if d == en.Coord.Name || seen[d] {
+					continue
+				}
+				seen[d] = true
+				deps = append(deps, d)
+			}
+		}
+		sort.Strings(deps)
+		return scanResult{deps: deps}
+	})
+	for i, ch := range newArts {
+		if scans[i].err != nil {
+			return fmt.Errorf("dep scan %s: %w", ch.entry.Coord, scans[i].err)
+		}
+		eco := ch.entry.Coord.Ecosystem
+		front := NodeID(ch.entry.Coord)
+		e.importsOf[front] = scans[i].deps
+		if e.importers[eco] == nil {
+			e.importers[eco] = make(map[string][]string)
+		}
+		for _, dep := range scans[i].deps {
+			e.importers[eco][dep] = append(e.importers[eco][dep], front)
+			for _, target := range e.byName[eco][dep] {
+				if target == front {
+					continue
+				}
+				if err := e.mg.G.AddEdge(front, target, graph.Dependency, graph.Attrs{"dep": dep}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// 3. Link backward: earlier fronts that were waiting for a new name.
+	for _, ch := range changes {
+		if !ch.isNew {
+			continue
+		}
+		eco, name := ch.entry.Coord.Ecosystem, ch.entry.Coord.Name
+		target := NodeID(ch.entry.Coord)
+		for _, front := range e.importers[eco][name] {
+			if front == target {
+				continue
+			}
+			if err := e.mg.G.AddEdge(front, target, graph.Dependency, graph.Attrs{"dep": name}); err != nil {
+				return err
+			}
+		}
+	}
+	st.DependencyDelta = e.mg.G.EdgeCount(graph.Dependency) - before
+	return nil
+}
+
+// applySimilar embeds the batch's new artifacts, then re-runs the §III-B
+// clustering for exactly the ecosystems whose item set changed, replacing
+// those ecosystems' similar edges wholesale.
+func (e *Engine) applySimilar(changes []entryChange, st *IngestStats) error {
+	before := e.mg.G.EdgeCount(graph.Similar)
+	newArts := artifactChanges(changes)
+	type scratch struct {
+		tokens []string
+		hashed []textsim.TokenHash
+	}
+	var pool sync.Pool
+	// Identical per-artifact pipeline to a one-shot Build: tokenize once,
+	// share the hashed stream between embedding and fingerprint, recycle
+	// buffers per worker.
+	items := parallel.Map(len(newArts), func(i int) textsim.Item {
+		en := newArts[i].entry
+		sc, _ := pool.Get().(*scratch)
+		if sc == nil {
+			sc = &scratch{}
+		}
+		defer pool.Put(sc)
+		sc.tokens = textsim.TokenizeAppend(sc.tokens[:0], en.Artifact.MergedSource())
+		sc.hashed = textsim.HashTokens(sc.tokens, sc.hashed)
+		return textsim.Item{
+			ID: NodeID(en.Coord),
+			// Zero-tail trimming keeps the clustering kernels scanning only
+			// occupied dimensions (most artifacts fill one snippet slot).
+			Vector: textsim.TrimZeroTail(e.embedder.EmbedHashed(sc.hashed)),
+			Hash:   textsim.SimHashHashed(sc.hashed),
+		}
+	})
+	dirty := make(map[ecosys.Ecosystem]bool)
+	for i, ch := range newArts {
+		eco := ch.entry.Coord.Ecosystem
+		e.itemsByEco[eco] = insertItem(e.itemsByEco[eco], items[i])
+		dirty[eco] = true
+	}
+	if len(dirty) == 0 {
+		return nil
+	}
+	ecos := make([]ecosys.Ecosystem, 0, len(dirty))
+	for eco := range dirty {
+		ecos = append(ecos, eco)
+	}
+	sort.Slice(ecos, func(i, j int) bool { return ecos[i] < ecos[j] })
+	// Re-cluster dirty ecosystems concurrently, each on the same derived RNG
+	// stream a one-shot Build would use — with items sorted by node ID the
+	// clustering input is partition-independent, so the clusters match.
+	clustersByEco := parallel.Map(len(ecos), func(i int) []textsim.Cluster {
+		eco := ecos[i]
+		rng := xrand.New(e.cfg.Seed).Derive("similar/" + eco.String())
+		return textsim.ClusterItems(e.itemsByEco[eco], e.cfg.Cluster, rng)
+	})
+	// One removal pass for all dirty ecosystems: RemoveEdgesWhere rebuilds
+	// the adjacency indexes (O(total edges)), so the predicate batches every
+	// dirty prefix rather than paying that rebuild per ecosystem.
+	prefixes := make([]string, len(ecos))
+	for i, eco := range ecos {
+		prefixes[i] = eco.String() + "/"
+	}
+	e.mg.G.RemoveEdgesWhere(graph.Similar, func(ed graph.Edge) bool {
+		for _, prefix := range prefixes {
+			if strings.HasPrefix(ed.From, prefix) {
+				return true
+			}
+		}
+		return false
+	})
+	for i, eco := range ecos {
+		clusters := clustersByEco[i]
+		e.mg.SimilarClusters[eco] = clusters
+		for ci, cluster := range clusters {
+			attrs := graph.Attrs{
+				"cluster":    fmt.Sprintf("%s-%d", eco, ci),
+				"silhouette": fmt.Sprintf("%.3f", cluster.Silhouette),
+			}
+			if err := e.mg.connectGroup(cluster.Members, graph.Similar, attrs, e.cfg.PairwiseLimit); err != nil {
+				return err
+			}
+		}
+	}
+	st.Reclustered = ecos
+	st.SimilarDelta = e.mg.G.EdgeCount(graph.Similar) - before
+	return nil
+}
+
+// applyCoexisting merges new reports and maintains the §III-D report-join
+// stage. Two exact strategies:
+//
+//   - Append path: when every new report's URL sorts after the whole
+//     ingested corpus and no new package is named by an earlier report,
+//     joining just the new reports reproduces the one-shot pass bit for bit
+//     (the one-shot loop runs in URL order, and AddEdge keeps the first
+//     writer's attrs — the URL-smallest report, which is unchanged). The
+//     timeline feed delivers reports in URL-order slices, so steady-state
+//     appends take this path and cost O(new reports).
+//
+//   - Rebuild path: otherwise the join is re-derived over the full merged
+//     corpus — exactly the loop a one-shot Build runs.
+func (e *Engine) applyCoexisting(newReports []*reports.Report, changes []entryChange, st *IngestStats) error {
+	before := e.mg.G.EdgeCount(graph.Coexisting)
+	var fresh []*reports.Report
+	appendOnly := true
+	for _, rep := range newReports {
+		if rep == nil || e.reportSeen[rep.URL] {
+			continue
+		}
+		if n := len(e.mg.Reports); n > 0 && rep.URL <= e.mg.Reports[n-1].URL {
+			appendOnly = false
+		}
+		e.reportSeen[rep.URL] = true
+		e.mg.Reports = append(e.mg.Reports, rep)
+		for _, coord := range rep.Packages {
+			e.wanted[coord.Key()] = true
+		}
+		fresh = append(fresh, rep)
+	}
+	st.NewReports = len(fresh)
+	sort.Slice(e.mg.Reports, func(i, j int) bool { return e.mg.Reports[i].URL < e.mg.Reports[j].URL })
+
+	rebuild := false
+	for _, ch := range changes {
+		if ch.isNew && e.wanted[NodeID(ch.entry.Coord)] {
+			rebuild = true
+			break
+		}
+	}
+	join := func(rep *reports.Report) error {
+		var members []string
+		for _, coord := range rep.Packages {
+			id := NodeID(coord)
+			if _, ok := e.mg.G.Node(id); !ok {
+				continue // report names a package outside the dataset (so far)
+			}
+			members = append(members, id)
+			e.mg.ReportsByPackage[id] = append(e.mg.ReportsByPackage[id], rep)
+		}
+		sort.Strings(members)
+		members = uniqueStrings(members)
+		if len(members) < 2 {
+			return nil
+		}
+		attrs := graph.Attrs{"report": rep.URL}
+		return e.mg.connectGroup(members, graph.Coexisting, attrs, e.cfg.PairwiseLimit)
+	}
+	switch {
+	case rebuild || (len(fresh) > 0 && !appendOnly):
+		// Out-of-order report delivery re-derives too, keeping first-writer
+		// attrs and per-package report order identical to the one-shot pass.
+		e.mg.G.RemoveEdgesWhere(graph.Coexisting, func(graph.Edge) bool { return true })
+		e.mg.ReportsByPackage = make(map[string][]*reports.Report)
+		for _, rep := range e.mg.Reports {
+			if err := join(rep); err != nil {
+				return err
+			}
+		}
+		st.CoexistingRebuilt = true
+	case len(fresh) > 0:
+		sort.Slice(fresh, func(i, j int) bool { return fresh[i].URL < fresh[j].URL })
+		for _, rep := range fresh {
+			if err := join(rep); err != nil {
+				return err
+			}
+		}
+	}
+	st.CoexistingDelta = e.mg.G.EdgeCount(graph.Coexisting) - before
+	return nil
+}
+
+func artifactChanges(changes []entryChange) []entryChange {
+	out := make([]entryChange, 0, len(changes))
+	for _, ch := range changes {
+		if ch.newArtifact {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// insertItem inserts it into the ID-sorted slice, replacing an existing item
+// with the same ID (defensive; artifacts are immutable once ingested).
+func insertItem(items []textsim.Item, it textsim.Item) []textsim.Item {
+	i := sort.Search(len(items), func(i int) bool { return items[i].ID >= it.ID })
+	if i < len(items) && items[i].ID == it.ID {
+		items[i] = it
+		return items
+	}
+	items = append(items, textsim.Item{})
+	copy(items[i+1:], items[i:])
+	items[i] = it
+	return items
+}
+
+func containsSource(ids []sources.ID, id sources.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

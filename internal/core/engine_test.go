@@ -1,0 +1,301 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"malgraph/internal/collect"
+	"malgraph/internal/graph"
+	"malgraph/internal/reports"
+	"malgraph/internal/xrand"
+)
+
+// graphSig summarises a graph as a partition-order-independent signature:
+// sorted node IDs and the sorted (type, endpoints, attr) edge set. Two
+// graphs with equal signatures have identical components and identical
+// analysis inputs, whatever order their edges were inserted in.
+func graphSig(t *testing.T, mg *MalGraph) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, id := range mg.G.NodeIDs() {
+		n, _ := mg.G.Node(id)
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "N %s", id)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%s", k, n.Attrs[k])
+		}
+		b.WriteByte('\n')
+	}
+	var lines []string
+	for _, e := range mg.G.Edges() {
+		from, to := e.From, e.To
+		if e.Type != graph.Dependency && from > to {
+			from, to = to, from
+		}
+		keys := make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		line := fmt.Sprintf("E %d %s %s", e.Type, from, to)
+		for _, k := range keys {
+			line += " " + k + "=" + e.Attrs[k]
+		}
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ingestPartitioned shuffles the dataset with a seeded RNG, splits it into k
+// entry batches with reports interleaved round-robin, and ingests them.
+func ingestPartitioned(t *testing.T, ds *collect.Result, reps []*reports.Report, k int, shuffleSeed uint64) *Engine {
+	t.Helper()
+	entries := make([]*collect.Entry, len(ds.Entries))
+	copy(entries, ds.Entries)
+	rng := xrand.New(shuffleSeed)
+	for i := len(entries) - 1; i > 0; i-- {
+		j := int(rng.Uint64() % uint64(i+1))
+		entries[i], entries[j] = entries[j], entries[i]
+	}
+	eng := NewEngine(DefaultConfig())
+	for b := 0; b < k; b++ {
+		lo, hi := b*len(entries)/k, (b+1)*len(entries)/k
+		batch := Batch{Entries: entries[lo:hi], At: ds.CollectedAt}
+		for ri, r := range reps {
+			if ri%k == b {
+				batch.Reports = append(batch.Reports, r)
+			}
+		}
+		if _, err := eng.Ingest(batch); err != nil {
+			t.Fatalf("ingest batch %d/%d: %v", b+1, k, err)
+		}
+	}
+	return eng
+}
+
+func assertEngineMatchesBuild(t *testing.T, eng *Engine, want *MalGraph, label string) {
+	t.Helper()
+	got := eng.Graph()
+	if gs, ws := graphSig(t, got), graphSig(t, want); gs != ws {
+		t.Errorf("%s: graph signature differs (got %d bytes, want %d bytes)", label, len(gs), len(ws))
+	}
+	for _, et := range graph.EdgeTypes() {
+		if g, w := got.G.EdgeCount(et), want.G.EdgeCount(et); g != w {
+			t.Errorf("%s: %s edges = %d, want %d", label, et, g, w)
+		}
+		if g, w := got.PackageSubgraphs(et, 2), want.PackageSubgraphs(et, 2); !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: %s subgraphs differ:\n got %v\nwant %v", label, et, g, w)
+		}
+	}
+	if !reflect.DeepEqual(got.SimilarClusters, want.SimilarClusters) {
+		t.Errorf("%s: similar clusters differ", label)
+	}
+	if !reflect.DeepEqual(got.DuplicateGroups(), want.DuplicateGroups()) {
+		t.Errorf("%s: duplicate groups differ", label)
+	}
+	if g, w := len(got.ReportsByPackage), len(want.ReportsByPackage); g != w {
+		t.Errorf("%s: reports-by-package size = %d, want %d", label, g, w)
+	}
+	for id, wantReps := range want.ReportsByPackage {
+		gotReps := got.ReportsByPackage[id]
+		if len(gotReps) != len(wantReps) {
+			t.Errorf("%s: reports for %s = %d, want %d", label, id, len(gotReps), len(wantReps))
+			continue
+		}
+		for i := range wantReps {
+			if gotReps[i].URL != wantReps[i].URL {
+				t.Errorf("%s: report %d for %s = %s, want %s", label, i, id, gotReps[i].URL, wantReps[i].URL)
+			}
+		}
+	}
+}
+
+// TestEngineBatchPartitionsMatchBuild is the core-level determinism
+// contract: any shuffled partition of the corpus, ingested batch by batch,
+// yields the same components, edge sets and clusters as a one-shot Build.
+func TestEngineBatchPartitionsMatchBuild(t *testing.T) {
+	ds, reps := miniDataset(t)
+	want, err := Build(ds, reps, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 5} {
+		for shuffle := uint64(1); shuffle <= 3; shuffle++ {
+			eng := ingestPartitioned(t, ds, reps, k, shuffle)
+			assertEngineMatchesBuild(t, eng, want, fmt.Sprintf("k=%d shuffle=%d", k, shuffle))
+		}
+	}
+}
+
+// TestEngineIngestIdempotent re-ingests the full corpus into an
+// already-complete engine: everything must no-op.
+func TestEngineIngestIdempotent(t *testing.T) {
+	ds, reps := miniDataset(t)
+	eng := NewEngine(DefaultConfig())
+	if _, err := eng.Ingest(Batch{Entries: ds.Entries, Reports: reps, At: ds.CollectedAt}); err != nil {
+		t.Fatal(err)
+	}
+	before := graphSig(t, eng.Graph())
+	beforeStats := fmt.Sprintf("%+v", eng.Dataset().PerSource)
+	// Replayed batches carry their accounting too (a warm-restarted server
+	// drains the same feed); nothing may double-count.
+	replay := ds.BatchOf(ds.Entries)
+	st, err := eng.Ingest(Batch{Entries: ds.Entries, PerSource: replay.PerSource, Reports: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := fmt.Sprintf("%+v", eng.Dataset().PerSource); after != beforeStats {
+		t.Fatalf("re-ingest double-counted source stats:\n before %s\n after  %s", beforeStats, after)
+	}
+	if st.NewEntries != 0 || st.UpdatedEntries != 0 || st.NewArtifacts != 0 || st.NewReports != 0 {
+		t.Fatalf("re-ingest changed state: %+v", st)
+	}
+	if st.SimilarChanged() || st.CoexistingChanged() || st.DependencyChanged() || st.DatasetChanged() {
+		t.Fatalf("re-ingest dirtied analyses: %+v", st)
+	}
+	if after := graphSig(t, eng.Graph()); after != before {
+		t.Fatal("re-ingest mutated the graph")
+	}
+}
+
+// TestEngineIngestStats sanity-checks the invalidation signal on a fresh
+// full ingest.
+func TestEngineIngestStats(t *testing.T) {
+	ds, reps := miniDataset(t)
+	eng := NewEngine(DefaultConfig())
+	st, err := eng.Ingest(Batch{Entries: ds.Entries, Reports: reps, At: ds.CollectedAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewEntries != len(ds.Entries) || st.NewArtifacts != len(ds.Available()) {
+		t.Fatalf("entry counts: %+v", st)
+	}
+	if st.NewReports != len(reps) || !st.CoexistingRebuilt {
+		t.Fatalf("report counts: %+v", st)
+	}
+	if !st.SimilarChanged() || !st.DependencyChanged() || !st.DatasetChanged() {
+		t.Fatalf("dirty flags: %+v", st)
+	}
+	if st.DuplicatedDelta != eng.Graph().G.EdgeCount(graph.Duplicated) ||
+		st.SimilarDelta != eng.Graph().G.EdgeCount(graph.Similar) ||
+		st.DependencyDelta != eng.Graph().G.EdgeCount(graph.Dependency) ||
+		st.CoexistingDelta != eng.Graph().G.EdgeCount(graph.Coexisting) {
+		t.Fatalf("edge deltas on fresh ingest must equal totals: %+v", st)
+	}
+}
+
+// TestEngineSnapshotRestore checkpoints mid-stream, restores, finishes
+// ingesting, and requires the result to match both the uninterrupted engine
+// and the one-shot Build.
+func TestEngineSnapshotRestore(t *testing.T) {
+	ds, reps := miniDataset(t)
+	want, err := Build(ds, reps, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half := len(ds.Entries) / 2
+	first := Batch{Entries: ds.Entries[:half], PerSource: ds.BatchOf(ds.Entries[:half]).PerSource, Reports: reps[:1], At: ds.CollectedAt}
+	second := Batch{Entries: ds.Entries[half:], PerSource: ds.BatchOf(ds.Entries[half:]).PerSource, Reports: reps[1:]}
+	eng := NewEngine(DefaultConfig())
+	if _, err := eng.Ingest(first); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := eng.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEngine(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored engine must already match the snapshotted one.
+	if a, b := graphSig(t, eng.Graph()), graphSig(t, restored.Graph()); a != b {
+		t.Fatal("restored graph differs from snapshotted graph")
+	}
+	// A warm-restarted server replays the whole feed: the first batch must
+	// no-op (including its accounting), the second completes the corpus.
+	for _, b := range []Batch{first, second} {
+		if _, err := restored.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertEngineMatchesBuild(t, restored, want, "restored")
+	wantStats := ds.BatchOf(ds.Entries).PerSource
+	for id, w := range wantStats {
+		if got := restored.Dataset().PerSource[id]; got != w {
+			t.Fatalf("replayed accounting for %s = %+v, want %+v", id, got, w)
+		}
+	}
+
+	if restored.Dataset().TotalMR() != ds.TotalMR() {
+		t.Fatalf("restored dataset MR %v, want %v", restored.Dataset().TotalMR(), ds.TotalMR())
+	}
+	if len(restored.Reports()) != len(reps) {
+		t.Fatalf("restored reports = %d", len(restored.Reports()))
+	}
+}
+
+// TestEngineLateArtifactUpsert exercises the merge path: a package first
+// observed without an artifact gains one (plus a second source) later and
+// must join the similarity stage and the duplicated cliques.
+func TestEngineLateArtifactUpsert(t *testing.T) {
+	ds, reps := miniDataset(t)
+	eng := NewEngine(DefaultConfig())
+
+	// Strip the artifact and second/third sources off the duplicated entry.
+	var full *collect.Entry
+	stripped := make([]*collect.Entry, 0, len(ds.Entries))
+	for _, e := range ds.Entries {
+		if e.Coord.Name == "acookie" {
+			full = e
+			bare := *e
+			bare.Artifact = nil
+			bare.Availability = collect.Missing
+			bare.Sources = e.Sources[:1]
+			stripped = append(stripped, &bare)
+			continue
+		}
+		stripped = append(stripped, e)
+	}
+	if full == nil {
+		t.Fatal("fixture missing acookie")
+	}
+	if _, err := eng.Ingest(Batch{Entries: stripped, Reports: reps, At: ds.CollectedAt}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Graph().G.EdgeCount(graph.Duplicated); got != 0 {
+		t.Fatalf("premature duplicated edges: %d", got)
+	}
+
+	st, err := eng.Ingest(Batch{Entries: []*collect.Entry{full}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewEntries != 0 || st.UpdatedEntries != 1 || st.NewArtifacts != 1 {
+		t.Fatalf("upsert stats: %+v", st)
+	}
+	if got := eng.Graph().G.EdgeCount(graph.Duplicated); got != 3 { // C(3,2)
+		t.Fatalf("duplicated edges after upsert = %d", got)
+	}
+	merged, ok := eng.Graph().EntryByNodeID(NodeID(full.Coord))
+	if !ok || merged.Artifact == nil || len(merged.Sources) != 3 {
+		t.Fatalf("merged entry wrong: %+v ok=%v", merged, ok)
+	}
+	n, _ := eng.Graph().G.Node(NodeID(full.Coord))
+	if n.Attrs["occ"] != "3" || n.Attrs["avail"] != collect.FromSource.String() {
+		t.Fatalf("node attrs not refreshed: %v", n.Attrs)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+// Engine snapshot/restore wires the existing JSON persistence (graph,
+// dataset) into the streaming architecture: a serve-mode process can
+// checkpoint its engine and warm-restart without re-embedding, re-scanning
+// or re-clustering anything — the expensive per-artifact products and the
+// cluster state ride along with the graph.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"malgraph/internal/collect"
+	"malgraph/internal/ecosys"
+	"malgraph/internal/graph"
+	"malgraph/internal/reports"
+	"malgraph/internal/textsim"
+)
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// snapshotItem carries a cached clustering item. SimHash fingerprints are
+// full 64-bit values, so Hash travels as hex — JSON numbers lose integer
+// precision past 2^53.
+type snapshotItem struct {
+	ID     string    `json:"id"`
+	Vector []float64 `json:"vector"`
+	Hash   string    `json:"hash"`
+}
+
+type engineSnapshot struct {
+	Version  int                          `json:"version"`
+	Config   Config                       `json:"config"`
+	Dataset  json.RawMessage              `json:"dataset"` // collect full export
+	Reports  []*reports.Report            `json:"reports"`
+	Graph    json.RawMessage              `json:"graph"` // graph.WriteJSON output
+	Clusters map[string][]textsim.Cluster `json:"clusters"`
+	Items    map[string][]snapshotItem    `json:"items"`
+	Imports  map[string][]string          `json:"imports"`
+}
+
+// Snapshot serialises the engine's full state: merged dataset (with
+// artifacts), report corpus, graph, per-ecosystem cluster state and the
+// cached per-artifact products.
+func (e *Engine) Snapshot(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var ds, g bytes.Buffer
+	if err := e.mg.Dataset.WriteJSON(&ds, collect.ExportFull); err != nil {
+		return fmt.Errorf("snapshot dataset: %w", err)
+	}
+	if err := e.mg.G.WriteJSON(&g); err != nil {
+		return fmt.Errorf("snapshot graph: %w", err)
+	}
+	snap := engineSnapshot{
+		Version:  snapshotVersion,
+		Config:   e.cfg,
+		Dataset:  ds.Bytes(),
+		Reports:  e.mg.Reports,
+		Graph:    g.Bytes(),
+		Clusters: make(map[string][]textsim.Cluster, len(e.mg.SimilarClusters)),
+		Items:    make(map[string][]snapshotItem, len(e.itemsByEco)),
+		Imports:  e.importsOf,
+	}
+	for eco, clusters := range e.mg.SimilarClusters {
+		snap.Clusters[eco.String()] = clusters
+	}
+	for eco, items := range e.itemsByEco {
+		out := make([]snapshotItem, 0, len(items))
+		for _, it := range items {
+			out = append(out, snapshotItem{
+				ID:     it.ID,
+				Vector: it.Vector,
+				Hash:   strconv.FormatUint(it.Hash, 16),
+			})
+		}
+		snap.Items[eco.String()] = out
+	}
+	return json.NewEncoder(w).Encode(&snap)
+}
+
+// RestoreEngine reconstructs an engine from a Snapshot stream. The restored
+// engine continues ingesting exactly where the snapshotted one stopped: all
+// caches and indexes are rebuilt, so the next batch costs the same as it
+// would have without the restart.
+func RestoreEngine(r io.Reader) (*Engine, error) {
+	var snap engineSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("restore decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("restore: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	ds, err := collect.ReadJSON(bytes.NewReader(snap.Dataset))
+	if err != nil {
+		return nil, fmt.Errorf("restore dataset: %w", err)
+	}
+	g, err := graph.ReadJSON(bytes.NewReader(snap.Graph))
+	if err != nil {
+		return nil, fmt.Errorf("restore graph: %w", err)
+	}
+	e := NewEngine(snap.Config)
+	e.mg.G = g
+	e.mg.Dataset = ds
+	e.mg.Reports = snap.Reports
+	sort.Slice(e.mg.Reports, func(i, j int) bool { return e.mg.Reports[i].URL < e.mg.Reports[j].URL })
+
+	ecoByName := make(map[string]ecosys.Ecosystem, len(ecosys.All()))
+	for _, eco := range ecosys.All() {
+		ecoByName[eco.String()] = eco
+	}
+	for name, clusters := range snap.Clusters {
+		eco, ok := ecoByName[name]
+		if !ok {
+			return nil, fmt.Errorf("restore: unknown ecosystem %q in clusters", name)
+		}
+		e.mg.SimilarClusters[eco] = clusters
+	}
+	for name, items := range snap.Items {
+		eco, ok := ecoByName[name]
+		if !ok {
+			return nil, fmt.Errorf("restore: unknown ecosystem %q in items", name)
+		}
+		restored := make([]textsim.Item, 0, len(items))
+		for _, it := range items {
+			hash, err := strconv.ParseUint(it.Hash, 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("restore: bad fingerprint for %s: %w", it.ID, err)
+			}
+			restored = append(restored, textsim.Item{ID: it.ID, Vector: it.Vector, Hash: hash})
+		}
+		sort.Slice(restored, func(i, j int) bool { return restored[i].ID < restored[j].ID })
+		e.itemsByEco[eco] = restored
+	}
+
+	// Rebuild the in-memory indexes from the merged dataset and caches.
+	for _, en := range ds.Entries {
+		eco, name := en.Coord.Ecosystem, en.Coord.Name
+		if e.byName[eco] == nil {
+			e.byName[eco] = make(map[string][]string)
+			e.corpus[eco] = make(map[string]bool)
+		}
+		id := NodeID(en.Coord)
+		e.byName[eco][name] = append(e.byName[eco][name], id)
+		e.corpus[eco][name] = true
+		e.mg.entryByID[id] = en
+	}
+	if snap.Imports != nil {
+		e.importsOf = snap.Imports
+	}
+	// Reverse import index, rebuilt in sorted front order so future edge
+	// insertions stay deterministic.
+	fronts := make([]string, 0, len(e.importsOf))
+	for front := range e.importsOf {
+		fronts = append(fronts, front)
+	}
+	sort.Strings(fronts)
+	for _, front := range fronts {
+		en, ok := e.mg.entryByID[front]
+		if !ok {
+			return nil, fmt.Errorf("restore: import cache references unknown node %s", front)
+		}
+		eco := en.Coord.Ecosystem
+		if e.importers[eco] == nil {
+			e.importers[eco] = make(map[string][]string)
+		}
+		for _, dep := range e.importsOf[front] {
+			e.importers[eco][dep] = append(e.importers[eco][dep], front)
+		}
+	}
+	for _, rep := range e.mg.Reports {
+		e.reportSeen[rep.URL] = true
+		for _, coord := range rep.Packages {
+			e.wanted[coord.Key()] = true
+			id := NodeID(coord)
+			if _, ok := e.mg.G.Node(id); ok {
+				e.mg.ReportsByPackage[id] = append(e.mg.ReportsByPackage[id], rep)
+			}
+		}
+	}
+	return e, nil
+}

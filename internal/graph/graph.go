@@ -222,6 +222,48 @@ func (g *Graph) AddEdge(from, to string, t EdgeType, attrs Attrs) error {
 	return nil
 }
 
+// RemoveEdgesWhere deletes every edge of type t for which pred holds and
+// returns how many were removed. The edge slice is compacted and all
+// adjacency indexes are rebuilt, so the surviving edges keep their relative
+// insertion order — the operation is deterministic for a deterministic pred.
+// It exists for incremental maintenance: a derived edge family (one
+// ecosystem's similar edges, the co-existing edges of a report corpus) can be
+// dropped wholesale and re-derived without reconstructing the graph.
+func (g *Graph) RemoveEdgesWhere(t EdgeType, pred func(Edge) bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kept := g.edges[:0]
+	removed := 0
+	for _, e := range g.edges {
+		if e.Type == t && pred(e) {
+			delete(g.edgeSeen, edgeKey(e.Type, e.From, e.To))
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed == 0 {
+		g.edges = kept
+		return 0
+	}
+	// Zero the tail so dropped Edge values (attr maps, strings) are not
+	// pinned by the backing array.
+	tail := g.edges[len(kept):]
+	for i := range tail {
+		tail[i] = Edge{}
+	}
+	g.edges = kept
+	g.countByType[t] -= removed
+	for _, et := range EdgeTypes() {
+		g.adjacency[et] = make(map[string][]int)
+	}
+	for idx, e := range g.edges {
+		g.adjacency[e.Type][e.From] = append(g.adjacency[e.Type][e.From], idx)
+		g.adjacency[e.Type][e.To] = append(g.adjacency[e.Type][e.To], idx)
+	}
+	return removed
+}
+
 // HasEdge reports whether an edge of type t joins the two nodes (in either
 // direction for undirected types; exactly from→to for Dependency).
 func (g *Graph) HasEdge(from, to string, t EdgeType) bool {

@@ -330,3 +330,66 @@ func TestEdgeTypeString(t *testing.T) {
 		t.Fatal("unknown edge type formatting wrong")
 	}
 }
+
+func TestRemoveEdgesWhere(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if err := g.AddNode(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.AddEdge("a", "b", Similar, Attrs{"cluster": "x"})
+	_ = g.AddEdge("b", "c", Similar, Attrs{"cluster": "x"})
+	_ = g.AddEdge("c", "d", Coexisting, nil)
+	_ = g.AddEdge("a", "d", Dependency, nil)
+
+	// Predicate scoped to one endpoint prefix; Coexisting/Dependency untouched.
+	removed := g.RemoveEdgesWhere(Similar, func(e Edge) bool { return e.From == "a" || e.To == "a" })
+	if removed != 1 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if g.HasEdge("a", "b", Similar) {
+		t.Fatal("a-b similar edge survived removal")
+	}
+	if !g.HasEdge("b", "c", Similar) || !g.HasEdge("c", "d", Coexisting) || !g.HasEdge("a", "d", Dependency) {
+		t.Fatal("unrelated edges were removed")
+	}
+	if got := g.EdgeCount(Similar); got != 1 {
+		t.Fatalf("similar count after removal = %d", got)
+	}
+	if got := g.EdgeCount(); got != 3 {
+		t.Fatalf("total count after removal = %d", got)
+	}
+	// Adjacency must be rebuilt: neighbors reflect the surviving edges only.
+	if nb := g.Neighbors("a", Similar); len(nb) != 0 {
+		t.Fatalf("a similar neighbors = %v", nb)
+	}
+	if nb := g.Neighbors("b", Similar); len(nb) != 1 || nb[0] != "c" {
+		t.Fatalf("b similar neighbors = %v", nb)
+	}
+	// Removal must allow idempotent re-insertion.
+	if err := g.AddEdge("a", "b", Similar, Attrs{"cluster": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge("b", "a", Similar) {
+		t.Fatal("re-added edge missing")
+	}
+	// Components over Similar: {a,b,c} chain again after re-insertion.
+	comps := g.ComponentsMin(2, Similar)
+	if len(comps) != 1 || len(comps[0]) != 3 {
+		t.Fatalf("components after re-add = %v", comps)
+	}
+}
+
+func TestRemoveEdgesWhereNoMatch(t *testing.T) {
+	g := New()
+	_ = g.AddNode("a", nil)
+	_ = g.AddNode("b", nil)
+	_ = g.AddEdge("a", "b", Similar, nil)
+	if removed := g.RemoveEdgesWhere(Similar, func(Edge) bool { return false }); removed != 0 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if !g.HasEdge("a", "b", Similar) {
+		t.Fatal("edge lost on no-op removal")
+	}
+}

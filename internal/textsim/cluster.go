@@ -243,7 +243,14 @@ func centroid(items []Item, members []int) []float64 {
 	if len(members) == 0 {
 		return nil
 	}
-	dim := len(items[members[0]].Vector)
+	// Vectors may be zero-tail-trimmed (TrimZeroTail) to different lengths;
+	// size the centroid for the longest member.
+	dim := 0
+	for _, m := range members {
+		if len(items[m].Vector) > dim {
+			dim = len(items[m].Vector)
+		}
+	}
 	c := make([]float64, dim)
 	for _, m := range members {
 		for d, x := range items[m].Vector {
@@ -281,6 +288,14 @@ func KMeans(vecs [][]float64, seeds [][]float64, iters int, threshold float64) [
 		cents[i] = append([]float64(nil), s...)
 		if len(s) > stride {
 			stride = len(s)
+		}
+	}
+	// Recomputed centroids can outgrow every seed when vectors are
+	// zero-tail-trimmed to different lengths; the packing stride must cover
+	// the longest vector a centroid could absorb.
+	for _, v := range vecs {
+		if len(v) > stride {
+			stride = len(v)
 		}
 	}
 	// Live centroids are repacked into one contiguous buffer per iteration
@@ -333,9 +348,7 @@ func KMeans(vecs [][]float64, seeds [][]float64, iters int, threshold float64) [
 			if c < 0 {
 				continue
 			}
-			if sums[c] == nil {
-				sums[c] = make([]float64, len(vecs[i]))
-			}
+			sums[c] = growTo(sums[c], len(vecs[i]))
 			for d, x := range vecs[i] {
 				sums[c][d] += x
 			}
@@ -370,9 +383,7 @@ func SimplifiedSilhouette(vecs [][]float64, assign []int, k int) []float64 {
 		if c < 0 || c >= k {
 			continue
 		}
-		if cents[c] == nil {
-			cents[c] = make([]float64, len(vecs[i]))
-		}
+		cents[c] = growTo(cents[c], len(vecs[i]))
 		for d, x := range vecs[i] {
 			cents[c][d] += x
 		}
@@ -465,4 +476,15 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// growTo extends an accumulator with zero dimensions so a longer vector can
+// fold in; existing partial sums are preserved exactly.
+func growTo(acc []float64, n int) []float64 {
+	if len(acc) >= n {
+		return acc
+	}
+	grown := make([]float64, n)
+	copy(grown, acc)
+	return grown
 }

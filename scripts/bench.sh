@@ -10,8 +10,11 @@
 #   BENCH_TIME             -benchtime value (default 3x; use 1x for CI smoke)
 #
 # Outputs:
-#   BENCH_clustering.json  BenchmarkTable6_ClusteringStage (§III-B hot path)
-#   BENCH_pipeline.json    BenchmarkPipeline_EndToEnd (whole-corpus envelope)
+#   BENCH_clustering.json   BenchmarkTable6_ClusteringStage (§III-B hot path)
+#   BENCH_pipeline.json     BenchmarkPipeline_EndToEnd (whole-corpus envelope)
+#   BENCH_incremental.json  BenchmarkIncremental_{Append,FullRebuild} plus the
+#                           append-vs-rebuild speedup (the streaming engine's
+#                           headline: a 1% delta must stay ≥10× cheaper)
 #
 # Each record carries ns/op, B/op, allocs/op and the benchmark's shape
 # metrics (edge/package counts), keyed by scale, so future sessions can plot
@@ -26,16 +29,10 @@ TIME="${BENCH_TIME:-3x}"
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
-    -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$' \
+    -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$|BenchmarkIncremental_Append$|BenchmarkIncremental_FullRebuild$' \
     -benchmem -benchtime "$TIME" . |
 awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
-  /^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
-    out = ""
-    if (name == "BenchmarkTable6_ClusteringStage") out = dir "/BENCH_clustering.json"
-    if (name == "BenchmarkPipeline_EndToEnd")      out = dir "/BENCH_pipeline.json"
-    if (out == "") next
+  function record(name,    line, metrics, i, val, unit) {
     metrics = ""
     line = sprintf("{\"benchmark\":\"%s\",\"generated_utc\":\"%s\",\"scale\":%s,\"iterations\":%s",
                    name, stamp, scale, $2)
@@ -46,8 +43,30 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
       else if (unit == "allocs/op") line = line sprintf(",\"allocs_per_op\":%s", val)
       else metrics = metrics sprintf("%s\"%s\":%s", (metrics == "" ? "" : ","), unit, val)
     }
-    line = line sprintf(",\"metrics\":{%s}}", metrics)
+    return line sprintf(",\"metrics\":{%s}}", metrics)
+  }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    out = ""
+    if (name == "BenchmarkTable6_ClusteringStage") out = dir "/BENCH_clustering.json"
+    if (name == "BenchmarkPipeline_EndToEnd")      out = dir "/BENCH_pipeline.json"
+    for (i = 3; i < NF; i += 2) if ($(i + 1) == "ns/op") ns = $i
+    if (name == "BenchmarkIncremental_Append")      { append_ns = ns;  append_rec = record(name) }
+    if (name == "BenchmarkIncremental_FullRebuild") { rebuild_ns = ns; rebuild_rec = record(name) }
+    if (out == "") next
+    line = record(name)
     print line > out
     close(out)
     print "wrote " out ": " line
+  }
+  END {
+    if (append_ns != "" && rebuild_ns != "") {
+      out = dir "/BENCH_incremental.json"
+      line = sprintf("{\"generated_utc\":\"%s\",\"scale\":%s,\"append_ns_per_op\":%s,\"full_rebuild_ns_per_op\":%s,\"append_speedup\":%.2f,\"append\":%s,\"full_rebuild\":%s}",
+                     stamp, scale, append_ns, rebuild_ns, rebuild_ns / append_ns, append_rec, rebuild_rec)
+      print line > out
+      close(out)
+      print "wrote " out ": " line
+    }
   }'
