@@ -17,6 +17,7 @@ import (
 	"malgraph/internal/ecosys"
 	"malgraph/internal/graph"
 	"malgraph/internal/parallel"
+	"malgraph/internal/registry"
 	"malgraph/internal/reports"
 	"malgraph/internal/world"
 	"malgraph/internal/xrand"
@@ -91,6 +92,12 @@ type Pipeline struct {
 	// re-partition the world — the shuffle property tests and serve mode.
 	source        *collect.Result
 	sourceReports []*reports.Report
+	// view and resolver implement the external ingest path: raw
+	// observations POSTed by publishers are resolved against the engine's
+	// dataset through view (default: the in-process world fleet) before
+	// being appended. Lazily created on first AppendExternal.
+	view     registry.View
+	resolver *collect.Resolver
 }
 
 // Source returns the full collected dataset and report corpus behind the
@@ -212,6 +219,7 @@ func BatchFeed(ds *collect.Result, reportCorpus []*reports.Report, k int) []core
 		out = append(out, core.Batch{
 			Entries:   cb.Entries,
 			PerSource: cb.PerSource,
+			Stats:     cb.Stats,
 			Reports:   reportCorpus[lo:hi],
 			At:        cb.At,
 		})
@@ -240,6 +248,50 @@ func (p *Pipeline) appendLocked(b core.Batch) (core.IngestStats, error) {
 	return st, nil
 }
 
+// SetExternalView routes artifact recovery for externally delivered
+// observations through v — typically a registry.RemoteFleet speaking HTTP to
+// live registry endpoints — instead of the in-process world fleet. Calling
+// it resets the resolver, dropping its per-coordinate recovery cache.
+func (p *Pipeline) SetExternalView(v registry.View) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.view = v
+	p.resolver = nil
+}
+
+// AppendExternal is the loader inlet: it resolves raw source observations
+// against the engine's current dataset — dedupe by coordinate, source-first
+// artifact adoption, mirror recovery through the configured registry view,
+// release-metadata lookup — and ingests the resulting batch together with
+// any externally published reports. Resolution is evaluated at the world's
+// collection instant, so the same observations delivered in any batch
+// partition yield Results bit-identical to a one-shot Build of the merged
+// corpus. A transport failure from a remote registry aborts the append with
+// collect.ErrUnresolved and ingests nothing — the caller retries; a
+// malformed observation aborts with collect.ErrBadObservation.
+func (p *Pipeline) AppendExternal(obs []collect.Observation, reps []*reports.Report) (core.IngestStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.resolver == nil {
+		view := p.view
+		if view == nil {
+			view = p.World.Fleet
+		}
+		p.resolver = collect.NewResolver(view, p.World.Config.CollectAt)
+	}
+	b, err := p.resolver.Resolve(obs, p.Engine.Dataset())
+	if err != nil {
+		return core.IngestStats{}, fmt.Errorf("malgraph: resolve observations: %w", err)
+	}
+	return p.appendLocked(core.Batch{
+		Entries:   b.Entries,
+		PerSource: b.PerSource,
+		Stats:     b.Stats,
+		Reports:   reps,
+		At:        b.At,
+	})
+}
+
 // AppendNext ingests the next pending feed batch; ok=false when the feed is
 // exhausted.
 func (p *Pipeline) AppendNext() (st core.IngestStats, ok bool, err error) {
@@ -252,6 +304,33 @@ func (p *Pipeline) AppendNext() (st core.IngestStats, ok bool, err error) {
 	p.fed++
 	st, err = p.appendLocked(b)
 	return st, true, err
+}
+
+// AppendPending ingests up to n pending feed batches under one lock
+// acquisition (n < 0 drains the feed). With exact set, the request is
+// all-or-nothing: when fewer than n batches are pending, nothing is ingested
+// and ok=false — the atomicity the serve API's ?n=K contract promises, which
+// a check-then-loop caller could not guarantee against concurrent ingesters.
+func (p *Pipeline) AppendPending(n int, exact bool) (stats []core.IngestStats, ok bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pending := len(p.feed) - p.fed
+	if n < 0 || n > pending {
+		if exact && n > pending {
+			return nil, false, nil
+		}
+		n = pending
+	}
+	for i := 0; i < n; i++ {
+		b := p.feed[p.fed]
+		p.fed++
+		st, err := p.appendLocked(b)
+		if err != nil {
+			return stats, true, err
+		}
+		stats = append(stats, st)
+	}
+	return stats, true, nil
 }
 
 // PendingBatches reports how many feed batches AppendNext has not ingested.

@@ -7,15 +7,22 @@
 //	malgraphctl graph   [-scale 0.05] [-seed N] [-out graph.json]
 //	malgraphctl crawl   [-scale 0.05] [-seed N]
 //	malgraphctl serve   [-scale 0.05] [-seed N] [-addr :8080] [-batches 10] [-snapshot state.json]
+//	                    [-remote-root URL[,URL...]] [-remote-mirror URL[,URL...]]
+//	malgraphctl push    [-scale 0.05] [-seed N] [-server http://localhost:8080] [-file obs.json] [-batches 10]
 //	malgraphctl dataset [-scale 0.05] [-seed N] [-out data.json] [-full]
 //
 // run executes the full pipeline and renders every table and figure; graph
 // exports MALGRAPH as JSON; crawl reports what the §III-D crawler found;
-// serve runs the streaming MALGRAPH service — batch ingest, graph queries
-// and incrementally recomputed results over HTTP, alongside the simulated
-// PyPI root registry and its mirrors (warm-restartable via -snapshot);
-// dataset exports the collected corpus (public metadata by default, -full
-// embeds artifacts, mirroring the paper's two-tier release).
+// serve runs the streaming MALGRAPH service — batch ingest, externally
+// POSTed observations/reports, graph queries and incrementally recomputed
+// results over HTTP, alongside the simulated PyPI root registry and its
+// mirrors (warm-restartable via -snapshot; -remote-root/-remote-mirror
+// route artifact recovery for external observations through live registry
+// endpoints instead of the in-process fleet); push is the loader client,
+// POSTing raw observations (from -file, or the simulated world) to a serve
+// instance in batches and polling its stats; dataset exports the collected
+// corpus (public metadata by default, -full embeds artifacts, mirroring the
+// paper's two-tier release).
 package main
 
 import (
@@ -24,10 +31,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"malgraph"
 	"malgraph/internal/collect"
+	"malgraph/internal/registry"
 )
 
 func main() {
@@ -39,7 +48,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: malgraphctl <run|graph|crawl|serve> [flags]")
+		return fmt.Errorf("usage: malgraphctl <run|graph|crawl|serve|push|dataset> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -51,8 +60,12 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address (serve only)")
 	full := fs.Bool("full", false, "embed artifacts in the dataset export (dataset only)")
 	maxPages := fs.Int("maxpages", 0, "crawl page budget (0 = library default)")
-	batches := fs.Int("batches", 10, "ingest batches the feed is partitioned into (serve only)")
+	batches := fs.Int("batches", 10, "ingest batches the feed is partitioned into (serve/push)")
 	snapshot := fs.String("snapshot", "", "engine snapshot file for warm restarts (serve only)")
+	remoteRoots := fs.String("remote-root", "", "comma-separated root registry base URLs for external-observation recovery (serve only)")
+	remoteMirrors := fs.String("remote-mirror", "", "comma-separated mirror base URLs for external-observation recovery (serve only)")
+	server := fs.String("server", "http://localhost:8080", "serve instance to push to (push only)")
+	file := fs.String("file", "", "observations JSON file to push; default: generate from the simulated world (push only)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -69,7 +82,9 @@ func run(args []string) error {
 	case "crawl":
 		return cmdCrawl(cfg)
 	case "serve":
-		return cmdServe(cfg, *addr, *batches, *snapshot)
+		return cmdServe(cfg, *addr, *batches, *snapshot, splitList(*remoteRoots), splitList(*remoteMirrors))
+	case "push":
+		return cmdPush(cfg, *server, *file, *batches)
 	case "dataset":
 		return cmdDataset(cfg, *out, *full)
 	default:
@@ -153,15 +168,44 @@ func cmdCrawl(cfg malgraph.Config) error {
 	return nil
 }
 
+// splitList splits a comma-separated flag value, dropping empty elements.
+func splitList(raw string) []string {
+	var out []string
+	for _, v := range strings.Split(raw, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // cmdServe runs the streaming MALGRAPH service: the world's timeline cut
-// into ingest batches, with ingest/query/results over HTTP (see serve.go)
-// plus the simulated PyPI registry endpoints. With -snapshot, existing
-// engine state warm-restarts the server and POST /api/v1/snapshot
-// checkpoints it again.
-func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath string) error {
+// into ingest batches, with ingest/query/results over HTTP (see serve.go),
+// the external observations/reports inlet, plus the simulated PyPI registry
+// endpoints. With -snapshot, existing engine state warm-restarts the server
+// and POST /api/v1/snapshot checkpoints it again. With -remote-root /
+// -remote-mirror, artifact recovery for externally POSTed observations goes
+// through a registry.RemoteFleet against those live base URLs instead of
+// the in-process fleet.
+func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath string, remoteRoots, remoteMirrors []string) error {
 	p, err := malgraph.NewStreamingPipeline(context.Background(), cfg, batches)
 	if err != nil {
 		return err
+	}
+	if len(remoteRoots)+len(remoteMirrors) > 0 {
+		rf := registry.NewRemoteFleet(nil)
+		for _, u := range remoteRoots {
+			if err := rf.AddRoot(u); err != nil {
+				return fmt.Errorf("serve -remote-root %s: %w", u, err)
+			}
+		}
+		for _, u := range remoteMirrors {
+			if err := rf.AddMirror(u); err != nil {
+				return fmt.Errorf("serve -remote-mirror %s: %w", u, err)
+			}
+		}
+		p.SetExternalView(rf)
+		fmt.Printf("external-observation recovery via remote fleet: %v\n", rf.Endpoints())
 	}
 	if snapshotPath != "" {
 		f, err := os.Open(snapshotPath)
@@ -181,7 +225,7 @@ func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath string
 		}
 	}
 	srv := newServer(p, snapshotPath)
-	fmt.Printf("serving MALGRAPH at %s: POST /api/v1/ingest (%d batches pending), "+
+	fmt.Printf("serving MALGRAPH at %s: POST /api/v1/{ingest,observations,reports} (%d batches pending), "+
 		"GET /api/v1/{results,stats,node,snapshot}, /healthz, PyPI registry at /root/ and /mirror/<name>/\n",
 		addr, p.PendingBatches())
 	server := &http.Server{Addr: addr, Handler: srv.handler(), ReadHeaderTimeout: 5 * time.Second}

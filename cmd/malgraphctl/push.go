@@ -1,0 +1,150 @@
+package main
+
+// Push mode is the client half of the external ingest path: a loader loop
+// that reads raw source observations (from a JSON file, or generated from
+// the simulated world), cuts them into batches, POSTs them to a running
+// `malgraphctl serve` instance — observations to /api/v1/observations,
+// reports to /api/v1/reports — and polls /api/v1/stats after each batch.
+// Together with serve it closes the scheduler → worker → loader round-trip
+// of the paper's continuous collection layer (§II-B) over real HTTP.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"malgraph"
+	"malgraph/internal/collect"
+	"malgraph/internal/reports"
+)
+
+// cmdPush runs the loader loop against serverURL. With -file, observations
+// are read from a JSON document ({"observations": [...]}); otherwise the
+// simulated world for (seed, scale) is flattened into its raw observation
+// stream and report corpus — which must match the serve process's seed and
+// scale, since the server recovers artifacts from its own registry fleet.
+func cmdPush(cfg malgraph.Config, serverURL, file string, batches int) error {
+	var (
+		obs  []collect.Observation
+		reps []*reports.Report
+	)
+	if file != "" {
+		var err error
+		obs, err = readObservationsFile(file)
+		if err != nil {
+			return err
+		}
+	} else {
+		p, err := malgraph.NewStreamingPipeline(context.Background(), cfg, 1)
+		if err != nil {
+			return err
+		}
+		obs = collect.ObservationsFromSources(p.World.Sources)
+		_, reps = p.Source()
+	}
+	hc := &http.Client{Timeout: 60 * time.Second}
+	return pushAll(hc, serverURL, obs, reps, batches, os.Stdout)
+}
+
+// readObservationsFile loads {"observations": [...]} from a JSON file.
+func readObservationsFile(path string) ([]collect.Observation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc struct {
+		Observations []collect.Observation `json:"observations"`
+	}
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return doc.Observations, nil
+}
+
+// pushAll drives the loader loop: observations sorted into timeline order,
+// cut into k batches, each POSTed with its proportional slice of the report
+// corpus, with a stats poll after every round-trip.
+func pushAll(hc *http.Client, base string, obs []collect.Observation, reps []*reports.Report, batches int, out io.Writer) error {
+	collect.SortObservations(obs)
+	if batches < 1 {
+		batches = 1
+	}
+	if batches > len(obs) && len(obs) > 0 {
+		batches = len(obs)
+	}
+	for i := 0; i < batches; i++ {
+		lo, hi := i*len(obs)/batches, (i+1)*len(obs)/batches
+		rlo, rhi := i*len(reps)/batches, (i+1)*len(reps)/batches
+		var resp map[string]any
+		if err := postJSONBody(hc, base+"/api/v1/observations",
+			map[string]any{"observations": obs[lo:hi]}, &resp); err != nil {
+			return fmt.Errorf("push batch %d/%d: %w", i+1, batches, err)
+		}
+		if rhi > rlo {
+			if err := postJSONBody(hc, base+"/api/v1/reports",
+				map[string]any{"reports": reps[rlo:rhi]}, nil); err != nil {
+				return fmt.Errorf("push reports %d/%d: %w", i+1, batches, err)
+			}
+		}
+		stats, err := getStats(hc, base)
+		if err != nil {
+			return fmt.Errorf("poll stats after batch %d/%d: %w", i+1, batches, err)
+		}
+		fmt.Fprintf(out, "batch %d/%d: pushed %d observations, %d reports -> %v entries, %v nodes, %v edges\n",
+			i+1, batches, hi-lo, rhi-rlo, stats["entries"], stats["nodes"], stats["edges"])
+	}
+	stats, err := getStats(hc, base)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "push complete: %v entries (%v available), %v reports, missing rate %v\n",
+		stats["entries"], stats["available"], stats["reports"], stats["missingRate"])
+	return nil
+}
+
+// postJSONBody POSTs body as JSON and decodes the response into v (when
+// non-nil); a non-2xx status is surfaced with the server's error message.
+func postJSONBody(hc *http.Client, url string, body, v any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, e.Error)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func getStats(hc *http.Client, base string) (map[string]any, error) {
+	resp, err := hc.Get(base + "/api/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET stats: status %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

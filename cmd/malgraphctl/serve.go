@@ -10,27 +10,36 @@ package main
 // without an O(corpus) rebuild.
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 
 	"malgraph"
+	"malgraph/internal/collect"
+	"malgraph/internal/core"
 	"malgraph/internal/ecosys"
 	"malgraph/internal/graph"
 	"malgraph/internal/registry"
+	"malgraph/internal/reports"
 )
 
 // server wraps a streaming pipeline with the ingest/query/results API.
 type server struct {
 	p            *malgraph.Pipeline
 	snapshotPath string
+	// snapshot produces an engine checkpoint; indirected so tests can
+	// exercise the mid-stream failure path of GET /api/v1/snapshot.
+	snapshot func(io.Writer) error
 }
 
 func newServer(p *malgraph.Pipeline, snapshotPath string) *server {
-	return &server{p: p, snapshotPath: snapshotPath}
+	return &server{p: p, snapshotPath: snapshotPath, snapshot: p.SnapshotEngine}
 }
 
 // handler builds the full route table.
@@ -38,6 +47,8 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/api/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/api/v1/observations", s.handleObservations)
+	mux.HandleFunc("/api/v1/reports", s.handleReports)
 	mux.HandleFunc("/api/v1/results", s.handleResults)
 	mux.HandleFunc("/api/v1/stats", s.handleStats)
 	mux.HandleFunc("/api/v1/node", s.handleNode)
@@ -72,69 +83,172 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleIngest advances the feed: POST /api/v1/ingest ingests the next
-// pending batch (?n=K for several, ?all=1 to drain) and returns the ingest
-// stats, so a feed scheduler can poll-and-push exactly like the
-// package-analysis loader loop.
+// batchOut is the JSON rendering of one batch's core.IngestStats.
+type batchOut struct {
+	NewEntries      int      `json:"newEntries"`
+	UpdatedEntries  int      `json:"updatedEntries"`
+	NewArtifacts    int      `json:"newArtifacts"`
+	NewReports      int      `json:"newReports"`
+	Reclustered     []string `json:"reclustered,omitempty"`
+	DuplicatedDelta int      `json:"duplicatedDelta"`
+	DependencyDelta int      `json:"dependencyDelta"`
+	SimilarDelta    int      `json:"similarDelta"`
+	CoexistingDelta int      `json:"coexistingDelta"`
+}
+
+func statsOut(st core.IngestStats) batchOut {
+	out := batchOut{
+		NewEntries:      st.NewEntries,
+		UpdatedEntries:  st.UpdatedEntries,
+		NewArtifacts:    st.NewArtifacts,
+		NewReports:      st.NewReports,
+		DuplicatedDelta: st.DuplicatedDelta,
+		DependencyDelta: st.DependencyDelta,
+		SimilarDelta:    st.SimilarDelta,
+		CoexistingDelta: st.CoexistingDelta,
+	}
+	for _, eco := range st.Reclustered {
+		out.Reclustered = append(out.Reclustered, eco.String())
+	}
+	return out
+}
+
+// handleIngest advances the feed: POST /api/v1/ingest ingests pending
+// batches and returns their ingest stats, so a feed scheduler can
+// poll-and-push exactly like the package-analysis loader loop.
+//
+// Contract:
+//   - default (no parameter): at most one batch; 200 with "ingested": []
+//     when the feed is already drained.
+//   - ?all=1: every pending batch; 200 with "ingested": [] when none — an
+//     idempotent drain loop can POST ?all=1 until "pending" reaches 0
+//     without treating its final, empty iteration as an error.
+//   - ?n=K: exactly K batches; 409 Conflict when fewer than K are pending
+//     (nothing is ingested). 409 is reserved for these unsatisfiable
+//     explicit requests.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
-	n := 1
+	n, exact := 1, false
 	if r.URL.Query().Get("all") != "" {
-		n = s.p.PendingBatches()
+		n = -1 // drain
 	} else if raw := r.URL.Query().Get("n"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 1 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n=%q", raw))
 			return
 		}
-		n = v
+		n, exact = v, true
 	}
-	type batchOut struct {
-		NewEntries      int      `json:"newEntries"`
-		UpdatedEntries  int      `json:"updatedEntries"`
-		NewArtifacts    int      `json:"newArtifacts"`
-		NewReports      int      `json:"newReports"`
-		Reclustered     []string `json:"reclustered,omitempty"`
-		DuplicatedDelta int      `json:"duplicatedDelta"`
-		DependencyDelta int      `json:"dependencyDelta"`
-		SimilarDelta    int      `json:"similarDelta"`
-		CoexistingDelta int      `json:"coexistingDelta"`
+	// AppendPending claims the batches atomically, so an explicit ?n=K
+	// either ingests exactly K or conflicts — even against concurrent
+	// ingesters.
+	stats, ok, err := s.p.AppendPending(n, exact)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	}
-	var ingested []batchOut
-	for i := 0; i < n; i++ {
-		st, ok, err := s.p.AppendNext()
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		if !ok {
-			break
-		}
-		out := batchOut{
-			NewEntries:      st.NewEntries,
-			UpdatedEntries:  st.UpdatedEntries,
-			NewArtifacts:    st.NewArtifacts,
-			NewReports:      st.NewReports,
-			DuplicatedDelta: st.DuplicatedDelta,
-			DependencyDelta: st.DependencyDelta,
-			SimilarDelta:    st.SimilarDelta,
-			CoexistingDelta: st.CoexistingDelta,
-		}
-		for _, eco := range st.Reclustered {
-			out.Reclustered = append(out.Reclustered, eco.String())
-		}
-		ingested = append(ingested, out)
+	if !ok {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("n=%d batches requested, fewer pending", n))
+		return
 	}
-	status := http.StatusOK
-	if len(ingested) == 0 {
-		status = http.StatusConflict // feed exhausted
+	ingested := make([]batchOut, 0, len(stats))
+	for _, st := range stats {
+		ingested = append(ingested, statsOut(st))
 	}
-	writeJSON(w, status, map[string]any{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"ingested": ingested,
 		"pending":  s.p.PendingBatches(),
+	})
+}
+
+// handleObservations is the external loader inlet: POST /api/v1/observations
+// accepts raw source records ({"observations": [{source, coord, observedAt,
+// artifact?}, ...]}), resolves them against the engine's dataset (mirror
+// recovery through the configured registry view) and appends the resulting
+// batch. Responses: 200 with the ingest stats; 400 for malformed input; 502
+// when a registry endpoint transport-failed (nothing ingested — retry the
+// batch); 500 for engine errors.
+func (s *server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		Observations []collect.Observation `json:"observations"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode observations: %w", err))
+		return
+	}
+	st, err := s.p.AppendExternal(req.Observations, nil)
+	if err != nil {
+		switch {
+		case errors.Is(err, collect.ErrBadObservation):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, collect.ErrUnresolved):
+			writeError(w, http.StatusBadGateway, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted": len(req.Observations),
+		"stats":    statsOut(st),
+		"entries":  s.p.Stats().Entries,
+	})
+}
+
+// handleReports accepts externally published security reports: POST
+// /api/v1/reports with {"reports": [{URL, Body, ...}, ...]}. Reports whose
+// package list or IoC set is absent are parsed from their body, the §III-D
+// path from raw page to structured report; documents naming no packages are
+// skipped (they carry no co-existing evidence), mirroring the crawler's
+// relevance filter.
+func (s *server) handleReports(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		Reports []*reports.Report `json:"reports"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode reports: %w", err))
+		return
+	}
+	accepted := make([]*reports.Report, 0, len(req.Reports))
+	skipped := 0
+	for _, rep := range req.Reports {
+		if rep == nil || rep.URL == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("report without URL"))
+			return
+		}
+		if len(rep.Packages) == 0 {
+			rep.Packages = reports.ExtractPackages(rep.Body)
+		}
+		if len(rep.IoCs.IPs)+len(rep.IoCs.URLs)+len(rep.IoCs.PowerShell) == 0 {
+			rep.IoCs = reports.ExtractIoCs(rep.Body)
+		}
+		if len(rep.Packages) == 0 {
+			skipped++
+			continue
+		}
+		accepted = append(accepted, rep)
+	}
+	st, err := s.p.AppendExternal(nil, accepted)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted": len(accepted),
+		"skipped":  skipped,
+		"stats":    statsOut(st),
 	})
 }
 
@@ -188,15 +302,26 @@ func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleSnapshot checkpoints the engine: GET streams the snapshot; POST
+// handleSnapshot checkpoints the engine: GET serves the snapshot; POST
 // writes it to the configured -snapshot path for the next warm restart.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		w.Header().Set("Content-Type", "application/json")
-		if err := s.p.SnapshotEngine(w); err != nil {
+		// Buffer before writing: streaming SnapshotEngine straight into
+		// the response would commit a 200 status on the first byte, and a
+		// mid-stream error would then append a JSON error object to a
+		// half-written snapshot — which RestoreEngine fails on with a
+		// confusing decode error far from the cause. Buffering gives the
+		// client either a complete snapshot or a proper error status.
+		var buf bytes.Buffer
+		if err := s.snapshot(&buf); err != nil {
 			writeError(w, http.StatusInternalServerError, err)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		w.WriteHeader(http.StatusOK)
+		_, _ = buf.WriteTo(w)
 	case http.MethodPost:
 		if s.snapshotPath == "" {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("no -snapshot path configured"))
@@ -209,7 +334,7 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		if err := s.p.SnapshotEngine(tmp); err != nil {
+		if err := s.snapshot(tmp); err != nil {
 			tmp.Close()
 			os.Remove(tmp.Name())
 			writeError(w, http.StatusInternalServerError, err)

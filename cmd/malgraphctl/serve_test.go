@@ -82,12 +82,27 @@ func TestServeIngestQueryResults(t *testing.T) {
 	if n := len(one["ingested"].([]any)); n != 1 {
 		t.Fatalf("ingested %d batches", n)
 	}
+	// An explicit n beyond the pending count is unsatisfiable: 409, and
+	// nothing is ingested.
+	postJSON(t, ts.URL+"/api/v1/ingest?n=99", http.StatusConflict)
+	if pending := getJSON(t, ts.URL+"/healthz", http.StatusOK)["pending"].(float64); pending != 2 {
+		t.Fatalf("pending after unsatisfiable n-request = %v", pending)
+	}
 	rest := postJSON(t, ts.URL+"/api/v1/ingest?all=1", http.StatusOK)
 	if rest["pending"].(float64) != 0 {
 		t.Fatalf("after drain: %v", rest)
 	}
-	// Exhausted feed → 409.
-	postJSON(t, ts.URL+"/api/v1/ingest", http.StatusConflict)
+	// Drained feed: the idempotent poll-and-push contract — a plain POST and
+	// a drain POST both return 200 with an empty ingested list, so a drain
+	// loop's final iteration is not an error.
+	for _, url := range []string{ts.URL + "/api/v1/ingest", ts.URL + "/api/v1/ingest?all=1"} {
+		empty := postJSON(t, url, http.StatusOK)
+		if n := len(empty["ingested"].([]any)); n != 0 {
+			t.Fatalf("drained POST %s ingested %d batches", url, n)
+		}
+	}
+	// 409 is reserved for explicit n-requests that cannot be satisfied.
+	postJSON(t, ts.URL+"/api/v1/ingest?n=1", http.StatusConflict)
 	// GET is not allowed.
 	getJSON(t, ts.URL+"/api/v1/ingest", http.StatusMethodNotAllowed)
 

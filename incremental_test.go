@@ -145,7 +145,7 @@ func TestShuffledBatchIngestMatchesOneShot(t *testing.T) {
 				entries[i], entries[j] = entries[j], entries[i]
 			}
 			for bi, cb := range collect.PartitionBatches(ds, entries, k) {
-				b := core.Batch{Entries: cb.Entries, PerSource: cb.PerSource, At: cb.At}
+				b := core.Batch{Entries: cb.Entries, PerSource: cb.PerSource, Stats: cb.Stats, At: cb.At}
 				lo, hi := bi*len(reportCorpus)/k, (bi+1)*len(reportCorpus)/k
 				b.Reports = reportCorpus[lo:hi]
 				if _, err := p.Append(b); err != nil {

@@ -7,6 +7,7 @@
 package collect
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -90,17 +91,21 @@ type Result struct {
 	byKey map[string]*Entry
 	// statsByKey records each entry's contribution to PerSource, so the
 	// dataset can be replayed as batches (see feed.go) whose per-batch
-	// accounting sums back to the whole. Populated by Run; nil for datasets
-	// assembled by hand or loaded from JSON (Feed then falls back to the
-	// availability-derived approximation).
-	statsByKey map[string]entryStat
+	// accounting sums back to the whole, and so an incremental resolve
+	// (see resolve.go) can apply exact accounting deltas when a later
+	// batch extends an entry. Populated by Run, maintained by
+	// ApplyEntryStat, and persisted with the dataset; nil for datasets
+	// assembled by hand or loaded from legacy JSON (Feed then falls back
+	// to the availability-derived approximation).
+	statsByKey map[string]EntryStat
 }
 
-// entryStat is one entry's per-source accounting delta: which of its sources
-// counted it locally unavailable, and whether it was globally missing.
-type entryStat struct {
-	local  []sources.ID
-	global bool
+// EntryStat is one entry's per-source accounting contribution: which of its
+// sources counted it locally unavailable, and whether it was globally
+// missing. Total is implicit — every source of the entry counts one.
+type EntryStat struct {
+	Local  []sources.ID `json:"local,omitempty"`
+	Global bool         `json:"global,omitempty"`
 }
 
 // NewResult returns an empty dataset shell for incremental assembly (the
@@ -121,7 +126,7 @@ func Run(set *sources.Set, fleet registry.View, at time.Time) (*Result, error) {
 		return nil, fmt.Errorf("collect: nil sources or fleet")
 	}
 	res := NewResult(at)
-	res.statsByKey = make(map[string]entryStat)
+	res.statsByKey = make(map[string]EntryStat)
 
 	// Step 1: merge all source records (duplicates collapse by coordinate).
 	type obs struct {
@@ -160,6 +165,15 @@ func Run(set *sources.Set, fleet registry.View, at time.Time) (*Result, error) {
 		sort.Slice(entry.Sources, func(i, j int) bool { return entry.Sources[i] < entry.Sources[j] })
 
 		mirrorArt, from, mirrorErr := fleet.Recover(entry.Coord, at)
+		// Only a definitive not-found — the registry answered and the
+		// package is gone — may be classified as a takedown. A transport
+		// failure (connection refused, HTTP 5xx from a RemoteFleet
+		// endpoint) says nothing about availability; recording it as
+		// Missing would silently inflate the paper's missing-rate and
+		// takedown statistics (Table III, Fig. 7), so it aborts the run.
+		if mirrorErr != nil && !errors.Is(mirrorErr, registry.ErrNotFound) {
+			return nil, fmt.Errorf("collect: recover %s: %w", entry.Coord, mirrorErr)
+		}
 		if entry.Artifact == nil {
 			if mirrorErr == nil {
 				entry.Artifact = mirrorArt
@@ -192,16 +206,16 @@ func Run(set *sources.Set, fleet registry.View, at time.Time) (*Result, error) {
 				break
 			}
 		}
-		var es entryStat
+		var es EntryStat
 		for _, o := range obsList {
 			stats := res.PerSource[o.id]
 			stats.Total++
 			if o.rec.Artifact == nil && !mirrorOK {
 				stats.LocalUnavailable++
-				es.local = append(es.local, o.id)
+				es.Local = append(es.Local, o.id)
 				if !anySourceCarried {
 					stats.GlobalMissing++
-					es.global = true
+					es.Global = true
 				}
 			}
 			res.PerSource[o.id] = stats

@@ -20,6 +20,13 @@ import (
 type Batch struct {
 	Entries   []*Entry
 	PerSource map[sources.ID]SourceStats
+	// Stats carries each entry's absolute per-source accounting, keyed by
+	// coordinate. Consumers that merge batches incrementally (core.Engine)
+	// apply the delta against their recorded stat instead of trusting the
+	// PerSource aggregate, which keeps accounting exact even when the same
+	// coordinate is extended by several batches (the external ingest path)
+	// or a batch is replayed after a warm restart.
+	Stats map[string]EntryStat
 	// At is the collection instant of the originating dataset (constant
 	// across batches — availability was evaluated once, at collection time).
 	At time.Time
@@ -93,31 +100,96 @@ func (r *Result) BatchOf(entries []*Entry) Batch {
 	b := Batch{
 		Entries:   entries,
 		PerSource: make(map[sources.ID]SourceStats),
+		Stats:     make(map[string]EntryStat, len(entries)),
 		At:        r.CollectedAt,
 	}
 	for _, e := range entries {
-		es, recorded := entryStat{}, false
-		if r.statsByKey != nil {
-			es, recorded = r.statsByKey[e.Coord.Key()]
-		}
+		es, recorded := r.EntryStatFor(e.Coord.Key())
 		if !recorded && e.Availability == Missing {
-			es = entryStat{local: e.Sources, global: true}
+			es = EntryStat{Local: e.Sources, Global: true}
 		}
+		b.Stats[e.Coord.Key()] = es
 		for _, id := range e.Sources {
 			st := b.PerSource[id]
 			st.Total++
 			b.PerSource[id] = st
 		}
-		for _, id := range es.local {
+		for _, id := range es.Local {
 			st := b.PerSource[id]
 			st.LocalUnavailable++
-			if es.global {
+			if es.Global {
 				st.GlobalMissing++
 			}
 			b.PerSource[id] = st
 		}
 	}
 	return b
+}
+
+// EntryStatFor returns the recorded per-source accounting for a coordinate
+// key. recorded=false when the dataset carries no per-entry stats for it
+// (hand-built datasets or legacy JSON); callers then fall back to the
+// availability-derived approximation BatchOf uses.
+func (r *Result) EntryStatFor(key string) (EntryStat, bool) {
+	if r.statsByKey == nil {
+		return EntryStat{}, false
+	}
+	es, ok := r.statsByKey[key]
+	return es, ok
+}
+
+// ApplyEntryStat replaces the recorded accounting for key with next and
+// applies the difference to PerSource (locally-unavailable and
+// globally-missing counts only — Total is attributed by the caller, which
+// knows which sources are newly observed). Applying an identical stat is a
+// no-op, so batch replays are idempotent, and a later batch that upgrades an
+// entry (new carrying source, recovered artifact) corrects the aggregates
+// exactly.
+func (r *Result) ApplyEntryStat(key string, next EntryStat) {
+	if r.statsByKey == nil {
+		r.statsByKey = make(map[string]EntryStat)
+	}
+	ApplyStatDelta(r.PerSource, r.statsByKey[key], next)
+	r.statsByKey[key] = next
+}
+
+// ApplyStatDelta applies the per-source aggregate difference between an
+// entry's old and next accounting to agg. It is the single implementation of
+// the telescoping-delta algorithm: ApplyEntryStat uses it against a dataset's
+// PerSource, the observation resolver against a batch's delta map — the two
+// must agree bit-for-bit for the partition-equivalence contract to hold.
+func ApplyStatDelta(agg map[sources.ID]SourceStats, old, next EntryStat) {
+	for _, s := range next.Local {
+		in := containsID(old.Local, s)
+		st := agg[s]
+		if !in {
+			st.LocalUnavailable++
+		}
+		if next.Global && !(old.Global && in) {
+			st.GlobalMissing++
+		}
+		agg[s] = st
+	}
+	for _, s := range old.Local {
+		in := containsID(next.Local, s)
+		st := agg[s]
+		if !in {
+			st.LocalUnavailable--
+		}
+		if old.Global && !(next.Global && in) {
+			st.GlobalMissing--
+		}
+		agg[s] = st
+	}
+}
+
+// AddTotals attributes newly observed (source, package) pairs to PerSource.
+func (r *Result) AddTotals(ids []sources.ID) {
+	for _, id := range ids {
+		st := r.PerSource[id]
+		st.Total++
+		r.PerSource[id] = st
+	}
 }
 
 // AddSourceStats accumulates a batch's per-source accounting.
@@ -162,6 +234,15 @@ func (r *Result) Upsert(e *Entry) (merged *Entry, added, changed bool) {
 		next.Artifact = e.Artifact
 		next.Availability = e.Availability
 		next.RecoveredFrom = e.RecoveredFrom
+		changed = true
+	} else if next.Availability == FromMirror && e.Availability == FromSource {
+		// A later batch brought a source that carries the artifact. Run
+		// resolves source-first, so the one-shot collection of the merged
+		// observations classifies this entry FromSource; adopt that
+		// classification (the artifact content is the same package either
+		// way) to keep any-partition ingest equivalent to one-shot.
+		next.Availability = FromSource
+		next.RecoveredFrom = ""
 		changed = true
 	}
 	if next.ReleasedAt.IsZero() && !e.ReleasedAt.IsZero() {

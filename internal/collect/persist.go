@@ -37,6 +37,11 @@ type persistedEntry struct {
 	RemovedAt     time.Time        `json:"removedAt"`
 	Hash          string           `json:"hash,omitempty"`
 	Artifact      *ecosys.Artifact `json:"artifact,omitempty"`
+	// Stats preserves the entry's exact per-source accounting so a restored
+	// dataset (engine warm restart) keeps applying correct accounting
+	// deltas when later batches extend the entry. Absent in legacy exports;
+	// readers fall back to the availability approximation.
+	Stats *EntryStat `json:"stats,omitempty"`
 }
 
 type persistedResult struct {
@@ -82,6 +87,9 @@ func (r *Result) WriteJSON(w io.Writer, mode ExportMode) error {
 				pe.Artifact = e.Artifact
 			}
 		}
+		if es, ok := r.EntryStatFor(e.Coord.Key()); ok {
+			pe.Stats = &es
+		}
 		p.Entries = append(p.Entries, pe)
 	}
 	enc := json.NewEncoder(w)
@@ -121,6 +129,12 @@ func ReadJSON(rd io.Reader) (*Result, error) {
 		}
 		if pe.Artifact != nil && pe.Hash != "" && pe.Artifact.Hash() != pe.Hash {
 			return nil, fmt.Errorf("dataset decode: artifact hash mismatch for %s", pe.Coord)
+		}
+		if pe.Stats != nil {
+			if res.statsByKey == nil {
+				res.statsByKey = make(map[string]EntryStat, len(p.Entries))
+			}
+			res.statsByKey[e.Coord.Key()] = *pe.Stats
 		}
 		res.Entries = append(res.Entries, e)
 		res.byKey[e.Coord.Key()] = e

@@ -53,7 +53,15 @@ import (
 type Batch struct {
 	Entries   []*collect.Entry
 	PerSource map[sources.ID]collect.SourceStats
-	Reports   []*reports.Report
+	// Stats carries each entry's absolute per-source accounting (see
+	// collect.Batch.Stats). When present, the engine applies exact
+	// accounting deltas per entry — correct under replay, under batches
+	// that extend already-known coordinates (the external ingest path),
+	// and under any feed/external mix. When nil (hand-assembled batches,
+	// one-shot Build), the PerSource aggregate is added verbatim whenever
+	// the batch changed the dataset.
+	Stats   map[string]collect.EntryStat
+	Reports []*reports.Report
 	// At is the collection instant; recorded once (first non-zero wins).
 	At time.Time
 }
@@ -180,12 +188,28 @@ func (e *Engine) Ingest(b Batch) (IngestStats, error) {
 		e.mg.Dataset.CollectedAt = b.At
 	}
 	changes := e.mergeEntries(b.Entries, &st)
-	// A batch's PerSource is the accounting its entries contributed to the
-	// collection. Batches are disjoint under the partition contract, so the
-	// stats apply exactly once — when the batch actually introduces entries.
-	// A fully replayed batch (warm-restart feed drain) merges zero entries
-	// and must not re-add its accounting.
-	if st.NewEntries > 0 || st.UpdatedEntries > 0 {
+	if b.Stats != nil {
+		// Exact per-entry accounting: one Total per newly observed
+		// (source, package) pair, and the delta between each entry's
+		// recorded stat and the batch's absolute stat. Idempotent under
+		// replay (identical stat ⇒ zero delta) and exact when several
+		// batches extend the same coordinate.
+		for _, ch := range changes {
+			e.mg.Dataset.AddTotals(ch.newSources)
+		}
+		for _, ch := range changes {
+			key := ch.entry.Coord.Key()
+			if next, ok := b.Stats[key]; ok {
+				e.mg.Dataset.ApplyEntryStat(key, next)
+			}
+		}
+	} else if st.NewEntries > 0 || st.UpdatedEntries > 0 {
+		// Legacy aggregate path: a batch's PerSource is the accounting its
+		// entries contributed to the collection. Batches are disjoint under
+		// the partition contract, so the stats apply exactly once — when
+		// the batch actually introduces entries. A fully replayed batch
+		// (warm-restart feed drain) merges zero entries and must not
+		// re-add its accounting.
 		e.mg.Dataset.AddSourceStats(b.PerSource)
 	}
 	if err := e.applyNodes(changes, &st); err != nil {

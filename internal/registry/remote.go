@@ -2,6 +2,7 @@ package registry
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -93,17 +94,43 @@ func (rf *RemoteFleet) Endpoints() map[ecosys.Ecosystem][]string {
 	return out
 }
 
-// Recover implements View: root first, then each mirror (§II-B).
+// Recover implements View: root first, then each mirror (§II-B). The error
+// kind matters to callers — ErrNotFound means every endpoint answered and
+// none holds the package (a takedown the collection pipeline records as
+// Missing), while a transport failure (unreachable endpoint, HTTP 5xx) is
+// returned as-is, wrapping the underlying error: the package's availability
+// is simply unknown, and misfiling it as Missing would corrupt the paper's
+// missing-rate statistics. A successful fetch from any endpoint wins even
+// when an earlier endpoint transport-failed.
 func (rf *RemoteFleet) Recover(coord ecosys.Coord, t time.Time) (*ecosys.Artifact, string, error) {
+	if _, ok := rf.roots[coord.Ecosystem]; !ok && len(rf.mirrors[coord.Ecosystem]) == 0 {
+		// No endpoint was ever queried, so "not found" would be a lie —
+		// and the caller would misfile the package as taken down. An
+		// unconfigured ecosystem is an operator error, reported as such.
+		return nil, "", fmt.Errorf("remote fleet: no endpoints configured for %s (%s)",
+			coord.Ecosystem, coord)
+	}
+	var transportErr error
 	if root, ok := rf.roots[coord.Ecosystem]; ok {
-		if art, err := root.Fetch(coord, t); err == nil {
+		art, err := root.Fetch(coord, t)
+		if err == nil {
 			return art, root.Name(), nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			transportErr = err
 		}
 	}
 	for _, m := range rf.mirrors[coord.Ecosystem] {
-		if art, err := m.Fetch(coord, t); err == nil {
+		art, err := m.Fetch(coord, t)
+		if err == nil {
 			return art, m.Name(), nil
 		}
+		if !errors.Is(err, ErrNotFound) && transportErr == nil {
+			transportErr = err
+		}
+	}
+	if transportErr != nil {
+		return nil, "", fmt.Errorf("remote recover %s: %w", coord, transportErr)
 	}
 	return nil, "", fmt.Errorf("%w: %s (remote root and all mirrors)", ErrNotFound, coord)
 }

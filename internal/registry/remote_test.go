@@ -1,0 +1,111 @@
+package registry
+
+// Regression tests for the error contract of RemoteFleet.Recover (ISSUE 3):
+// ErrNotFound means every endpoint answered and none holds the package; a
+// transport failure (HTTP 5xx, unreachable endpoint) must surface as a
+// distinct error so the collection pipeline does not misfile it as a
+// takedown.
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"malgraph/internal/ecosys"
+)
+
+func brokenEndpoint(t *testing.T, name string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/info" {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"name":"` + name + `","ecosystem":"PyPI"}`))
+			return
+		}
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func healthyEndpoint(t *testing.T, reg *Registry) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(reg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRemoteRecoverDistinguishesTransportFromNotFound(t *testing.T) {
+	epoch := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	coord := ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "gone", Version: "1.0.0"}
+	live := ecosys.NewArtifact(
+		ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "alive", Version: "1.0.0"},
+		"d", []ecosys.File{{Path: "setup.py", Content: "import os"}})
+
+	empty := New("pypi-root", ecosys.PyPI)
+	if err := empty.Publish(live, epoch, true); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("all endpoints answer, none has it: ErrNotFound", func(t *testing.T) {
+		rf := NewRemoteFleet(nil)
+		if err := rf.AddRoot(healthyEndpoint(t, empty).URL); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := rf.Recover(coord, epoch.AddDate(0, 1, 0))
+		if !errors.Is(err, ErrNotFound) {
+			t.Fatalf("err = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("5xx mirror: transport error, not ErrNotFound", func(t *testing.T) {
+		rf := NewRemoteFleet(nil)
+		if err := rf.AddRoot(healthyEndpoint(t, empty).URL); err != nil {
+			t.Fatal(err)
+		}
+		if err := rf.AddMirror(brokenEndpoint(t, "broken").URL); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := rf.Recover(coord, epoch.AddDate(0, 1, 0))
+		if err == nil {
+			t.Fatal("recover must fail")
+		}
+		if errors.Is(err, ErrNotFound) {
+			t.Fatalf("transport failure mislabeled as not-found: %v", err)
+		}
+	})
+
+	t.Run("unconfigured ecosystem: config error, not ErrNotFound", func(t *testing.T) {
+		rf := NewRemoteFleet(nil)
+		if err := rf.AddRoot(healthyEndpoint(t, empty).URL); err != nil {
+			t.Fatal(err)
+		}
+		npm := ecosys.Coord{Ecosystem: ecosys.NPM, Name: "left-pad", Version: "1.0.0"}
+		_, _, err := rf.Recover(npm, epoch)
+		if err == nil {
+			t.Fatal("recover without endpoints must fail")
+		}
+		if errors.Is(err, ErrNotFound) {
+			t.Fatalf("no endpoint was queried, yet claimed not-found: %v", err)
+		}
+	})
+
+	t.Run("broken root, healthy mirror holding it: success", func(t *testing.T) {
+		rf := NewRemoteFleet(nil)
+		if err := rf.AddRoot(brokenEndpoint(t, "broken-root").URL); err != nil {
+			t.Fatal(err)
+		}
+		if err := rf.AddMirror(healthyEndpoint(t, empty).URL); err != nil {
+			t.Fatal(err)
+		}
+		art, from, err := rf.Recover(live.Coord, epoch.AddDate(0, 1, 0))
+		if err != nil {
+			t.Fatalf("recover through surviving endpoint: %v", err)
+		}
+		if from != "pypi-root" || art.Hash() != live.Hash() {
+			t.Fatalf("recovered %q from %q", art.Coord.Key(), from)
+		}
+	})
+}
