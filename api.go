@@ -229,7 +229,10 @@ func BatchFeed(ds *collect.Result, reportCorpus []*reports.Report, k int) []core
 
 // Append ingests one batch into the engine and invalidates exactly the
 // Results blocks the batch touched. The next Analyze recomputes those blocks
-// and serves the rest from cache.
+// and serves the rest from cache. The ingest itself is LSH-scoped: only the
+// similarity partitions containing the batch's new artifacts re-cluster (see
+// core.IngestStats' recluster-scope accounting), so append cost tracks the
+// delta, not the corpus.
 func (p *Pipeline) Append(b core.Batch) (core.IngestStats, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -94,6 +94,12 @@ type batchOut struct {
 	DependencyDelta int      `json:"dependencyDelta"`
 	SimilarDelta    int      `json:"similarDelta"`
 	CoexistingDelta int      `json:"coexistingDelta"`
+	// Re-cluster scope: of dirtyEcoItems artifacts in the touched
+	// ecosystems, only artifactsReclustered (in partitionsReclustered LSH
+	// partitions) actually re-clustered.
+	PartitionsReclustered int `json:"partitionsReclustered,omitempty"`
+	ArtifactsReclustered  int `json:"artifactsReclustered,omitempty"`
+	DirtyEcoItems         int `json:"dirtyEcoItems,omitempty"`
 }
 
 func statsOut(st core.IngestStats) batchOut {
@@ -106,6 +112,10 @@ func statsOut(st core.IngestStats) batchOut {
 		DependencyDelta: st.DependencyDelta,
 		SimilarDelta:    st.SimilarDelta,
 		CoexistingDelta: st.CoexistingDelta,
+
+		PartitionsReclustered: st.PartitionsReclustered,
+		ArtifactsReclustered:  st.ArtifactsReclustered,
+		DirtyEcoItems:         st.DirtyEcoItems,
 	}
 	for _, eco := range st.Reclustered {
 		out.Reclustered = append(out.Reclustered, eco.String())

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
@@ -66,6 +67,55 @@ func assertComponentsEqual(t *testing.T, got, want *core.MalGraph, label string)
 	}
 }
 
+// edgeSet canonicalises one edge type's edges — endpoints ordered for
+// undirected types, attrs serialised — so two graphs can be compared as
+// sets, independent of insertion order.
+func edgeSet(mg *core.MalGraph, et graph.EdgeType) map[string]bool {
+	set := make(map[string]bool)
+	for _, e := range mg.G.Edges(et) {
+		from, to := e.From, e.To
+		if et != graph.Dependency && from > to {
+			from, to = to, from
+		}
+		keys := make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		line := from + "|" + to
+		for _, k := range keys {
+			line += "|" + k + "=" + e.Attrs[k]
+		}
+		set[line] = true
+	}
+	return set
+}
+
+// assertEdgeSetsEqual requires the exact per-type edge sets — endpoints AND
+// attributes (cluster labels, silhouettes, report URLs) — to match. This is
+// stronger than component equality: it pins the LSH-scoped path's partition
+// labels and per-partition silhouettes as content-derived values no batch
+// partition can perturb.
+func assertEdgeSetsEqual(t *testing.T, got, want *core.MalGraph, label string) {
+	t.Helper()
+	for _, et := range graph.EdgeTypes() {
+		g, w := edgeSet(got, et), edgeSet(want, et)
+		if len(g) != len(w) {
+			t.Errorf("%s: %s edge set size %d, want %d", label, et, len(g), len(w))
+		}
+		for e := range w {
+			if !g[e] {
+				t.Errorf("%s: %s edge missing: %s", label, et, e)
+			}
+		}
+		for e := range g {
+			if !w[e] {
+				t.Errorf("%s: %s edge unexpected: %s", label, et, e)
+			}
+		}
+	}
+}
+
 // TestIncrementalTenBatchesMatchesOneShot is the acceptance criterion:
 // Scale=0.05, the corpus ingested in 10 time-ordered batches via
 // Engine.Ingest, producing identical Results (all RQ tables) to a one-shot
@@ -107,6 +157,7 @@ func TestIncrementalTenBatchesMatchesOneShot(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertComponentsEqual(t, p.Graph, batch.Graph, "10-batch")
+	assertEdgeSetsEqual(t, p.Graph, batch.Graph, "10-batch")
 	assertResultsEqual(t, got, want, "10-batch")
 
 	// The rendered report — every table and figure — must match too.
@@ -157,6 +208,7 @@ func TestShuffledBatchIngestMatchesOneShot(t *testing.T) {
 				t.Fatal(err)
 			}
 			assertComponentsEqual(t, p.Graph, batch.Graph, fmt.Sprintf("shuffle k=%d", k))
+			assertEdgeSetsEqual(t, p.Graph, batch.Graph, fmt.Sprintf("shuffle k=%d", k))
 			assertResultsEqual(t, got, want, fmt.Sprintf("shuffle k=%d", k))
 		})
 	}
@@ -242,6 +294,130 @@ func BenchmarkIncremental_Append(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(st.Reclustered)), "reclustered_ecos")
 		b.ReportMetric(float64(st.NewArtifacts), "new_artifacts")
+	}
+}
+
+// --- Append-growth benchmark (ISSUE 4 acceptance) ---
+//
+// The LSH-scoped re-clustering claim is that append cost tracks the delta,
+// not the corpus: the same append into a 10× corpus must cost about the same
+// as into a 1× corpus (acceptance: ≤ 2×). One world is built at 10× the
+// bench scale and cut into 1000 timeline batches, so each batch is ≈1% of
+// the 1× corpus; the benchmark warms an engine with a 100/400/998-batch
+// prefix (1×/4×/10× corpus) plus the full report corpus, then times
+// ingesting the SAME held-out final batch against each — identical delta
+// work (embedding, scanning, report joins), growing corpus, so the ratio
+// isolates exactly the corpus-scaling terms the partition scoping removes.
+
+type growthState struct {
+	snap  []byte
+	delta core.Batch
+}
+
+var (
+	growthMu    sync.Mutex
+	growthFeed  []core.Batch
+	growthErr   error
+	growthCache map[int]*growthState
+)
+
+func growthSetup(b *testing.B, prefix int) *growthState {
+	b.Helper()
+	growthMu.Lock()
+	defer growthMu.Unlock()
+	if growthFeed == nil && growthErr == nil {
+		var p *Pipeline
+		p, growthErr = NewStreamingPipeline(context.Background(), Config{Scale: benchScale() * 10}, 1)
+		if growthErr == nil {
+			ds, reps := p.Source()
+			growthFeed = BatchFeed(ds, reps, 1000)
+			growthCache = make(map[int]*growthState)
+		}
+	}
+	if growthErr != nil {
+		b.Fatalf("growth world: %v", growthErr)
+	}
+	if st := growthCache[prefix]; st != nil {
+		return st
+	}
+	if prefix+1 > len(growthFeed) {
+		b.Fatalf("growth feed too small: %d batches, need %d", len(growthFeed), prefix+1)
+	}
+	// Warm with the entry prefix plus EVERY report, so the held-out delta
+	// performs identical report-join work against each corpus size.
+	warm := mergeBatches(growthFeed)
+	warm.Entries = nil
+	for _, fb := range growthFeed[:prefix] {
+		warm.Entries = append(warm.Entries, fb.Entries...)
+	}
+	eng := core.NewEngine(core.DefaultConfig())
+	if _, err := eng.Ingest(warm); err != nil {
+		b.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := eng.Snapshot(&snap); err != nil {
+		b.Fatal(err)
+	}
+	last := growthFeed[len(growthFeed)-1]
+	st := &growthState{snap: snap.Bytes(), delta: core.Batch{Entries: last.Entries, Stats: last.Stats, At: last.At}}
+	growthCache[prefix] = st
+	return st
+}
+
+// mergeBatches concatenates feed batches into one warm-up ingest. Per-entry
+// stats are absolute, so the latest batch's stat per coordinate wins.
+func mergeBatches(batches []core.Batch) core.Batch {
+	var out core.Batch
+	stats := make(map[string]collect.EntryStat)
+	for _, b := range batches {
+		out.Entries = append(out.Entries, b.Entries...)
+		out.Reports = append(out.Reports, b.Reports...)
+		for k, v := range b.Stats {
+			stats[k] = v
+		}
+		if out.At.IsZero() {
+			out.At = b.At
+		}
+	}
+	out.Stats = stats
+	return out
+}
+
+// BenchmarkIncremental_AppendGrowth measures a fixed ≈1%-of-base append at
+// 1×/4×/10× corpus sizes. Flat (≤2× at 10×) means re-clustering is scoped to
+// the touched LSH partitions; O(ecosystem) growth here is the regression the
+// CI gate on BENCH_incremental.json catches.
+func BenchmarkIncremental_AppendGrowth(b *testing.B) {
+	for _, size := range []struct {
+		name   string
+		prefix int
+	}{{"1x", 100}, {"4x", 400}, {"10x", 998}} {
+		b.Run("size="+size.name, func(b *testing.B) {
+			st := growthSetup(b, size.prefix)
+			b.ReportMetric(float64(len(st.delta.Entries)), "delta_entries")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, err := core.RestoreEngine(bytes.NewReader(st.snap))
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				b.StartTimer()
+				is, err := eng.Ingest(st.delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(is.PartitionsReclustered), "partitions_touched")
+				b.ReportMetric(float64(is.ArtifactsReclustered), "artifacts_reclustered")
+				b.ReportMetric(float64(is.DirtyEcoItems), "dirty_eco_items")
+				rebuilt := 0.0
+				if is.CoexistingRebuilt {
+					rebuilt = 1.0
+				}
+				b.ReportMetric(rebuilt, "coexisting_rebuilt")
+			}
+		})
 	}
 }
 

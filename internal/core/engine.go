@@ -13,8 +13,14 @@ package core
 //     from the previously ingested fronts that import *it* — without
 //     rescanning anything.
 //   - similar: per-artifact tokenize→hash→embed→SimHash products are cached
-//     per node; only ecosystems whose artifact set changed re-cluster, and
-//     the ecosystem's similar edges are dropped and re-derived wholesale.
+//     per node; a banded LSH index (textsim.LSHIndex) partitions every
+//     ecosystem by verified band-candidate connectivity (shared SimHash band
+//     AND cosine ≥ threshold, transitively — family-sized components at any
+//     corpus scale), and only the partitions containing changed artifacts
+//     re-cluster: their similar edges are dropped surgically
+//     (graph.RemoveEdgesIncident) and re-derived, while every other
+//     partition's clusters and edges are untouched. Clusters are computed
+//     per partition, so appends cost O(dirty partitions), not O(ecosystem).
 //   - co-existing: reports are merged into a URL-sorted corpus and the
 //     (cheap) report-join stage is re-derived when a batch adds reports or
 //     packages that earlier reports were waiting for.
@@ -75,6 +81,14 @@ type IngestStats struct {
 	NewReports     int
 	// Reclustered lists the ecosystems whose §III-B clustering re-ran.
 	Reclustered []ecosys.Ecosystem
+	// Recluster-scope accounting for the LSH-scoped partial re-clustering:
+	// of the DirtyEcoItems artifacts in the touched ecosystems, only the
+	// ArtifactsReclustered inside PartitionsReclustered LSH partitions were
+	// actually re-clustered — the gap is the O(ecosystem) work the partition
+	// scoping avoided.
+	PartitionsReclustered int
+	ArtifactsReclustered  int
+	DirtyEcoItems         int
 	// Edge deltas by type (coexisting counts the net effect of a rebuild).
 	DuplicatedDelta int
 	DependencyDelta int
@@ -121,6 +135,19 @@ type Engine struct {
 	// itemsByEco caches the §III-B per-artifact products, sorted by node ID
 	// (the order a one-shot Build clusters in).
 	itemsByEco map[ecosys.Ecosystem][]textsim.Item
+	// lshByEco partitions each ecosystem's items by verified band-candidate
+	// connectivity under cfg.Cluster (LSHBands, Threshold) — the unit of
+	// incremental re-clustering. Partition identity is content-derived
+	// (canonical key = smallest member node ID), so any batch order
+	// reproduces the same partitions.
+	lshByEco map[ecosys.Ecosystem]*textsim.LSHIndex
+	// clustersByPart caches each partition's surviving clusters by its
+	// canonical key; flattening the map in key order yields the ecosystem's
+	// cluster list exactly as a one-shot build derives it.
+	clustersByPart map[ecosys.Ecosystem]map[string][]textsim.Cluster
+	// clusterScratch pools the clustering kernels' buffers across ingests,
+	// one Scratch per re-clustering worker.
+	clusterScratch sync.Pool
 
 	// reportSeen dedupes reports by URL; wanted indexes every coordinate any
 	// ingested report names, so a later batch that delivers such a package
@@ -144,15 +171,17 @@ func NewEngine(cfg Config) *Engine {
 			ReportsByPackage: make(map[string][]*reports.Report),
 			entryByID:        make(map[string]*collect.Entry),
 		},
-		embedder:   textsim.NewEmbedder(cfg.Embed),
-		scanner:    depscan.NewScanner(),
-		byName:     make(map[ecosys.Ecosystem]map[string][]string),
-		corpus:     make(map[ecosys.Ecosystem]map[string]bool),
-		importers:  make(map[ecosys.Ecosystem]map[string][]string),
-		importsOf:  make(map[string][]string),
-		itemsByEco: make(map[ecosys.Ecosystem][]textsim.Item),
-		reportSeen: make(map[string]bool),
-		wanted:     make(map[string]bool),
+		embedder:       textsim.NewEmbedder(cfg.Embed),
+		scanner:        depscan.NewScanner(),
+		byName:         make(map[ecosys.Ecosystem]map[string][]string),
+		corpus:         make(map[ecosys.Ecosystem]map[string]bool),
+		importers:      make(map[ecosys.Ecosystem]map[string][]string),
+		importsOf:      make(map[string][]string),
+		itemsByEco:     make(map[ecosys.Ecosystem][]textsim.Item),
+		lshByEco:       make(map[ecosys.Ecosystem]*textsim.LSHIndex),
+		clustersByPart: make(map[ecosys.Ecosystem]map[string][]textsim.Cluster),
+		reportSeen:     make(map[string]bool),
+		wanted:         make(map[string]bool),
 	}
 }
 
@@ -448,9 +477,10 @@ func (e *Engine) applyDependency(changes []entryChange, st *IngestStats) error {
 	return nil
 }
 
-// applySimilar embeds the batch's new artifacts, then re-runs the §III-B
-// clustering for exactly the ecosystems whose item set changed, replacing
-// those ecosystems' similar edges wholesale.
+// applySimilar embeds the batch's new artifacts, grows the per-ecosystem LSH
+// partition index, then re-runs the §III-B clustering for exactly the
+// partitions whose member set changed — replacing only those partitions'
+// similar edges (graph.RemoveEdgesIncident) instead of the whole ecosystem's.
 func (e *Engine) applySimilar(changes []entryChange, st *IngestStats) error {
 	before := e.mg.G.EdgeCount(graph.Similar)
 	newArts := artifactChanges(changes)
@@ -479,11 +509,15 @@ func (e *Engine) applySimilar(changes []entryChange, st *IngestStats) error {
 			Hash:   textsim.SimHashHashed(sc.hashed),
 		}
 	})
-	dirty := make(map[ecosys.Ecosystem]bool)
+	dirty := make(map[ecosys.Ecosystem][]string)
 	for i, ch := range newArts {
 		eco := ch.entry.Coord.Ecosystem
 		e.itemsByEco[eco] = insertItem(e.itemsByEco[eco], items[i])
-		dirty[eco] = true
+		if e.lshByEco[eco] == nil {
+			e.lshByEco[eco] = textsim.NewLSHIndex(e.cfg.Cluster)
+		}
+		e.lshByEco[eco].Add(items[i].ID, items[i].Hash, items[i].Vector)
+		dirty[eco] = append(dirty[eco], items[i].ID)
 	}
 	if len(dirty) == 0 {
 		return nil
@@ -493,35 +527,83 @@ func (e *Engine) applySimilar(changes []entryChange, st *IngestStats) error {
 		ecos = append(ecos, eco)
 	}
 	sort.Slice(ecos, func(i, j int) bool { return ecos[i] < ecos[j] })
-	// Re-cluster dirty ecosystems concurrently, each on the same derived RNG
-	// stream a one-shot Build would use — with items sorted by node ID the
-	// clustering input is partition-independent, so the clusters match.
-	clustersByEco := parallel.Map(len(ecos), func(i int) []textsim.Cluster {
-		eco := ecos[i]
-		rng := xrand.New(e.cfg.Seed).Derive("similar/" + eco.String())
-		return textsim.ClusterItems(e.itemsByEco[eco], e.cfg.Cluster, rng)
-	})
-	// One removal pass for all dirty ecosystems: RemoveEdgesWhere rebuilds
-	// the adjacency indexes (O(total edges)), so the predicate batches every
-	// dirty prefix rather than paying that rebuild per ecosystem.
-	prefixes := make([]string, len(ecos))
-	for i, eco := range ecos {
-		prefixes[i] = eco.String() + "/"
+	// Resolve the dirty partitions: where the new items landed after every
+	// merge this batch caused. A partition key retired by a merge always
+	// re-surfaces inside one of these (the merge was bridged by a new item),
+	// so dropping its cached clusters loses nothing.
+	type partJob struct {
+		eco   ecosys.Ecosystem
+		key   string
+		items []textsim.Item
 	}
-	e.mg.G.RemoveEdgesWhere(graph.Similar, func(ed graph.Edge) bool {
-		for _, prefix := range prefixes {
-			if strings.HasPrefix(ed.From, prefix) {
-				return true
-			}
+	var jobs []partJob
+	var dirtyMembers []string
+	for _, eco := range ecos {
+		idx := e.lshByEco[eco]
+		if e.clustersByPart[eco] == nil {
+			e.clustersByPart[eco] = make(map[string][]textsim.Cluster)
 		}
-		return false
+		for _, retiredKey := range idx.DrainRetired() {
+			delete(e.clustersByPart[eco], retiredKey)
+		}
+		seen := make(map[string]bool)
+		keys := make([]string, 0, len(dirty[eco]))
+		for _, id := range dirty[eco] {
+			key, ok := idx.Root(id)
+			if !ok || seen[key] {
+				continue
+			}
+			seen[key] = true
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			members := idx.Members(key)
+			pitems := make([]textsim.Item, 0, len(members))
+			for _, id := range members {
+				it, ok := e.itemAt(eco, id)
+				if !ok {
+					return fmt.Errorf("similar: partition %s references unknown item %s", key, id)
+				}
+				pitems = append(pitems, it)
+			}
+			jobs = append(jobs, partJob{eco: eco, key: key, items: pitems})
+			dirtyMembers = append(dirtyMembers, members...)
+		}
+		st.DirtyEcoItems += len(e.itemsByEco[eco])
+	}
+	st.PartitionsReclustered = len(jobs)
+	st.ArtifactsReclustered = len(dirtyMembers)
+	// Re-cluster dirty partitions concurrently. Each partition's items are
+	// sorted by node ID and its RNG stream is derived from its canonical key
+	// — both content-derived, so any batch order (and a one-shot Build)
+	// computes identical clusters per partition.
+	clustersByJob := parallel.Map(len(jobs), func(i int) []textsim.Cluster {
+		sc, _ := e.clusterScratch.Get().(*textsim.Scratch)
+		if sc == nil {
+			sc = textsim.NewScratch()
+		}
+		defer e.clusterScratch.Put(sc)
+		job := jobs[i]
+		rng := xrand.New(e.cfg.Seed).Derive("similar/" + job.eco.String() + "/" + job.key)
+		return textsim.ClusterItemsScratch(job.items, e.cfg.Cluster, rng, sc)
 	})
-	for i, eco := range ecos {
-		clusters := clustersByEco[i]
-		e.mg.SimilarClusters[eco] = clusters
+	// Clusters never span partitions, so every stale similar edge is
+	// incident to a dirty partition member; drop exactly those, leaving all
+	// other partitions' edges (and the adjacency indexes) untouched.
+	e.mg.G.RemoveEdgesIncident(graph.Similar, dirtyMembers)
+	for i, job := range jobs {
+		clusters := clustersByJob[i]
+		if len(clusters) == 0 {
+			delete(e.clustersByPart[job.eco], job.key)
+		} else {
+			e.clustersByPart[job.eco][job.key] = clusters
+		}
 		for ci, cluster := range clusters {
 			attrs := graph.Attrs{
-				"cluster":    fmt.Sprintf("%s-%d", eco, ci),
+				// Labels are partition-scoped so an untouched partition's
+				// edge attrs stay valid verbatim across appends.
+				"cluster":    job.key + "#" + strconv.Itoa(ci),
 				"silhouette": fmt.Sprintf("%.3f", cluster.Silhouette),
 			}
 			if err := e.mg.connectGroup(cluster.Members, graph.Similar, attrs, e.cfg.PairwiseLimit); err != nil {
@@ -529,9 +611,42 @@ func (e *Engine) applySimilar(changes []entryChange, st *IngestStats) error {
 			}
 		}
 	}
+	// Re-derive each dirty ecosystem's flat cluster list in canonical
+	// partition-key order — the order a one-shot build yields.
+	for _, eco := range ecos {
+		e.mg.SimilarClusters[eco] = flattenClusters(e.clustersByPart[eco])
+	}
 	st.Reclustered = ecos
 	st.SimilarDelta = e.mg.G.EdgeCount(graph.Similar) - before
 	return nil
+}
+
+// itemAt returns the cached clustering item for a node ID via binary search
+// in the ecosystem's ID-sorted item slice.
+func (e *Engine) itemAt(eco ecosys.Ecosystem, id string) (textsim.Item, bool) {
+	items := e.itemsByEco[eco]
+	i := sort.Search(len(items), func(i int) bool { return items[i].ID >= id })
+	if i < len(items) && items[i].ID == id {
+		return items[i], true
+	}
+	return textsim.Item{}, false
+}
+
+// flattenClusters serialises a partition→clusters map into one deterministic
+// per-ecosystem list, ordered by canonical partition key.
+func flattenClusters(parts map[string][]textsim.Cluster) []textsim.Cluster {
+	keys := make([]string, 0, len(parts))
+	total := 0
+	for k, cs := range parts {
+		keys = append(keys, k)
+		total += len(cs)
+	}
+	sort.Strings(keys)
+	out := make([]textsim.Cluster, 0, total)
+	for _, k := range keys {
+		out = append(out, parts[k]...)
+	}
+	return out
 }
 
 // applyCoexisting merges new reports and maintains the §III-D report-join
@@ -566,7 +681,9 @@ func (e *Engine) applyCoexisting(newReports []*reports.Report, changes []entryCh
 		fresh = append(fresh, rep)
 	}
 	st.NewReports = len(fresh)
-	sort.Slice(e.mg.Reports, func(i, j int) bool { return e.mg.Reports[i].URL < e.mg.Reports[j].URL })
+	if len(fresh) > 0 { // the corpus stays URL-sorted between batches
+		sort.Slice(e.mg.Reports, func(i, j int) bool { return e.mg.Reports[i].URL < e.mg.Reports[j].URL })
+	}
 
 	rebuild := false
 	for _, ch := range changes {

@@ -299,3 +299,108 @@ func TestEngineLateArtifactUpsert(t *testing.T) {
 		t.Fatalf("node attrs not refreshed: %v", n.Attrs)
 	}
 }
+
+// TestEngineRestoreReclustersSamePartitions is the LSH persistence contract:
+// a restored engine carries the same partition structure and per-partition
+// cluster cache, so its next ingest re-clusters exactly the partitions the
+// uninterrupted engine would — no more (no O(ecosystem) fallback), no fewer.
+func TestEngineRestoreReclustersSamePartitions(t *testing.T) {
+	ds, reps := miniDataset(t)
+	half := len(ds.Entries) - 2
+	warm := Batch{Entries: ds.Entries[:half], Reports: reps, At: ds.CollectedAt}
+	delta := Batch{Entries: ds.Entries[half:]}
+
+	live := NewEngine(DefaultConfig())
+	if _, err := live.Ingest(warm); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := live.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEngine(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The rebuilt LSH index must expose identical partitions per ecosystem.
+	for eco, idx := range live.lshByEco {
+		ridx := restored.lshByEco[eco]
+		if ridx == nil {
+			t.Fatalf("%s: restored engine lost its LSH index", eco)
+		}
+		wantParts, gotParts := idx.Partitions(), ridx.Partitions()
+		if !reflect.DeepEqual(gotParts, wantParts) {
+			t.Fatalf("%s: partitions differ: got %v want %v", eco, gotParts, wantParts)
+		}
+		for _, key := range wantParts {
+			if !reflect.DeepEqual(ridx.Members(key), idx.Members(key)) {
+				t.Fatalf("%s: members of %s differ", eco, key)
+			}
+		}
+	}
+	if !reflect.DeepEqual(restored.clustersByPart, live.clustersByPart) {
+		t.Fatal("restored per-partition cluster cache differs")
+	}
+
+	// The same delta must produce identical recluster scope and final state.
+	liveStats, err := live.Ingest(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredStats, err := restored.Ingest(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveStats.PartitionsReclustered != restoredStats.PartitionsReclustered ||
+		liveStats.ArtifactsReclustered != restoredStats.ArtifactsReclustered ||
+		liveStats.DirtyEcoItems != restoredStats.DirtyEcoItems {
+		t.Fatalf("recluster scope differs:\n live     %+v\n restored %+v", liveStats, restoredStats)
+	}
+	if liveStats.SimilarDelta != restoredStats.SimilarDelta {
+		t.Fatalf("similar deltas differ: %d vs %d", liveStats.SimilarDelta, restoredStats.SimilarDelta)
+	}
+	if a, b := graphSig(t, live.Graph()), graphSig(t, restored.Graph()); a != b {
+		t.Fatal("post-delta graphs differ")
+	}
+	if !reflect.DeepEqual(live.Graph().SimilarClusters, restored.Graph().SimilarClusters) {
+		t.Fatal("post-delta clusters differ")
+	}
+}
+
+// TestEngineIngestScopeAccounting checks the recluster-scope stats: a delta
+// landing in one known family re-clusters that family's partition (plus any
+// partitions its own artifacts form), never the whole ecosystem.
+func TestEngineIngestScopeAccounting(t *testing.T) {
+	ds, reps := miniDataset(t)
+	// Hold back one alpha variant (a member of the camA similarity family).
+	var held *collect.Entry
+	rest := make([]*collect.Entry, 0, len(ds.Entries))
+	for _, e := range ds.Entries {
+		if e.Coord.Name == "alpha-three" {
+			held = e
+			continue
+		}
+		rest = append(rest, e)
+	}
+	if held == nil {
+		t.Fatal("fixture missing alpha-three")
+	}
+	eng := NewEngine(DefaultConfig())
+	if _, err := eng.Ingest(Batch{Entries: rest, Reports: reps, At: ds.CollectedAt}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Ingest(Batch{Entries: []*collect.Entry{held}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PartitionsReclustered != 1 {
+		t.Fatalf("partitions reclustered = %d, want 1 (alpha family only): %+v", st.PartitionsReclustered, st)
+	}
+	if st.ArtifactsReclustered >= st.DirtyEcoItems {
+		t.Fatalf("re-cluster scope not partial: %d of %d", st.ArtifactsReclustered, st.DirtyEcoItems)
+	}
+	if st.ArtifactsReclustered != 3 { // alpha-one, alpha-two, alpha-three
+		t.Fatalf("artifacts reclustered = %d, want 3", st.ArtifactsReclustered)
+	}
+}

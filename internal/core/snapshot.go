@@ -21,8 +21,11 @@ import (
 	"malgraph/internal/textsim"
 )
 
-// snapshotVersion guards the wire format.
-const snapshotVersion = 1
+// snapshotVersion guards the wire format. Version 2 replaced the flat
+// per-ecosystem cluster lists with per-LSH-partition cluster maps, so a
+// warm-restarted engine re-clusters exactly the partitions the unrestored
+// one would have.
+const snapshotVersion = 2
 
 // snapshotItem carries a cached clustering item. SimHash fingerprints are
 // full 64-bit values, so Hash travels as hex — JSON numbers lose integer
@@ -34,14 +37,19 @@ type snapshotItem struct {
 }
 
 type engineSnapshot struct {
-	Version  int                          `json:"version"`
-	Config   Config                       `json:"config"`
-	Dataset  json.RawMessage              `json:"dataset"` // collect full export
-	Reports  []*reports.Report            `json:"reports"`
-	Graph    json.RawMessage              `json:"graph"` // graph.WriteJSON output
-	Clusters map[string][]textsim.Cluster `json:"clusters"`
-	Items    map[string][]snapshotItem    `json:"items"`
-	Imports  map[string][]string          `json:"imports"`
+	Version int               `json:"version"`
+	Config  Config            `json:"config"`
+	Dataset json.RawMessage   `json:"dataset"` // collect full export
+	Reports []*reports.Report `json:"reports"`
+	Graph   json.RawMessage   `json:"graph"` // graph.WriteJSON output
+	// Partitions carries each ecosystem's clusters keyed by LSH partition
+	// (canonical key = smallest member node ID); the flat SimilarClusters
+	// lists are re-derived by flattening in key order. The LSH index itself
+	// is not serialised: partition membership is content-derived, so it is
+	// rebuilt exactly from Items on restore.
+	Partitions map[string]map[string][]textsim.Cluster `json:"partitions"`
+	Items      map[string][]snapshotItem               `json:"items"`
+	Imports    map[string][]string                     `json:"imports"`
 }
 
 // Snapshot serialises the engine's full state: merged dataset (with
@@ -58,17 +66,19 @@ func (e *Engine) Snapshot(w io.Writer) error {
 		return fmt.Errorf("snapshot graph: %w", err)
 	}
 	snap := engineSnapshot{
-		Version:  snapshotVersion,
-		Config:   e.cfg,
-		Dataset:  ds.Bytes(),
-		Reports:  e.mg.Reports,
-		Graph:    g.Bytes(),
-		Clusters: make(map[string][]textsim.Cluster, len(e.mg.SimilarClusters)),
-		Items:    make(map[string][]snapshotItem, len(e.itemsByEco)),
-		Imports:  e.importsOf,
+		Version:    snapshotVersion,
+		Config:     e.cfg,
+		Dataset:    ds.Bytes(),
+		Reports:    e.mg.Reports,
+		Graph:      g.Bytes(),
+		Partitions: make(map[string]map[string][]textsim.Cluster, len(e.clustersByPart)),
+		Items:      make(map[string][]snapshotItem, len(e.itemsByEco)),
+		Imports:    e.importsOf,
 	}
-	for eco, clusters := range e.mg.SimilarClusters {
-		snap.Clusters[eco.String()] = clusters
+	// Empty per-ecosystem maps are carried too, so a restored engine's
+	// partition cache mirrors the live one exactly.
+	for eco, parts := range e.clustersByPart {
+		snap.Partitions[eco.String()] = parts
 	}
 	for eco, items := range e.itemsByEco {
 		out := make([]snapshotItem, 0, len(items))
@@ -114,19 +124,14 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 	for _, eco := range ecosys.All() {
 		ecoByName[eco.String()] = eco
 	}
-	for name, clusters := range snap.Clusters {
-		eco, ok := ecoByName[name]
-		if !ok {
-			return nil, fmt.Errorf("restore: unknown ecosystem %q in clusters", name)
-		}
-		e.mg.SimilarClusters[eco] = clusters
-	}
 	for name, items := range snap.Items {
 		eco, ok := ecoByName[name]
 		if !ok {
 			return nil, fmt.Errorf("restore: unknown ecosystem %q in items", name)
 		}
-		restored := make([]textsim.Item, 0, len(items))
+		// Headroom keeps the first post-restore inserts from recopying the
+		// whole ID-sorted slice (insertItem shifts in place within capacity).
+		restored := make([]textsim.Item, 0, len(items)+len(items)/8+16)
 		for _, it := range items {
 			hash, err := strconv.ParseUint(it.Hash, 16, 64)
 			if err != nil {
@@ -136,6 +141,33 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		}
 		sort.Slice(restored, func(i, j int) bool { return restored[i].ID < restored[j].ID })
 		e.itemsByEco[eco] = restored
+		// Rebuild the LSH partition index from the cached fingerprints —
+		// partition membership and canonical keys are content-derived, so
+		// this reproduces the snapshotted engine's index exactly.
+		idx := textsim.NewLSHIndex(e.cfg.Cluster)
+		for _, it := range restored {
+			idx.Add(it.ID, it.Hash, it.Vector)
+		}
+		// Rebuild-time retirements predate the snapshot's partition cache,
+		// which is already keyed canonically — drain them so the first
+		// post-restore ingest doesn't pay an O(corpus) stale-key sweep the
+		// uninterrupted engine never sees.
+		idx.DrainRetired()
+		e.lshByEco[eco] = idx
+	}
+	for name, parts := range snap.Partitions {
+		eco, ok := ecoByName[name]
+		if !ok {
+			return nil, fmt.Errorf("restore: unknown ecosystem %q in partitions", name)
+		}
+		idx := e.lshByEco[eco]
+		for key := range parts {
+			if idx == nil || idx.Members(key) == nil {
+				return nil, fmt.Errorf("restore: %s partition %q is not canonical in the rebuilt LSH index", name, key)
+			}
+		}
+		e.clustersByPart[eco] = parts
+		e.mg.SimilarClusters[eco] = flattenClusters(parts)
 	}
 
 	// Rebuild the in-memory indexes from the merged dataset and caches.

@@ -97,6 +97,11 @@ type Graph struct {
 	// analyses poll per-type counts concurrently and must not scan the
 	// edge list under the read lock each time.
 	countByType map[EdgeType]int
+	// dead counts tombstoned slots in edges (Type == 0) left behind by
+	// RemoveEdgesIncident, which surgically unlinks edges without the O(E)
+	// adjacency rebuild a compaction costs. Tombstones are reclaimed by the
+	// next RemoveEdgesWhere or when they exceed half the slice.
+	dead int
 }
 
 // New returns an empty graph.
@@ -164,7 +169,7 @@ func (g *Graph) EdgeCount(types ...EdgeType) int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if len(types) == 0 {
-		return len(g.edges)
+		return len(g.edges) - g.dead
 	}
 	n := 0
 	seen := 0
@@ -233,8 +238,12 @@ func (g *Graph) RemoveEdgesWhere(t EdgeType, pred func(Edge) bool) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	kept := g.edges[:0]
-	removed := 0
+	removed, reclaimed := 0, 0
 	for _, e := range g.edges {
+		if e.Type == 0 {
+			reclaimed++ // tombstone left by RemoveEdgesIncident
+			continue
+		}
 		if e.Type == t && pred(e) {
 			delete(g.edgeSeen, edgeKey(e.Type, e.From, e.To))
 			removed++
@@ -242,18 +251,84 @@ func (g *Graph) RemoveEdgesWhere(t EdgeType, pred func(Edge) bool) int {
 		}
 		kept = append(kept, e)
 	}
-	if removed == 0 {
+	if removed == 0 && reclaimed == 0 {
 		g.edges = kept
 		return 0
 	}
+	g.countByType[t] -= removed
+	g.rebuildLocked(kept, len(g.edges))
+	return removed
+}
+
+// RemoveEdgesIncident deletes every edge of type t incident to any of the
+// given nodes and returns how many were removed. Unlike RemoveEdgesWhere it
+// costs O(Σ degree) of the touched nodes, not O(total edges): removed slots
+// are tombstoned in place (keeping every surviving edge index valid) and
+// only the touched nodes' adjacency lists are filtered. This is the
+// partition-scoped edge replacement the incremental engine leans on — a
+// dirty LSH partition's similar edges are dropped and re-derived without
+// paying a whole-graph adjacency rebuild. Tombstones are compacted away once
+// they outnumber live edges.
+func (g *Graph) RemoveEdgesIncident(t EdgeType, nodes []string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	removed := 0
+	touched := make(map[string]bool, len(nodes))
+	for _, id := range nodes {
+		for _, idx := range g.adjacency[t][id] {
+			e := &g.edges[idx]
+			if e.Type != t {
+				continue // tombstoned already via an earlier node of this call
+			}
+			delete(g.edgeSeen, edgeKey(t, e.From, e.To))
+			touched[e.From] = true
+			touched[e.To] = true
+			*e = Edge{}
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	g.countByType[t] -= removed
+	g.dead += removed
+	for id := range touched {
+		lst := g.adjacency[t][id]
+		live := lst[:0]
+		for _, idx := range lst {
+			if g.edges[idx].Type == t {
+				live = append(live, idx)
+			}
+		}
+		if len(live) == 0 {
+			delete(g.adjacency[t], id)
+		} else {
+			g.adjacency[t][id] = live
+		}
+	}
+	if g.dead > 1024 && g.dead*2 > len(g.edges) {
+		kept := g.edges[:0]
+		for _, e := range g.edges {
+			if e.Type != 0 {
+				kept = append(kept, e)
+			}
+		}
+		g.rebuildLocked(kept, len(g.edges))
+	}
+	return removed
+}
+
+// rebuildLocked installs the compacted edge slice (sharing g.edges' backing
+// array, prevLen its previous length) and rebuilds every adjacency index.
+func (g *Graph) rebuildLocked(kept []Edge, prevLen int) {
 	// Zero the tail so dropped Edge values (attr maps, strings) are not
 	// pinned by the backing array.
-	tail := g.edges[len(kept):]
+	tail := g.edges[len(kept):prevLen]
 	for i := range tail {
 		tail[i] = Edge{}
 	}
 	g.edges = kept
-	g.countByType[t] -= removed
+	g.dead = 0
 	for _, et := range EdgeTypes() {
 		g.adjacency[et] = make(map[string][]int)
 	}
@@ -261,7 +336,6 @@ func (g *Graph) RemoveEdgesWhere(t EdgeType, pred func(Edge) bool) int {
 		g.adjacency[e.Type][e.From] = append(g.adjacency[e.Type][e.From], idx)
 		g.adjacency[e.Type][e.To] = append(g.adjacency[e.Type][e.To], idx)
 	}
-	return removed
 }
 
 // HasEdge reports whether an edge of type t joins the two nodes (in either
@@ -324,6 +398,9 @@ func (g *Graph) Edges(types ...EdgeType) []Edge {
 	defer g.mu.RUnlock()
 	var out []Edge
 	for _, e := range g.edges {
+		if e.Type == 0 {
+			continue // tombstoned slot
+		}
 		if len(types) == 0 {
 			out = append(out, Edge{From: e.From, To: e.To, Type: e.Type, Attrs: e.Attrs.clone()})
 			continue
@@ -438,8 +515,12 @@ type persisted struct {
 // WriteJSON serialises the graph deterministically (nodes sorted by ID).
 func (g *Graph) WriteJSON(w io.Writer) error {
 	g.mu.RLock()
-	p := persisted{Edges: make([]Edge, len(g.edges))}
-	copy(p.Edges, g.edges)
+	p := persisted{Edges: make([]Edge, 0, len(g.edges)-g.dead)}
+	for _, e := range g.edges {
+		if e.Type != 0 { // skip tombstoned slots
+			p.Edges = append(p.Edges, e)
+		}
+	}
 	for _, n := range g.nodes {
 		p.Nodes = append(p.Nodes, Node{ID: n.ID, Attrs: n.Attrs.clone()})
 	}

@@ -393,3 +393,142 @@ func TestRemoveEdgesWhereNoMatch(t *testing.T) {
 		t.Fatal("edge lost on no-op removal")
 	}
 }
+
+func TestRemoveEdgesIncident(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		if err := g.AddNode(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.AddEdge("a", "b", Similar, Attrs{"cluster": "x"})
+	_ = g.AddEdge("b", "c", Similar, Attrs{"cluster": "x"})
+	_ = g.AddEdge("d", "e", Similar, Attrs{"cluster": "y"})
+	_ = g.AddEdge("a", "d", Coexisting, nil)
+	_ = g.AddEdge("a", "b", Dependency, nil)
+
+	// Dropping partition {a,b,c} must take both its similar edges — and
+	// nothing else, even where the nodes carry other edge types.
+	if removed := g.RemoveEdgesIncident(Similar, []string{"a", "b", "c"}); removed != 2 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if g.HasEdge("a", "b", Similar) || g.HasEdge("b", "c", Similar) {
+		t.Fatal("partition edges survived")
+	}
+	if !g.HasEdge("d", "e", Similar) || !g.HasEdge("a", "d", Coexisting) || !g.HasEdge("a", "b", Dependency) {
+		t.Fatal("unrelated edges were removed")
+	}
+	if got := g.EdgeCount(Similar); got != 1 {
+		t.Fatalf("similar count = %d", got)
+	}
+	if got := g.EdgeCount(); got != 3 {
+		t.Fatalf("total count = %d", got)
+	}
+	// Tombstoned slots must be invisible everywhere: adjacency, edge dumps,
+	// serialisation, components.
+	if nb := g.Neighbors("b", Similar); len(nb) != 0 {
+		t.Fatalf("b similar neighbors = %v", nb)
+	}
+	if edges := g.Edges(); len(edges) != 3 {
+		t.Fatalf("Edges() = %d", len(edges))
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.EdgeCount(); got != 3 {
+		t.Fatalf("round-tripped count = %d", got)
+	}
+	if comps := g.ComponentsMin(2, Similar); len(comps) != 1 || len(comps[0]) != 2 {
+		t.Fatalf("similar components = %v", comps)
+	}
+	// Removed edges must re-insert cleanly (fresh attrs, fresh slot).
+	if err := g.AddEdge("a", "b", Similar, Attrs{"cluster": "z"}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge("b", "a", Similar) {
+		t.Fatal("re-added edge missing")
+	}
+	// A later RemoveEdgesWhere must reclaim tombstones without recounting
+	// them.
+	if removed := g.RemoveEdgesIncident(Similar, []string{"d"}); removed != 1 {
+		t.Fatalf("second removal = %d", removed)
+	}
+	if removed := g.RemoveEdgesWhere(Coexisting, func(Edge) bool { return true }); removed != 1 {
+		t.Fatalf("coexisting removal = %d", removed)
+	}
+	if got := g.EdgeCount(); got != 2 {
+		t.Fatalf("final total = %d", got)
+	}
+}
+
+func TestRemoveEdgesIncidentNoMatch(t *testing.T) {
+	g := New()
+	_ = g.AddNode("a", nil)
+	_ = g.AddNode("b", nil)
+	_ = g.AddEdge("a", "b", Similar, nil)
+	if removed := g.RemoveEdgesIncident(Similar, []string{"zzz"}); removed != 0 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if removed := g.RemoveEdgesIncident(Coexisting, []string{"a"}); removed != 0 {
+		t.Fatalf("wrong-type removed = %d", removed)
+	}
+	if !g.HasEdge("a", "b", Similar) || g.EdgeCount() != 1 {
+		t.Fatal("no-op removal mutated the graph")
+	}
+}
+
+// TestRemoveEdgesIncidentCompaction drives enough tombstone churn to cross
+// the compaction threshold and checks the graph stays consistent through it.
+func TestRemoveEdgesIncidentCompaction(t *testing.T) {
+	g := New()
+	const n = 2100 // > 2×1024 so tombstones can exceed the compaction floor
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%04d", i)
+		if err := g.AddNode(ids[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addAll := func() {
+		for i := 0; i+1 < n; i += 2 {
+			if err := g.AddEdge(ids[i], ids[i+1], Similar, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	addAll()
+	if removed := g.RemoveEdgesIncident(Similar, ids); removed != n/2 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if got := g.EdgeCount(); got != 0 {
+		t.Fatalf("count after mass removal = %d", got)
+	}
+	// Re-add and remove again: the second wave crosses the dead threshold
+	// and compacts; every index must survive.
+	addAll()
+	if removed := g.RemoveEdgesIncident(Similar, ids[:n/2]); removed != n/4 {
+		t.Fatalf("second wave removed = %d", removed)
+	}
+	if got := g.EdgeCount(Similar); got != n/2-n/4 {
+		t.Fatalf("similar after second wave = %d", got)
+	}
+	if comps := g.ComponentsMin(2, Similar); len(comps) != n/4 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.EdgeCount(); got != n/4 {
+		t.Fatalf("round-trip count = %d", got)
+	}
+}

@@ -118,3 +118,26 @@ func BenchmarkAblation_RescueMerge(b *testing.B) {
 	}
 	b.ReportMetric(float64(total), "clustered_items")
 }
+
+// BenchmarkClusterItems_ScratchReuse measures the steady-state allocation
+// profile of repeated clustering through one pooled Scratch — the incremental
+// engine's per-partition re-clustering pattern — against the scratch-free
+// baseline BenchmarkClusterItems_NoScratch.
+func BenchmarkClusterItems_NoScratch(b *testing.B) {
+	items := ablationCorpus(30, 8, 200, DefaultEmbedConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClusterItems(items, DefaultClusterConfig(), xrand.New(1))
+	}
+}
+
+func BenchmarkClusterItems_ScratchReuse(b *testing.B) {
+	items := ablationCorpus(30, 8, 200, DefaultEmbedConfig())
+	sc := NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClusterItemsScratch(items, DefaultClusterConfig(), xrand.New(1), sc)
+	}
+}

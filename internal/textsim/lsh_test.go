@@ -1,0 +1,210 @@
+package textsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"malgraph/internal/xrand"
+)
+
+// lshFixture returns items with known band structure: a1/a2/b1/bridge share
+// one code direction (verification passes), c1 is orthogonal; a* and b1
+// collide in no band until bridge links both.
+func lshFixture() []Item {
+	same := []float64{1, 0}
+	return []Item{
+		{ID: "a1", Hash: 0x1111111111111111, Vector: same},
+		{ID: "a2", Hash: 0x1111111111111111, Vector: same},     // same partition as a1
+		{ID: "b1", Hash: 0x2222222222222222, Vector: same},     // no shared band with a*
+		{ID: "c1", Hash: 0xF0F0F0F0F0F0F0F0, Vector: []float64{0, 1}},
+		{ID: "bridge", Hash: 0x2222222211111111, Vector: same}, // low bands hit a*, high bands hit b1
+	}
+}
+
+func addAll(x *LSHIndex, items []Item) {
+	for _, it := range items {
+		x.Add(it.ID, it.Hash, it.Vector)
+	}
+}
+
+func TestLSHIndexPartitions(t *testing.T) {
+	x := NewLSHIndex(ClusterConfig{LSHBands: 8, Threshold: 0.7})
+	addAll(x, lshFixture()[:4]) // no bridge yet
+	if got := x.Partitions(); !reflect.DeepEqual(got, []string{"a1", "b1", "c1"}) {
+		t.Fatalf("partitions = %v", got)
+	}
+	if got := x.Members("a1"); !reflect.DeepEqual(got, []string{"a1", "a2"}) {
+		t.Fatalf("members(a1) = %v", got)
+	}
+	if got := x.Members("a2"); got != nil {
+		t.Fatalf("a2 is not canonical, members = %v", got)
+	}
+	if root, ok := x.Root("a2"); !ok || root != "a1" {
+		t.Fatalf("root(a2) = %q, %v", root, ok)
+	}
+	if _, ok := x.Root("nope"); ok {
+		t.Fatal("unknown id must not resolve")
+	}
+}
+
+func TestLSHIndexMergeRetiresKeys(t *testing.T) {
+	fixture := lshFixture()
+	x := NewLSHIndex(ClusterConfig{LSHBands: 8, Threshold: 0.7})
+	addAll(x, fixture[:4])
+	if retired := x.DrainRetired(); len(retired) == 0 {
+		// a2 was briefly canonical of itself before merging into a1.
+		t.Fatalf("expected a2 retirement, got %v", retired)
+	}
+	x.Add(fixture[4].ID, fixture[4].Hash, fixture[4].Vector)
+	// bridge connects {a1,a2} with {b1}: one partition keyed a1 survives.
+	if got := x.Partitions(); !reflect.DeepEqual(got, []string{"a1", "c1"}) {
+		t.Fatalf("partitions after bridge = %v", got)
+	}
+	if got := x.Members("a1"); !reflect.DeepEqual(got, []string{"a1", "a2", "b1", "bridge"}) {
+		t.Fatalf("merged members = %v", got)
+	}
+	retired := x.DrainRetired()
+	found := false
+	for _, k := range retired {
+		if k == "b1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("b1 must retire on merge, got %v", retired)
+	}
+	if again := x.DrainRetired(); again != nil {
+		t.Fatalf("drain must clear: %v", again)
+	}
+	// Re-adding a known ID is a no-op.
+	x.Add("bridge", 0xFFFFFFFFFFFFFFFF, []float64{1, 0})
+	if got := x.Partitions(); !reflect.DeepEqual(got, []string{"a1", "c1"}) {
+		t.Fatalf("re-add changed partitions: %v", got)
+	}
+}
+
+// TestLSHIndexVerification pins what keeps partitions family-sized at scale:
+// a band collision alone (here: identical fingerprints) must NOT merge two
+// items whose vectors fail the cosine threshold.
+func TestLSHIndexVerification(t *testing.T) {
+	x := NewLSHIndex(ClusterConfig{LSHBands: 8, Threshold: 0.7})
+	x.Add("p", 0x1234123412341234, []float64{1, 0})
+	x.Add("q", 0x1234123412341234, []float64{0, 1}) // every band collides, cosine 0
+	if got := x.Partitions(); !reflect.DeepEqual(got, []string{"p", "q"}) {
+		t.Fatalf("unverified collision merged partitions: %v", got)
+	}
+	x.Add("r", 0x1234123412341234, []float64{1, 0}) // verifies against p only
+	if got := x.Members("p"); !reflect.DeepEqual(got, []string{"p", "r"}) {
+		t.Fatalf("verified pair not merged: %v", got)
+	}
+}
+
+// TestLSHIndexOrderIndependence is the content-derivation contract: any
+// insertion order yields identical partitions, canonical keys and members.
+func TestLSHIndexOrderIndependence(t *testing.T) {
+	items := lshFixture()
+	var want map[string][]string
+	for trial := 0; trial < 10; trial++ {
+		order := make([]Item, len(items))
+		copy(order, items)
+		rng := xrand.New(uint64(trial + 1))
+		for i := len(order) - 1; i > 0; i-- {
+			j := int(rng.Uint64() % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		x := NewLSHIndex(ClusterConfig{LSHBands: 8, Threshold: 0.7})
+		addAll(x, order)
+		got := make(map[string][]string)
+		for _, key := range x.Partitions() {
+			got[key] = x.Members(key)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: partitions differ:\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// TestLSHPartitionsCoverClusters pins the structural invariant the engine's
+// partial re-clustering rests on: for a family-structured corpus, whole-run
+// clusters never span verified partitions, and clustering each partition
+// separately recovers the same cluster memberships. (Silhouette values may
+// legitimately differ — a lone-cluster partition scores its separation
+// against no neighbours — which is the documented banding relaxation; the
+// engine's pinned contract is incremental == one-shot through the same
+// partitioned path, tested at the core and API layers.)
+func TestLSHPartitionsCoverClusters(t *testing.T) {
+	items := makeItems(t, 5, 4) // 5 families × 4 variants (textsim_test.go)
+	cfg := DefaultClusterConfig()
+	whole := ClusterItems(items, cfg, xrand.New(1))
+	if len(whole) == 0 {
+		t.Fatal("fixture produced no clusters")
+	}
+
+	x := NewLSHIndex(cfg)
+	byID := make(map[string]Item)
+	for _, it := range items {
+		x.Add(it.ID, it.Hash, it.Vector)
+		byID[it.ID] = it
+	}
+	rootOf := func(id string) string {
+		root, ok := x.Root(id)
+		if !ok {
+			t.Fatalf("unindexed member %s", id)
+		}
+		return root
+	}
+	var split []Cluster
+	for _, key := range x.Partitions() {
+		var part []Item
+		for _, id := range x.Members(key) {
+			part = append(part, byID[id])
+		}
+		split = append(split, ClusterItems(part, cfg, xrand.New(1))...)
+	}
+	for _, c := range whole {
+		root := rootOf(c.Members[0])
+		for _, m := range c.Members {
+			if rootOf(m) != root {
+				t.Fatalf("cluster spans partitions: %v", c.Members)
+			}
+		}
+	}
+	members := func(cs []Cluster) map[string]bool {
+		m := make(map[string]bool)
+		for _, c := range cs {
+			m[fmt.Sprintf("%v", c.Members)] = true
+		}
+		return m
+	}
+	if ws, ss := members(whole), members(split); !reflect.DeepEqual(ws, ss) {
+		t.Errorf("cluster memberships differ:\n whole %v\n split %v", ws, ss)
+	}
+}
+
+// TestClusterItemsScratchReuse re-clusters different inputs through one
+// shared Scratch and requires bit-identical output to scratch-free calls —
+// no state may leak between calls.
+func TestClusterItemsScratchReuse(t *testing.T) {
+	sc := NewScratch()
+	inputs := [][]Item{
+		makeItems(t, 4, 5),
+		makeItems(t, 2, 3),
+		nil,
+		makeItems(t, 3, 1),
+		makeItems(t, 4, 5),
+	}
+	for round := 0; round < 2; round++ { // second pass reuses warmed buffers
+		for i, items := range inputs {
+			want := ClusterItems(items, DefaultClusterConfig(), xrand.New(9))
+			got := ClusterItemsScratch(items, DefaultClusterConfig(), xrand.New(9), sc)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d input %d: scratch result differs", round, i)
+			}
+		}
+	}
+}

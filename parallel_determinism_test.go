@@ -85,6 +85,45 @@ func TestParallelBuildMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelIncrementalBuildMatchesSequential pins the LSH-scoped path's
+// GOMAXPROCS determinism where it actually runs hot: a *streaming* build
+// (five batches, so partial re-clustering with per-partition worker fan-out
+// fires on every append) must serialize byte-identically under 1 and 8
+// workers.
+func TestParallelIncrementalBuildMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	buildStreaming := func(procs int) *Pipeline {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		p, err := NewStreamingPipeline(context.Background(), Config{Scale: 0.05}, 5)
+		if err != nil {
+			t.Fatalf("NewStreamingPipeline(GOMAXPROCS=%d): %v", procs, err)
+		}
+		for {
+			if _, ok, err := p.AppendNext(); err != nil {
+				t.Fatal(err)
+			} else if !ok {
+				break
+			}
+		}
+		return p
+	}
+	seq := buildStreaming(1)
+	par := buildStreaming(8)
+	var seqJSON, parJSON bytes.Buffer
+	if err := seq.Graph.G.WriteJSON(&seqJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Graph.G.WriteJSON(&parJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON.Bytes(), parJSON.Bytes()) {
+		t.Errorf("incremental serialized graphs differ (%d vs %d bytes)", seqJSON.Len(), parJSON.Len())
+	}
+}
+
 // TestParallelAnalyzeMatchesSequential runs the full Analyze stage (the
 // fanned-out RQ1–RQ4 blocks) under both settings and compares the rendered
 // reports, which serialize every table and figure.

@@ -14,7 +14,11 @@
 #   BENCH_pipeline.json     BenchmarkPipeline_EndToEnd (whole-corpus envelope)
 #   BENCH_incremental.json  BenchmarkIncremental_{Append,FullRebuild} plus the
 #                           append-vs-rebuild speedup (the streaming engine's
-#                           headline: a 1% delta must stay ≥10× cheaper)
+#                           headline: a 1% delta must stay ≥10× cheaper), and
+#                           BenchmarkIncremental_AppendGrowth records (fixed
+#                           ≈1% append at 1×/4×/10× corpus) with the LSH
+#                           recluster-scope metrics and the 10×/1× growth
+#                           ratio — appends must stay flat as the corpus grows
 #
 # Each record carries ns/op, B/op, allocs/op and the benchmark's shape
 # metrics (edge/package counts), keyed by scale, so future sessions can plot
@@ -29,7 +33,7 @@ TIME="${BENCH_TIME:-3x}"
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
-    -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$|BenchmarkIncremental_Append$|BenchmarkIncremental_FullRebuild$' \
+    -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$|BenchmarkIncremental_Append$|BenchmarkIncremental_FullRebuild$|BenchmarkIncremental_AppendGrowth$' \
     -benchmem -benchtime "$TIME" . |
 awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
   function record(name,    line, metrics, i, val, unit) {
@@ -54,6 +58,9 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
     for (i = 3; i < NF; i += 2) if ($(i + 1) == "ns/op") ns = $i
     if (name == "BenchmarkIncremental_Append")      { append_ns = ns;  append_rec = record(name) }
     if (name == "BenchmarkIncremental_FullRebuild") { rebuild_ns = ns; rebuild_rec = record(name) }
+    if (name == "BenchmarkIncremental_AppendGrowth/size=1x")  { g1_ns = ns;  g1_rec = record(name) }
+    if (name == "BenchmarkIncremental_AppendGrowth/size=4x")  { g4_ns = ns;  g4_rec = record(name) }
+    if (name == "BenchmarkIncremental_AppendGrowth/size=10x") { g10_ns = ns; g10_rec = record(name) }
     if (out == "") next
     line = record(name)
     print line > out
@@ -63,8 +70,13 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
   END {
     if (append_ns != "" && rebuild_ns != "") {
       out = dir "/BENCH_incremental.json"
-      line = sprintf("{\"generated_utc\":\"%s\",\"scale\":%s,\"append_ns_per_op\":%s,\"full_rebuild_ns_per_op\":%s,\"append_speedup\":%.2f,\"append\":%s,\"full_rebuild\":%s}",
+      line = sprintf("{\"generated_utc\":\"%s\",\"scale\":%s,\"append_ns_per_op\":%s,\"full_rebuild_ns_per_op\":%s,\"append_speedup\":%.2f,\"append\":%s,\"full_rebuild\":%s",
                      stamp, scale, append_ns, rebuild_ns, rebuild_ns / append_ns, append_rec, rebuild_rec)
+      if (g1_ns != "" && g10_ns != "") {
+        line = line sprintf(",\"append_growth_10x_vs_1x\":%.2f,\"append_growth\":{\"x1\":%s,\"x4\":%s,\"x10\":%s}",
+                            g10_ns / g1_ns, g1_rec, g4_rec, g10_rec)
+      }
+      line = line "}"
       print line > out
       close(out)
       print "wrote " out ": " line
