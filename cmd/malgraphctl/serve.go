@@ -100,6 +100,18 @@ type batchOut struct {
 	PartitionsReclustered int `json:"partitionsReclustered,omitempty"`
 	ArtifactsReclustered  int `json:"artifactsReclustered,omitempty"`
 	DirtyEcoItems         int `json:"dirtyEcoItems,omitempty"`
+	// Report-join scope: reportsRejoined previously joined reports were
+	// re-joined (wanted-package arrivals, late reports), replacing
+	// coexistingEdgesReplaced edges surgically; coexistingScoped vs
+	// coexistingRebuilt distinguishes the scoped path from the full-rebuild
+	// fallback. duplicateReports counts re-delivered report URLs (dropped),
+	// duplicateReportConflicts how many of those had changed content.
+	ReportsRejoined          int  `json:"reportsRejoined,omitempty"`
+	CoexistingEdgesReplaced  int  `json:"coexistingEdgesReplaced,omitempty"`
+	CoexistingScoped         bool `json:"coexistingScoped,omitempty"`
+	CoexistingRebuilt        bool `json:"coexistingRebuilt,omitempty"`
+	DuplicateReports         int  `json:"duplicateReports,omitempty"`
+	DuplicateReportConflicts int  `json:"duplicateReportConflicts,omitempty"`
 }
 
 func statsOut(st core.IngestStats) batchOut {
@@ -116,6 +128,13 @@ func statsOut(st core.IngestStats) batchOut {
 		PartitionsReclustered: st.PartitionsReclustered,
 		ArtifactsReclustered:  st.ArtifactsReclustered,
 		DirtyEcoItems:         st.DirtyEcoItems,
+
+		ReportsRejoined:          st.ReportsRejoined,
+		CoexistingEdgesReplaced:  st.CoexistingEdgesReplaced,
+		CoexistingScoped:         st.CoexistingScoped,
+		CoexistingRebuilt:        st.CoexistingRebuilt,
+		DuplicateReports:         st.DuplicateReports,
+		DuplicateReportConflicts: st.DuplicateReportConflicts,
 	}
 	for _, eco := range st.Reclustered {
 		out.Reclustered = append(out.Reclustered, eco.String())

@@ -315,28 +315,39 @@ type growthState struct {
 }
 
 var (
-	growthMu    sync.Mutex
-	growthFeed  []core.Batch
-	growthErr   error
-	growthCache map[int]*growthState
+	growthMu          sync.Mutex
+	growthDS          *collect.Result
+	growthReps        []*reports.Report
+	growthFeed        []core.Batch
+	growthErr         error
+	growthCache       map[int]*growthState
+	reportGrowthCache map[int]*growthState
 )
 
-func growthSetup(b *testing.B, prefix int) *growthState {
+// growthWorldLocked lazily builds the shared 10×-bench-scale world both
+// growth benchmarks cut their prefixes from. Callers hold growthMu.
+func growthWorldLocked(b *testing.B) {
 	b.Helper()
-	growthMu.Lock()
-	defer growthMu.Unlock()
-	if growthFeed == nil && growthErr == nil {
+	if growthDS == nil && growthErr == nil {
 		var p *Pipeline
 		p, growthErr = NewStreamingPipeline(context.Background(), Config{Scale: benchScale() * 10}, 1)
 		if growthErr == nil {
-			ds, reps := p.Source()
-			growthFeed = BatchFeed(ds, reps, 1000)
+			growthDS, growthReps = p.Source()
+			growthFeed = BatchFeed(growthDS, growthReps, 1000)
 			growthCache = make(map[int]*growthState)
+			reportGrowthCache = make(map[int]*growthState)
 		}
 	}
 	if growthErr != nil {
 		b.Fatalf("growth world: %v", growthErr)
 	}
+}
+
+func growthSetup(b *testing.B, prefix int) *growthState {
+	b.Helper()
+	growthMu.Lock()
+	defer growthMu.Unlock()
+	growthWorldLocked(b)
 	if st := growthCache[prefix]; st != nil {
 		return st
 	}
@@ -411,6 +422,109 @@ func BenchmarkIncremental_AppendGrowth(b *testing.B) {
 				b.ReportMetric(float64(is.PartitionsReclustered), "partitions_touched")
 				b.ReportMetric(float64(is.ArtifactsReclustered), "artifacts_reclustered")
 				b.ReportMetric(float64(is.DirtyEcoItems), "dirty_eco_items")
+				rebuilt := 0.0
+				if is.CoexistingRebuilt {
+					rebuilt = 1.0
+				}
+				b.ReportMetric(rebuilt, "coexisting_rebuilt")
+			}
+		})
+	}
+}
+
+// --- Report-append growth benchmark (ISSUE 5 acceptance) ---
+//
+// The scoped co-existing re-join claim is that a wanted-package arrival
+// costs O(reports naming it), not O(report corpus): the same package delta
+// ingested against a 10× report corpus must cost about the same as against
+// a 1× corpus. The entry corpus is held CONSTANT across sizes (the shared
+// 10× growth world minus the packages named by its first report) and only
+// the URL-ordered report prefix grows, so the ratio isolates exactly the
+// report-join term the posting-list index removes — before ISSUE 5 this
+// delta triggered a full RemoveEdgesWhere + O(total reports) re-derivation.
+
+// reportGrowthSetup warms an engine with the constant entry corpus plus a
+// tenths/10 report prefix, holding out the packages the first report names;
+// the held-out packages are the wanted-arrival delta every size re-ingests.
+func reportGrowthSetup(b *testing.B, tenths int) *growthState {
+	b.Helper()
+	growthMu.Lock()
+	defer growthMu.Unlock()
+	growthWorldLocked(b)
+	if st := reportGrowthCache[tenths]; st != nil {
+		return st
+	}
+	if len(growthReps) < 10 {
+		b.Fatalf("growth world has %d reports, need 10", len(growthReps))
+	}
+	prefix := len(growthReps) * tenths / 10
+	held := make(map[string]bool)
+	for _, coord := range growthReps[0].Packages {
+		held[coord.Key()] = true
+	}
+	var warmEntries, deltaEntries []*collect.Entry
+	for _, e := range growthDS.Entries {
+		if held[e.Coord.Key()] {
+			deltaEntries = append(deltaEntries, e)
+		} else {
+			warmEntries = append(warmEntries, e)
+		}
+	}
+	if len(deltaEntries) == 0 {
+		b.Fatal("first report names no collected packages")
+	}
+	warm := growthDS.BatchOf(warmEntries)
+	eng := core.NewEngine(core.DefaultConfig())
+	if _, err := eng.Ingest(core.Batch{
+		Entries: warm.Entries, Stats: warm.Stats,
+		Reports: growthReps[:prefix], At: warm.At,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := eng.Snapshot(&snap); err != nil {
+		b.Fatal(err)
+	}
+	delta := growthDS.BatchOf(deltaEntries)
+	st := &growthState{snap: snap.Bytes(), delta: core.Batch{Entries: delta.Entries, Stats: delta.Stats, At: delta.At}}
+	reportGrowthCache[tenths] = st
+	return st
+}
+
+// BenchmarkIncremental_ReportAppendGrowth measures a fixed wanted-package
+// delta at 1×/4×/10× report-corpus sizes. Flat (≤2× at 10×, CI-gated at 3×
+// for smoke noise) means the re-join is scoped to the reports naming the
+// delta; O(report corpus) growth here is the regression the gate on
+// BENCH_incremental.json catches.
+func BenchmarkIncremental_ReportAppendGrowth(b *testing.B) {
+	for _, size := range []struct {
+		name   string
+		tenths int
+	}{{"1x", 1}, {"4x", 4}, {"10x", 10}} {
+		b.Run("size="+size.name, func(b *testing.B) {
+			st := reportGrowthSetup(b, size.tenths)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, err := core.RestoreEngine(bytes.NewReader(st.snap))
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				b.StartTimer()
+				is, err := eng.Ingest(st.delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if !is.CoexistingScoped && !is.CoexistingRebuilt {
+					b.Fatal("delta did not trigger a co-existing re-join")
+				}
+				b.StartTimer()
+				b.ReportMetric(float64(len(st.delta.Entries)), "delta_entries")
+				b.ReportMetric(float64(is.ReportsRejoined), "reports_rejoined")
+				b.ReportMetric(float64(is.CoexistingEdgesReplaced), "coexisting_edges_replaced")
+				b.ReportMetric(float64(len(eng.Reports())), "reports_total")
 				rebuilt := 0.0
 				if is.CoexistingRebuilt {
 					rebuilt = 1.0

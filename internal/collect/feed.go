@@ -210,18 +210,81 @@ func (r *Result) AddSourceStats(stats map[sources.ID]SourceStats) {
 // entry is never mutated, so pointers handed out before the upsert stay
 // consistent snapshots); changed reports whether anything differed. The
 // merged (or stored) entry is returned. Entries stays sorted by key.
+//
+// Each new coordinate shifts the sorted Entries slice — O(n) per insert. For
+// batch ingest use UpsertBatch, which defers the inserts and pays one merge.
 func (r *Result) Upsert(e *Entry) (merged *Entry, added, changed bool) {
-	key := e.Coord.Key()
-	cur, ok := r.byKey[key]
-	if !ok {
-		r.byKey[key] = e
-		i := sort.Search(len(r.Entries), func(i int) bool { return r.Entries[i].Coord.Key() >= key })
-		r.Entries = append(r.Entries, nil)
-		copy(r.Entries[i+1:], r.Entries[i:])
-		r.Entries[i] = e
-		return e, true, false
+	out := r.UpsertBatch([]*Entry{e})
+	return out[0].Entry, out[0].Added, out[0].Changed
+}
+
+// UpsertResult reports what one UpsertBatch entry did to the dataset: the
+// stored (merged) entry, whether the coordinate was new, whether anything
+// changed, and the pre-merge source/artifact state incremental consumers
+// (core.Engine) diff against.
+type UpsertResult struct {
+	Entry        *Entry
+	Added        bool
+	Changed      bool
+	PrevSources  []sources.ID
+	PrevArtifact bool
+}
+
+// UpsertBatch merges a batch of entries with Upsert's exact field-wise
+// semantics, but amortises the sorted-Entries maintenance: new coordinates
+// are collected aside and merged into the slice once at the end — O(n + b
+// log b) per batch instead of Upsert's O(n) memmove per new coordinate (a
+// ROADMAP-listed corpus-linear append term). Nil entries are skipped (no
+// result emitted). Later batch entries see earlier ones (two records of the
+// same new coordinate merge exactly as two sequential Upserts would).
+func (r *Result) UpsertBatch(entries []*Entry) []UpsertResult {
+	out := make([]UpsertResult, 0, len(entries))
+	var pending []*Entry
+	var pendingKeys []string
+	var pendingIdx map[string]int
+	for _, e := range entries {
+		if e == nil {
+			continue
+		}
+		key := e.Coord.Key()
+		cur, ok := r.byKey[key]
+		if !ok {
+			r.byKey[key] = e
+			if pendingIdx == nil {
+				pendingIdx = make(map[string]int)
+			}
+			pendingIdx[key] = len(pending)
+			pending = append(pending, e)
+			pendingKeys = append(pendingKeys, key)
+			out = append(out, UpsertResult{Entry: e, Added: true})
+			continue
+		}
+		res := UpsertResult{Entry: cur, PrevSources: cur.Sources, PrevArtifact: cur.Artifact != nil}
+		next, changed := mergeEntry(cur, e)
+		if changed {
+			res.Entry, res.Changed = next, true
+			r.byKey[key] = next
+			if pi, isPending := pendingIdx[key]; isPending {
+				pending[pi] = next
+			} else {
+				i := sort.Search(len(r.Entries), func(i int) bool { return r.Entries[i].Coord.Key() >= key })
+				r.Entries[i] = next
+			}
+		}
+		out = append(out, res)
 	}
+	if len(pending) > 0 {
+		r.mergeInserts(pending, pendingKeys)
+	}
+	return out
+}
+
+// mergeEntry merges an incoming record into a stored entry, returning a fresh
+// merged copy and whether anything differed (the stored entry is never
+// mutated, so pointers handed out earlier stay consistent snapshots).
+func mergeEntry(cur, e *Entry) (*Entry, bool) {
 	next := *cur
+	changed := false
 	if srcs, grew := unionSources(cur.Sources, e.Sources); grew {
 		next.Sources = srcs
 		changed = true
@@ -254,12 +317,51 @@ func (r *Result) Upsert(e *Entry) (merged *Entry, added, changed bool) {
 		changed = true
 	}
 	if !changed {
-		return cur, false, false
+		return cur, false
 	}
-	r.byKey[key] = &next
-	i := sort.Search(len(r.Entries), func(i int) bool { return r.Entries[i].Coord.Key() >= key })
-	r.Entries[i] = &next
-	return &next, false, true
+	return &next, true
+}
+
+// mergeInserts splices the batch's new entries (parallel pendingKeys carry
+// their coordinate keys) into the key-sorted Entries slice with one backwards
+// in-place merge: b binary searches locate the insertion points (Coord.Key
+// allocates, so comparisons are kept off the move path) and the old entries
+// move in contiguous copy chunks.
+func (r *Result) mergeInserts(pending []*Entry, pendingKeys []string) {
+	sort.Sort(&entriesByKey{pending, pendingKeys})
+	old := r.Entries
+	pos := make([]int, len(pending))
+	hi := len(old)
+	for j := len(pending) - 1; j >= 0; j-- {
+		key := pendingKeys[j]
+		pos[j] = sort.Search(hi, func(i int) bool { return old[i].Coord.Key() >= key })
+		hi = pos[j]
+	}
+	r.Entries = append(r.Entries, pending...)
+	k := len(r.Entries) - 1
+	hi = len(old)
+	for j := len(pending) - 1; j >= 0; j-- {
+		n := hi - pos[j]
+		copy(r.Entries[k-n+1:k+1], old[pos[j]:hi])
+		k -= n
+		r.Entries[k] = pending[j]
+		k--
+		hi = pos[j]
+	}
+}
+
+// entriesByKey sorts a pending insert slice and its parallel key slice
+// together (keys are precomputed once — Coord.Key allocates).
+type entriesByKey struct {
+	entries []*Entry
+	keys    []string
+}
+
+func (s *entriesByKey) Len() int           { return len(s.entries) }
+func (s *entriesByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *entriesByKey) Swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // unionSources merges two ascending source lists, reporting whether the

@@ -105,13 +105,26 @@ func IsRecordNode(nodeID string) bool { return strings.HasPrefix(nodeID, RecordN
 // connectGroup joins members into one component: full clique up to limit,
 // hub-and-path beyond (identical components, linear edge count).
 func (mg *MalGraph) connectGroup(members []string, t graph.EdgeType, attrs graph.Attrs, limit int) error {
+	return pairwise(members, limit, func(a, b string) error {
+		return mg.G.AddEdge(a, b, t, attrs)
+	})
+}
+
+// pairwise emits the pair set connectGroup materialises for a member group —
+// full clique up to limit, hub-and-path beyond. It is the single definition
+// of the group topology: the co-existing join index replays it per report to
+// decide which pairs a report covers (and therefore may own), so the emitted
+// set must stay bit-identical to the edges connectGroup inserts. Pairs may be
+// emitted more than once (the hub-and-path walk revisits the hub's first
+// spoke); emit must be idempotent.
+func pairwise(members []string, limit int, emit func(a, b string) error) error {
 	if len(members) < 2 {
 		return nil
 	}
 	if len(members) <= limit {
 		for i := 0; i < len(members); i++ {
 			for j := i + 1; j < len(members); j++ {
-				if err := mg.G.AddEdge(members[i], members[j], t, attrs); err != nil {
+				if err := emit(members[i], members[j]); err != nil {
 					return err
 				}
 			}
@@ -120,10 +133,10 @@ func (mg *MalGraph) connectGroup(members []string, t graph.EdgeType, attrs graph
 	}
 	hub := members[0]
 	for i := 1; i < len(members); i++ {
-		if err := mg.G.AddEdge(hub, members[i], t, attrs); err != nil {
+		if err := emit(hub, members[i]); err != nil {
 			return err
 		}
-		if err := mg.G.AddEdge(members[i-1], members[i], t, attrs); err != nil {
+		if err := emit(members[i-1], members[i]); err != nil {
 			return err
 		}
 	}

@@ -21,9 +21,14 @@ package core
 //     (graph.RemoveEdgesIncident) and re-derived, while every other
 //     partition's clusters and edges are untouched. Clusters are computed
 //     per partition, so appends cost O(dirty partitions), not O(ecosystem).
-//   - co-existing: reports are merged into a URL-sorted corpus and the
-//     (cheap) report-join stage is re-derived when a batch adds reports or
-//     packages that earlier reports were waiting for.
+//   - co-existing: reports are merged into a URL-sorted corpus through an
+//     incremental report-join index — a URL-sorted posting list per named
+//     coordinate (present in the graph or not) plus a per-pair edge ownership
+//     map (owning report URL = the URL-smallest report covering the pair).
+//     A wanted package arriving re-joins only the reports that name it; an
+//     out-of-order report re-derives only the report groups its packages
+//     overlap, repairing first-writer ownership per pair via a surgical
+//     graph.RemoveEdge — never the whole edge family.
 //
 // Determinism contract: ingesting a corpus in any batch partition yields a
 // graph whose connected components, edge sets and all downstream analyses
@@ -37,6 +42,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -79,6 +85,13 @@ type IngestStats struct {
 	UpdatedEntries int
 	NewArtifacts   int
 	NewReports     int
+	// DuplicateReports counts batch reports whose URL was already ingested
+	// (dropped — the corpus keeps the first crawl); of those,
+	// DuplicateReportConflicts had different content (body, packages or
+	// IoCs) — a re-crawled report that changed, which previously vanished
+	// without a trace.
+	DuplicateReports         int
+	DuplicateReportConflicts int
 	// Reclustered lists the ecosystems whose §III-B clustering re-ran.
 	Reclustered []ecosys.Ecosystem
 	// Recluster-scope accounting for the LSH-scoped partial re-clustering:
@@ -94,8 +107,19 @@ type IngestStats struct {
 	DependencyDelta int
 	SimilarDelta    int
 	CoexistingDelta int
-	// CoexistingRebuilt reports whether the report-join stage re-ran.
-	CoexistingRebuilt bool
+	// Report-join scope accounting for the §III-D co-existing stage:
+	// ReportsRejoined counts previously joined reports re-joined this batch
+	// (because a package they name arrived, or a late report overlapped
+	// their groups); CoexistingEdgesReplaced counts edges surgically removed
+	// for re-derivation (first-writer ownership repairs plus hub-and-path
+	// group replacements). CoexistingScoped reports that the scoped re-join
+	// machinery ran; CoexistingRebuilt that the stage fell back to a full
+	// re-derivation (only when the scope would have covered most of the
+	// corpus — see applyCoexisting).
+	ReportsRejoined         int
+	CoexistingEdgesReplaced int
+	CoexistingScoped        bool
+	CoexistingRebuilt       bool
 }
 
 // DatasetChanged reports whether the merged dataset differs from before the
@@ -111,7 +135,9 @@ func (s IngestStats) DependencyChanged() bool { return s.DependencyDelta != 0 }
 
 // CoexistingChanged reports whether co-existing edges or the report corpus
 // changed (RQ4 inputs).
-func (s IngestStats) CoexistingChanged() bool { return s.CoexistingRebuilt || s.NewReports > 0 }
+func (s IngestStats) CoexistingChanged() bool {
+	return s.CoexistingRebuilt || s.CoexistingScoped || s.NewReports > 0
+}
 
 // Engine maintains MALGRAPH incrementally across Ingest batches.
 type Engine struct {
@@ -149,11 +175,19 @@ type Engine struct {
 	// one Scratch per re-clustering worker.
 	clusterScratch sync.Pool
 
-	// reportSeen dedupes reports by URL; wanted indexes every coordinate any
-	// ingested report names, so a later batch that delivers such a package
-	// triggers a co-existing re-join.
-	reportSeen map[string]bool
-	wanted     map[string]bool
+	// Incremental report-join index (§III-D). reportByURL dedupes reports
+	// and resolves posting-list URLs back to documents. posting maps every
+	// coordinate key any ingested report names — whether or not the package
+	// has been observed yet — to the URL-sorted list of reports naming it,
+	// so a wanted package arriving re-joins exactly those reports.
+	// coexOwner records, per co-existing edge (pair key, endpoints sorted),
+	// the URL of the report that owns its attrs: the URL-smallest report
+	// covering the pair, i.e. the first writer of a one-shot build's
+	// URL-ordered join. All three are persisted in snapshots (v3), so a
+	// restored engine's first wanted-package ingest is scoped too.
+	reportByURL map[string]*reports.Report
+	posting     map[string][]string
+	coexOwner   map[string]string
 }
 
 // NewEngine creates an empty engine. Zero-valued config falls back to the
@@ -180,8 +214,9 @@ func NewEngine(cfg Config) *Engine {
 		itemsByEco:     make(map[ecosys.Ecosystem][]textsim.Item),
 		lshByEco:       make(map[ecosys.Ecosystem]*textsim.LSHIndex),
 		clustersByPart: make(map[ecosys.Ecosystem]map[string][]textsim.Cluster),
-		reportSeen:     make(map[string]bool),
-		wanted:         make(map[string]bool),
+		reportByURL:    make(map[string]*reports.Report),
+		posting:        make(map[string][]string),
+		coexOwner:      make(map[string]string),
 	}
 }
 
@@ -257,33 +292,26 @@ func (e *Engine) Ingest(b Batch) (IngestStats, error) {
 }
 
 func (e *Engine) mergeEntries(entries []*collect.Entry, st *IngestStats) []entryChange {
-	changes := make([]entryChange, 0, len(entries))
-	for _, in := range entries {
-		if in == nil {
+	// One batched upsert: new coordinates are spliced into the key-sorted
+	// dataset with a single merge instead of an O(corpus) shift per entry.
+	results := e.mg.Dataset.UpsertBatch(entries)
+	changes := make([]entryChange, 0, len(results))
+	for _, ur := range results {
+		if !ur.Added && !ur.Changed {
 			continue
 		}
-		prev, existed := e.mg.Dataset.Entry(in.Coord)
-		var prevSources []sources.ID
-		prevArtifact := false
-		if existed {
-			prevSources = prev.Sources
-			prevArtifact = prev.Artifact != nil
-		}
-		merged, added, changed := e.mg.Dataset.Upsert(in)
-		if !added && !changed {
-			continue
-		}
+		merged := ur.Entry
 		ch := entryChange{
 			entry:       merged,
-			isNew:       added,
-			newArtifact: merged.Artifact != nil && !prevArtifact,
+			isNew:       ur.Added,
+			newArtifact: merged.Artifact != nil && !ur.PrevArtifact,
 		}
 		for _, s := range merged.Sources {
-			if !existed || !containsSource(prevSources, s) {
+			if ur.Added || !containsSource(ur.PrevSources, s) {
 				ch.newSources = append(ch.newSources, s)
 			}
 		}
-		if added {
+		if ur.Added {
 			st.NewEntries++
 		} else {
 			st.UpdatedEntries++
@@ -649,89 +677,289 @@ func flattenClusters(parts map[string][]textsim.Cluster) []textsim.Cluster {
 	return out
 }
 
+// fullRejoinThreshold is the report-corpus size below which the full-rebuild
+// fallback never triggers: re-joining a handful of reports is cheap either
+// way, and small corpora (unit fixtures, early ingest) should exercise the
+// scoped machinery, not bypass it.
+const fullRejoinThreshold = 64
+
 // applyCoexisting merges new reports and maintains the §III-D report-join
-// stage. Two exact strategies:
+// stage through the incremental join index (posting lists + per-pair
+// first-writer ownership). Both former corpus-wide triggers are scoped now:
 //
-//   - Append path: when every new report's URL sorts after the whole
-//     ingested corpus and no new package is named by an earlier report,
-//     joining just the new reports reproduces the one-shot pass bit for bit
-//     (the one-shot loop runs in URL order, and AddEdge keeps the first
-//     writer's attrs — the URL-smallest report, which is unchanged). The
-//     timeline feed delivers reports in URL-order slices, so steady-state
-//     appends take this path and cost O(new reports).
+//   - A newly ingested package some report was waiting for re-joins exactly
+//     the reports in its posting list — their cliques gain the new member's
+//     pairs, everything else is untouched.
+//   - A late report (URL inside the ingested range) joins like any other;
+//     pairs it covers that a larger-URL report currently owns are repaired
+//     edge-by-edge (graph.RemoveEdge + re-insert with the smaller-URL
+//     attrs), reproducing the one-shot URL-ordered join's first-writer
+//     outcome.
+//   - The only non-monotone case: a re-joined group that exceeds
+//     PairwiseLimit emits a hub-and-path pair set that *changes shape* as
+//     members arrive, so its members' co-existing edges are dropped
+//     (graph.RemoveEdgesIncident, O(group degree)) and every report
+//     overlapping those members re-joins — still scoped to the touched
+//     groups.
 //
-//   - Rebuild path: otherwise the join is re-derived over the full merged
-//     corpus — exactly the loop a one-shot Build runs.
+// A full re-derivation survives only as a fallback when the scoped join list
+// would cover more than half of a non-trivial corpus (> fullRejoinThreshold
+// reports) — one pass is cheaper than surgical replacement at that point —
+// and is reported via IngestStats.CoexistingRebuilt.
 func (e *Engine) applyCoexisting(newReports []*reports.Report, changes []entryChange, st *IngestStats) error {
 	before := e.mg.G.EdgeCount(graph.Coexisting)
-	var fresh []*reports.Report
-	appendOnly := true
-	for _, rep := range newReports {
-		if rep == nil || e.reportSeen[rep.URL] {
+
+	// Wanted-package trigger: previously joined reports whose member set
+	// grows this batch. Posting lists are read before the batch's own
+	// reports merge into them, so the set holds only reports that genuinely
+	// need a re-join — fresh reports are joined in full below anyway.
+	rejoin := make(map[string]bool)
+	for _, ch := range changes {
+		if !ch.isNew {
 			continue
 		}
-		if n := len(e.mg.Reports); n > 0 && rep.URL <= e.mg.Reports[n-1].URL {
-			appendOnly = false
+		for _, url := range e.posting[NodeID(ch.entry.Coord)] {
+			rejoin[url] = true
 		}
-		e.reportSeen[rep.URL] = true
-		e.mg.Reports = append(e.mg.Reports, rep)
-		for _, coord := range rep.Packages {
-			e.wanted[coord.Key()] = true
-		}
-		fresh = append(fresh, rep)
-	}
-	st.NewReports = len(fresh)
-	if len(fresh) > 0 { // the corpus stays URL-sorted between batches
-		sort.Slice(e.mg.Reports, func(i, j int) bool { return e.mg.Reports[i].URL < e.mg.Reports[j].URL })
 	}
 
-	rebuild := false
-	for _, ch := range changes {
-		if ch.isNew && e.wanted[NodeID(ch.entry.Coord)] {
-			rebuild = true
-			break
-		}
+	// Merge fresh reports, splitting the in-order tail (URLs past the whole
+	// ingested corpus — the steady-state feed shape) from late arrivals.
+	var tail, late []*reports.Report
+	fresh := make(map[string]bool)
+	maxURL := ""
+	if n := len(e.mg.Reports); n > 0 {
+		maxURL = e.mg.Reports[n-1].URL
 	}
-	join := func(rep *reports.Report) error {
-		var members []string
-		for _, coord := range rep.Packages {
-			id := NodeID(coord)
-			if _, ok := e.mg.G.Node(id); !ok {
-				continue // report names a package outside the dataset (so far)
+	for _, rep := range newReports {
+		if rep == nil {
+			continue
+		}
+		if prev, seen := e.reportByURL[rep.URL]; seen {
+			// The corpus keeps the first crawl of a URL; surface the drop —
+			// and whether the re-crawl's content differed — instead of
+			// losing it without a trace.
+			st.DuplicateReports++
+			if !reportContentEqual(prev, rep) {
+				st.DuplicateReportConflicts++
 			}
-			members = append(members, id)
-			e.mg.ReportsByPackage[id] = append(e.mg.ReportsByPackage[id], rep)
+			continue
 		}
-		sort.Strings(members)
-		members = uniqueStrings(members)
-		if len(members) < 2 {
-			return nil
+		e.reportByURL[rep.URL] = rep
+		fresh[rep.URL] = true
+		for _, coord := range rep.Packages {
+			e.addPosting(coord.Key(), rep.URL)
 		}
-		attrs := graph.Attrs{"report": rep.URL}
-		return e.mg.connectGroup(members, graph.Coexisting, attrs, e.cfg.PairwiseLimit)
+		if rep.URL <= maxURL {
+			late = append(late, rep)
+		} else {
+			tail = append(tail, rep)
+		}
 	}
-	switch {
-	case rebuild || (len(fresh) > 0 && !appendOnly):
-		// Out-of-order report delivery re-derives too, keeping first-writer
-		// attrs and per-package report order identical to the one-shot pass.
+	st.NewReports = len(tail) + len(late)
+	sortReportsByURL(tail)
+	sortReportsByURL(late)
+	e.mg.Reports = mergeReportCorpus(e.mg.Reports, late, tail)
+
+	// Hub-and-path closure: a grown group beyond PairwiseLimit re-derives
+	// its pair set non-monotonically (the path through the sorted member
+	// list changes shape), so its members' edges must be replaced and every
+	// report naming any of those members re-joined. Member sets resolved
+	// here are memoized for the join pass below.
+	var hubMembers []string
+	membersOf := make(map[string][]string, len(rejoin))
+	for url := range rejoin {
+		m := e.presentMembers(e.reportByURL[url])
+		membersOf[url] = m
+		if len(m) > e.cfg.PairwiseLimit {
+			hubMembers = append(hubMembers, m...)
+		}
+	}
+	if len(hubMembers) > 0 {
+		sort.Strings(hubMembers)
+		hubMembers = uniqueStrings(hubMembers)
+		for _, id := range hubMembers {
+			for _, url := range e.posting[id] {
+				if !fresh[url] {
+					rejoin[url] = true
+				}
+			}
+		}
+	}
+
+	st.ReportsRejoined = len(rejoin)
+	joinList := make([]*reports.Report, 0, len(rejoin)+len(tail)+len(late))
+	for url := range rejoin {
+		joinList = append(joinList, e.reportByURL[url])
+	}
+	joinList = append(joinList, tail...)
+	joinList = append(joinList, late...)
+	sortReportsByURL(joinList)
+
+	// Only re-joins and late arrivals count toward the fallback trigger:
+	// in-order tail reports can never repair ownership or drop edges, so a
+	// bulk in-order load stays on the O(new) append path however large.
+	if total := len(e.mg.Reports); total > fullRejoinThreshold && (len(rejoin)+len(late))*2 > total {
+		// Fallback: the scope covers most of the corpus — one full
+		// URL-ordered re-derivation is cheaper than surgical replacement.
+		// The wholesale wipe is signalled by CoexistingRebuilt, not counted
+		// in CoexistingEdgesReplaced (which tracks surgical replacements).
 		e.mg.G.RemoveEdgesWhere(graph.Coexisting, func(graph.Edge) bool { return true })
-		e.mg.ReportsByPackage = make(map[string][]*reports.Report)
+		e.mg.ReportsByPackage = make(map[string][]*reports.Report, len(e.mg.ReportsByPackage))
+		e.coexOwner = make(map[string]string, len(e.coexOwner))
 		for _, rep := range e.mg.Reports {
-			if err := join(rep); err != nil {
+			if err := e.joinReport(rep, nil, st); err != nil {
 				return err
 			}
 		}
 		st.CoexistingRebuilt = true
-	case len(fresh) > 0:
-		sort.Slice(fresh, func(i, j int) bool { return fresh[i].URL < fresh[j].URL })
-		for _, rep := range fresh {
-			if err := join(rep); err != nil {
-				return err
+		st.CoexistingDelta = e.mg.G.EdgeCount(graph.Coexisting) - before
+		return nil
+	}
+
+	if len(hubMembers) > 0 {
+		// Drop the grown hub-and-path groups' edges and forget their pair
+		// ownership; the URL-ordered re-join below re-derives both.
+		for _, id := range hubMembers {
+			for _, nb := range e.mg.G.Neighbors(id, graph.Coexisting) {
+				delete(e.coexOwner, coexPairKey(id, nb))
+			}
+		}
+		st.CoexistingEdgesReplaced += e.mg.G.RemoveEdgesIncident(graph.Coexisting, hubMembers)
+	}
+	for _, rep := range joinList {
+		if err := e.joinReport(rep, membersOf[rep.URL], st); err != nil {
+			return err
+		}
+	}
+	st.CoexistingScoped = st.ReportsRejoined > 0 || len(late) > 0
+	st.CoexistingDelta = e.mg.G.EdgeCount(graph.Coexisting) - before
+	return nil
+}
+
+// joinReport joins one report into the co-existing family: its present
+// members' ReportsByPackage lists gain the report (idempotently, at the
+// URL-sorted position) and the report claims every pair it emits and is the
+// URL-smallest cover of — repairing attrs a larger-URL report wrote first,
+// exactly the outcome of a one-shot build's URL-ordered join. Re-joining an
+// already joined report is a no-op beyond the pairs its grown member set
+// added. members may carry a pre-resolved presentMembers result (nil
+// resolves it here).
+func (e *Engine) joinReport(rep *reports.Report, members []string, st *IngestStats) error {
+	if members == nil {
+		members = e.presentMembers(rep)
+	}
+	for _, id := range members {
+		e.indexReportForPackage(id, rep)
+	}
+	if len(members) < 2 {
+		return nil
+	}
+	attrs := graph.Attrs{"report": rep.URL}
+	return pairwise(members, e.cfg.PairwiseLimit, func(a, b string) error {
+		pk := coexPairKey(a, b)
+		if owner, ok := e.coexOwner[pk]; ok {
+			if owner <= rep.URL {
+				return nil
+			}
+			// First-writer ownership repair: this report's URL sorts below
+			// the current owner's, so one-shot joining would have written
+			// its attrs. Replace exactly this edge.
+			e.mg.G.RemoveEdge(a, b, graph.Coexisting)
+			st.CoexistingEdgesReplaced++
+		}
+		e.coexOwner[pk] = rep.URL
+		return e.mg.G.AddEdge(a, b, graph.Coexisting, attrs)
+	})
+}
+
+// presentMembers returns the sorted, deduplicated canonical node IDs of the
+// report's named packages currently present in the graph.
+func (e *Engine) presentMembers(rep *reports.Report) []string {
+	members := make([]string, 0, len(rep.Packages))
+	for _, coord := range rep.Packages {
+		id := NodeID(coord)
+		if _, ok := e.mg.G.Node(id); ok {
+			members = append(members, id)
+		}
+	}
+	sort.Strings(members)
+	return uniqueStrings(members)
+}
+
+// indexReportForPackage inserts rep into the package's ReportsByPackage list
+// at its URL-sorted position, if absent — keeping every list in global URL
+// order whatever order reports and packages arrive in.
+func (e *Engine) indexReportForPackage(id string, rep *reports.Report) {
+	lst := e.mg.ReportsByPackage[id]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].URL >= rep.URL })
+	if i < len(lst) && lst[i].URL == rep.URL {
+		return
+	}
+	e.mg.ReportsByPackage[id] = slices.Insert(lst, i, rep)
+}
+
+// addPosting inserts url into the coordinate's URL-sorted posting list, if
+// absent. Coordinates never observed yet get lists too — that is the whole
+// point: the list is what a later wanted-package arrival re-joins.
+func (e *Engine) addPosting(key, url string) {
+	lst := e.posting[key]
+	i, found := slices.BinarySearch(lst, url)
+	if found {
+		return
+	}
+	e.posting[key] = slices.Insert(lst, i, url)
+}
+
+// coexPairKey canonicalises an undirected co-existing pair of canonical node
+// IDs ('|' cannot appear in a coordinate key).
+func coexPairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// reportContentEqual compares the fields the join and analyses consume,
+// detecting re-crawled documents whose content changed.
+func reportContentEqual(a, b *reports.Report) bool {
+	if a.Title != b.Title || a.Body != b.Body || len(a.Packages) != len(b.Packages) {
+		return false
+	}
+	for i := range a.Packages {
+		if a.Packages[i] != b.Packages[i] {
+			return false
+		}
+	}
+	return slices.Equal(a.IoCs.IPs, b.IoCs.IPs) &&
+		slices.Equal(a.IoCs.URLs, b.IoCs.URLs) &&
+		slices.Equal(a.IoCs.PowerShell, b.IoCs.PowerShell)
+}
+
+func sortReportsByURL(reps []*reports.Report) {
+	sort.Slice(reps, func(i, j int) bool { return reps[i].URL < reps[j].URL })
+}
+
+// mergeReportCorpus merges late arrivals into the URL-sorted corpus with one
+// backwards in-place merge and appends the in-order tail — O(corpus + fresh)
+// only when late reports exist, O(tail) in the steady state, replacing the
+// former whole-corpus re-sort on every report-bearing batch.
+func mergeReportCorpus(corpus, late, tail []*reports.Report) []*reports.Report {
+	if len(late) > 0 {
+		old := corpus
+		corpus = append(corpus, late...)
+		i, j := len(old)-1, len(late)-1
+		for k := len(corpus) - 1; j >= 0; k-- {
+			if i >= 0 && old[i].URL > late[j].URL {
+				corpus[k] = old[i]
+				i--
+			} else {
+				corpus[k] = late[j]
+				j--
 			}
 		}
 	}
-	st.CoexistingDelta = e.mg.G.EdgeCount(graph.Coexisting) - before
-	return nil
+	return append(corpus, tail...)
 }
 
 func artifactChanges(changes []entryChange) []entryChange {

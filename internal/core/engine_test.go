@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"malgraph/internal/collect"
+	"malgraph/internal/ecosys"
 	"malgraph/internal/graph"
 	"malgraph/internal/reports"
 	"malgraph/internal/xrand"
@@ -182,8 +183,13 @@ func TestEngineIngestStats(t *testing.T) {
 	if st.NewEntries != len(ds.Entries) || st.NewArtifacts != len(ds.Available()) {
 		t.Fatalf("entry counts: %+v", st)
 	}
-	if st.NewReports != len(reps) || !st.CoexistingRebuilt {
+	if st.NewReports != len(reps) {
 		t.Fatalf("report counts: %+v", st)
+	}
+	// A fresh in-order corpus is the pure append path: no report needed a
+	// re-join and nothing was rebuilt, yet the stage still changed.
+	if st.CoexistingRebuilt || st.CoexistingScoped || st.ReportsRejoined != 0 || !st.CoexistingChanged() {
+		t.Fatalf("coexisting scope on fresh ingest: %+v", st)
 	}
 	if !st.SimilarChanged() || !st.DependencyChanged() || !st.DatasetChanged() {
 		t.Fatalf("dirty flags: %+v", st)
@@ -402,5 +408,286 @@ func TestEngineIngestScopeAccounting(t *testing.T) {
 	}
 	if st.ArtifactsReclustered != 3 { // alpha-one, alpha-two, alpha-three
 		t.Fatalf("artifacts reclustered = %d, want 3", st.ArtifactsReclustered)
+	}
+}
+
+// --- Scoped co-existing re-join (ISSUE 5) ---
+
+// holdOut splits the fixture dataset into (rest, held) around one package name.
+func holdOut(t *testing.T, ds *collect.Result, name string) (rest []*collect.Entry, held *collect.Entry) {
+	t.Helper()
+	for _, e := range ds.Entries {
+		if e.Coord.Name == name {
+			held = e
+			continue
+		}
+		rest = append(rest, e)
+	}
+	if held == nil {
+		t.Fatalf("fixture missing %s", name)
+	}
+	return rest, held
+}
+
+// coexAttrByPair maps each co-existing pair to its "report" attr (the owning
+// report URL under the first-writer contract).
+func coexAttrByPair(mg *MalGraph) map[string]string {
+	out := make(map[string]string)
+	for _, e := range mg.G.Edges(graph.Coexisting) {
+		out[coexPairKey(e.From, e.To)] = e.Attrs["report"]
+	}
+	return out
+}
+
+// TestCoexistingScopedWantedArrival is the tentpole contract: a wanted
+// package arriving re-joins only the reports that name it — no rebuild —
+// and still converges to the one-shot build bit for bit.
+func TestCoexistingScopedWantedArrival(t *testing.T) {
+	ds, reps := miniDataset(t)
+	want, err := Build(ds, reps, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, held := holdOut(t, ds, "alpha-three") // named by report r/2 only
+
+	eng := NewEngine(DefaultConfig())
+	if _, err := eng.Ingest(Batch{Entries: rest, Reports: reps, At: ds.CollectedAt}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Ingest(Batch{Entries: []*collect.Entry{held}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CoexistingRebuilt {
+		t.Fatalf("wanted-package arrival rebuilt the co-existing family: %+v", st)
+	}
+	if !st.CoexistingScoped || st.ReportsRejoined != 1 {
+		t.Fatalf("re-join not scoped to the naming report: %+v", st)
+	}
+	if !st.CoexistingChanged() {
+		t.Fatalf("scoped re-join must dirty RQ4: %+v", st)
+	}
+	assertEngineMatchesBuild(t, eng, want, "wanted-arrival")
+}
+
+// TestCoexistingLateReportOwnershipRepair pins the first-writer contract: a
+// late-arriving report with a smaller URL than the current owner of a pair
+// must take over that edge's attrs — exactly one surgical edge replacement.
+func TestCoexistingLateReportOwnershipRepair(t *testing.T) {
+	ds, _ := miniDataset(t)
+	pkgs := []ecosys.Coord{
+		{Ecosystem: ecosys.PyPI, Name: "alpha-one", Version: "1.0.0"},
+		{Ecosystem: ecosys.PyPI, Name: "alpha-two", Version: "1.0.0"},
+	}
+	ra := &reports.Report{URL: "https://z.example/a", Site: "z.example", Packages: pkgs}
+	rb := &reports.Report{URL: "https://z.example/b", Site: "z.example", Packages: pkgs}
+
+	want, err := Build(ds, []*reports.Report{ra, rb}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := NewEngine(DefaultConfig())
+	if _, err := eng.Ingest(Batch{Entries: ds.Entries, Reports: []*reports.Report{rb}, At: ds.CollectedAt}); err != nil {
+		t.Fatal(err)
+	}
+	pair := coexPairKey(NodeID(pkgs[0]), NodeID(pkgs[1]))
+	if got := coexAttrByPair(eng.Graph())[pair]; got != rb.URL {
+		t.Fatalf("pre-repair owner = %q, want %q", got, rb.URL)
+	}
+	st, err := eng.Ingest(Batch{Reports: []*reports.Report{ra}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CoexistingRebuilt || !st.CoexistingScoped {
+		t.Fatalf("late report should take the scoped path: %+v", st)
+	}
+	if st.CoexistingEdgesReplaced != 1 {
+		t.Fatalf("edges replaced = %d, want exactly the repaired pair: %+v", st.CoexistingEdgesReplaced, st)
+	}
+	if got := coexAttrByPair(eng.Graph())[pair]; got != ra.URL {
+		t.Fatalf("post-repair owner = %q, want the URL-smallest report %q", got, ra.URL)
+	}
+	assertEngineMatchesBuild(t, eng, want, "late-report")
+}
+
+// TestCoexistingHubPathGrowth exercises the non-monotone case: a report
+// group beyond PairwiseLimit changes its hub-and-path pair set as members
+// arrive, so the scoped path must replace the group's edges and re-join
+// every overlapping report — and still match one-shot.
+func TestCoexistingHubPathGrowth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PairwiseLimit = 3
+	ds, _ := miniDataset(t)
+	var names []ecosys.Coord
+	for _, e := range ds.Entries {
+		if e.Coord.Ecosystem == ecosys.PyPI {
+			names = append(names, e.Coord)
+		}
+	}
+	if len(names) < 5 {
+		t.Fatalf("fixture has %d PyPI packages, need 5", len(names))
+	}
+	big := &reports.Report{URL: "https://z.example/big", Site: "z.example", Packages: names}
+	side := &reports.Report{URL: "https://z.example/side", Site: "z.example", Packages: names[:2]}
+	reps := []*reports.Report{big, side}
+
+	want, err := Build(ds, reps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, held := holdOut(t, ds, "alpha-three")
+	eng := NewEngine(cfg)
+	if _, err := eng.Ingest(Batch{Entries: rest, Reports: reps, At: ds.CollectedAt}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Ingest(Batch{Entries: []*collect.Entry{held}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CoexistingRebuilt || !st.CoexistingScoped {
+		t.Fatalf("hub-path growth should stay scoped: %+v", st)
+	}
+	if st.ReportsRejoined != 2 {
+		t.Fatalf("reports rejoined = %d, want the grown group plus its overlap: %+v", st.ReportsRejoined, st)
+	}
+	if st.CoexistingEdgesReplaced == 0 {
+		t.Fatalf("hub-and-path growth must replace the group's edges: %+v", st)
+	}
+	assertEngineMatchesBuild(t, eng, want, "hub-path-growth")
+}
+
+// TestCoexistingDuplicateReports covers the silently-dropped re-crawl bug:
+// a re-delivered report URL is still deduped, but now surfaces in
+// IngestStats — and a changed re-crawl is counted as a content conflict.
+func TestCoexistingDuplicateReports(t *testing.T) {
+	ds, reps := miniDataset(t)
+	eng := NewEngine(DefaultConfig())
+	if _, err := eng.Ingest(Batch{Entries: ds.Entries, Reports: reps, At: ds.CollectedAt}); err != nil {
+		t.Fatal(err)
+	}
+	before := graphSig(t, eng.Graph())
+
+	// Identical re-crawl: dropped, counted, no conflict, no state change.
+	same := *reps[0]
+	st, err := eng.Ingest(Batch{Reports: []*reports.Report{&same}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DuplicateReports != 1 || st.DuplicateReportConflicts != 0 || st.NewReports != 0 {
+		t.Fatalf("identical duplicate: %+v", st)
+	}
+	if st.CoexistingChanged() {
+		t.Fatalf("identical duplicate dirtied RQ4: %+v", st)
+	}
+
+	// Re-crawl with changed content (an added package): dropped but flagged.
+	changed := *reps[0]
+	changed.Packages = append(append([]ecosys.Coord(nil), changed.Packages...),
+		ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "added-later", Version: "1.0.0"})
+	st, err = eng.Ingest(Batch{Reports: []*reports.Report{&changed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DuplicateReports != 1 || st.DuplicateReportConflicts != 1 {
+		t.Fatalf("changed duplicate: %+v", st)
+	}
+	if len(eng.Reports()) != len(reps) {
+		t.Fatalf("duplicate grew the corpus: %d reports", len(eng.Reports()))
+	}
+	if after := graphSig(t, eng.Graph()); after != before {
+		t.Fatal("duplicate report mutated the graph")
+	}
+}
+
+// TestCoexistingFullRebuildFallback: when one arrival would re-join most of
+// a non-trivial corpus, the stage falls back to a single full re-derivation
+// and says so.
+func TestCoexistingFullRebuildFallback(t *testing.T) {
+	ds, _ := miniDataset(t)
+	rest, held := holdOut(t, ds, "lonely")
+	var reps []*reports.Report
+	for i := 0; i < fullRejoinThreshold+8; i++ {
+		reps = append(reps, &reports.Report{
+			URL:      fmt.Sprintf("https://bulk.example/r/%04d", i),
+			Site:     "bulk.example",
+			Packages: []ecosys.Coord{held.Coord},
+		})
+	}
+	eng := NewEngine(DefaultConfig())
+	warmStats, err := eng.Ingest(Batch{Entries: rest, Reports: reps, At: ds.CollectedAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bulk in-order load is pure append whatever its size: tail reports
+	// can never repair ownership, so they must not trip the fallback.
+	if warmStats.CoexistingRebuilt || warmStats.CoexistingScoped {
+		t.Fatalf("bulk in-order load left the append path: %+v", warmStats)
+	}
+	st, err := eng.Ingest(Batch{Entries: []*collect.Entry{held}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CoexistingRebuilt || st.CoexistingScoped {
+		t.Fatalf("corpus-wide scope should fall back to a full rebuild: %+v", st)
+	}
+	if st.ReportsRejoined != len(reps) {
+		t.Fatalf("reports rejoined = %d, want %d", st.ReportsRejoined, len(reps))
+	}
+	want, err := Build(ds, reps, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEngineMatchesBuild(t, eng, want, "rebuild-fallback")
+}
+
+// TestEngineRestoreRejoinsSameScope is the ISSUE 5 restore-parity contract:
+// after RestoreEngine, ingesting a wanted package must re-join the same
+// scope — same ReportsRejoined, same edge delta, same repairs — as the
+// engine that never snapshotted, with no O(reports) first ingest.
+func TestEngineRestoreRejoinsSameScope(t *testing.T) {
+	ds, reps := miniDataset(t)
+	rest, held := holdOut(t, ds, "alpha-three")
+
+	live := NewEngine(DefaultConfig())
+	if _, err := live.Ingest(Batch{Entries: rest, Reports: reps, At: ds.CollectedAt}); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := live.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEngine(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.posting, live.posting) {
+		t.Fatal("restored posting lists differ")
+	}
+	if !reflect.DeepEqual(restored.coexOwner, live.coexOwner) {
+		t.Fatal("restored pair ownership differs")
+	}
+
+	delta := Batch{Entries: []*collect.Entry{held}}
+	liveStats, err := live.Ingest(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredStats, err := restored.Ingest(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveStats.ReportsRejoined != restoredStats.ReportsRejoined ||
+		liveStats.CoexistingDelta != restoredStats.CoexistingDelta ||
+		liveStats.CoexistingEdgesReplaced != restoredStats.CoexistingEdgesReplaced ||
+		liveStats.CoexistingScoped != restoredStats.CoexistingScoped ||
+		liveStats.CoexistingRebuilt != restoredStats.CoexistingRebuilt {
+		t.Fatalf("re-join scope differs:\n live     %+v\n restored %+v", liveStats, restoredStats)
+	}
+	if restoredStats.CoexistingRebuilt {
+		t.Fatalf("restored engine paid a full re-join: %+v", restoredStats)
+	}
+	if a, b := graphSig(t, live.Graph()), graphSig(t, restored.Graph()); a != b {
+		t.Fatal("post-delta graphs differ")
 	}
 }

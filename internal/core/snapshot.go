@@ -24,8 +24,11 @@ import (
 // snapshotVersion guards the wire format. Version 2 replaced the flat
 // per-ecosystem cluster lists with per-LSH-partition cluster maps, so a
 // warm-restarted engine re-clusters exactly the partitions the unrestored
-// one would have.
-const snapshotVersion = 2
+// one would have. Version 3 added the co-existing join index (per-coordinate
+// report posting lists and per-pair edge ownership), so a restored engine's
+// first wanted-package ingest is report-scoped instead of an O(reports)
+// re-derivation.
+const snapshotVersion = 3
 
 // snapshotItem carries a cached clustering item. SimHash fingerprints are
 // full 64-bit values, so Hash travels as hex — JSON numbers lose integer
@@ -50,6 +53,14 @@ type engineSnapshot struct {
 	Partitions map[string]map[string][]textsim.Cluster `json:"partitions"`
 	Items      map[string][]snapshotItem               `json:"items"`
 	Imports    map[string][]string                     `json:"imports"`
+	// Posting and PairOwners persist the co-existing join index: coordinate
+	// key → URL-sorted report posting list (including coordinates not yet
+	// observed — exactly the state a wanted-package arrival re-joins from)
+	// and pair key → owning report URL (the URL-smallest cover whose attrs
+	// the edge carries). Ownership cannot be reconstructed without replaying
+	// the whole URL-ordered join, so it rides along instead.
+	Posting    map[string][]string `json:"posting"`
+	PairOwners map[string]string   `json:"pairOwners"`
 }
 
 // Snapshot serialises the engine's full state: merged dataset (with
@@ -74,6 +85,8 @@ func (e *Engine) Snapshot(w io.Writer) error {
 		Partitions: make(map[string]map[string][]textsim.Cluster, len(e.clustersByPart)),
 		Items:      make(map[string][]snapshotItem, len(e.itemsByEco)),
 		Imports:    e.importsOf,
+		Posting:    e.posting,
+		PairOwners: e.coexOwner,
 	}
 	// Empty per-ecosystem maps are carried too, so a restored engine's
 	// partition cache mirrors the live one exactly.
@@ -205,15 +218,30 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 			e.importers[eco][dep] = append(e.importers[eco][dep], front)
 		}
 	}
+	// Rebuild the per-package report index from the URL-sorted corpus (the
+	// appends preserve global URL order) and restore the join index. The
+	// posting lists and pair ownership come from the snapshot verbatim — a
+	// restored engine's next wanted-package ingest re-joins exactly the
+	// scope the uninterrupted engine would, without an O(reports) pass.
 	for _, rep := range e.mg.Reports {
-		e.reportSeen[rep.URL] = true
+		e.reportByURL[rep.URL] = rep
+		seen := make(map[string]bool, len(rep.Packages))
 		for _, coord := range rep.Packages {
-			e.wanted[coord.Key()] = true
 			id := NodeID(coord)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
 			if _, ok := e.mg.G.Node(id); ok {
 				e.mg.ReportsByPackage[id] = append(e.mg.ReportsByPackage[id], rep)
 			}
 		}
+	}
+	if snap.Posting != nil {
+		e.posting = snap.Posting
+	}
+	if snap.PairOwners != nil {
+		e.coexOwner = snap.PairOwners
 	}
 	return e, nil
 }

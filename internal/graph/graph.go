@@ -292,7 +292,19 @@ func (g *Graph) RemoveEdgesIncident(t EdgeType, nodes []string) int {
 	}
 	g.countByType[t] -= removed
 	g.dead += removed
+	ids := make([]string, 0, len(touched))
 	for id := range touched {
+		ids = append(ids, id)
+	}
+	g.filterAdjacencyLocked(t, ids)
+	g.maybeCompactLocked()
+	return removed
+}
+
+// filterAdjacencyLocked drops tombstoned slots from the given nodes' type-t
+// adjacency lists, deleting lists that empty out. Callers hold g.mu.
+func (g *Graph) filterAdjacencyLocked(t EdgeType, ids []string) {
+	for _, id := range ids {
 		lst := g.adjacency[t][id]
 		live := lst[:0]
 		for _, idx := range lst {
@@ -306,16 +318,54 @@ func (g *Graph) RemoveEdgesIncident(t EdgeType, nodes []string) int {
 			g.adjacency[t][id] = live
 		}
 	}
-	if g.dead > 1024 && g.dead*2 > len(g.edges) {
-		kept := g.edges[:0]
-		for _, e := range g.edges {
-			if e.Type != 0 {
-				kept = append(kept, e)
-			}
-		}
-		g.rebuildLocked(kept, len(g.edges))
+}
+
+// maybeCompactLocked reclaims tombstoned slots once they outnumber live
+// edges (past a floor that keeps small graphs from compacting constantly).
+// Callers hold g.mu.
+func (g *Graph) maybeCompactLocked() {
+	if g.dead <= 1024 || g.dead*2 <= len(g.edges) {
+		return
 	}
-	return removed
+	kept := g.edges[:0]
+	for _, e := range g.edges {
+		if e.Type != 0 {
+			kept = append(kept, e)
+		}
+	}
+	g.rebuildLocked(kept, len(g.edges))
+}
+
+// RemoveEdge deletes the single edge of type t joining from and to (either
+// orientation for undirected types, exactly from→to for Dependency) and
+// reports whether it existed. Like RemoveEdgesIncident the slot is tombstoned
+// in place and only the two endpoints' adjacency lists are filtered, so the
+// cost is O(degree) of the endpoints — the primitive behind per-pair edge
+// replacement (the co-existing stage's first-writer ownership repair), where
+// exactly one edge's attributes must change without touching its neighbors.
+func (g *Graph) RemoveEdge(from, to string, t EdgeType) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := edgeKey(t, from, to)
+	if !g.edgeSeen[key] {
+		return false
+	}
+	delete(g.edgeSeen, key)
+	for _, idx := range g.adjacency[t][from] {
+		e := &g.edges[idx]
+		if e.Type != t {
+			continue
+		}
+		if (e.From == from && e.To == to) || (t != Dependency && e.From == to && e.To == from) {
+			*e = Edge{}
+			break
+		}
+	}
+	g.countByType[t]--
+	g.dead++
+	g.filterAdjacencyLocked(t, []string{from, to})
+	g.maybeCompactLocked()
+	return true
 }
 
 // rebuildLocked installs the compacted edge slice (sharing g.edges' backing

@@ -532,3 +532,74 @@ func TestRemoveEdgesIncidentCompaction(t *testing.T) {
 		t.Fatalf("round-trip count = %d", got)
 	}
 }
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := g.AddNode(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge := func(from, to string, et EdgeType, attrs Attrs) {
+		t.Helper()
+		if err := g.AddEdge(from, to, et, attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge("a", "b", Coexisting, Attrs{"report": "r1"})
+	mustEdge("b", "c", Coexisting, Attrs{"report": "r1"})
+	mustEdge("a", "b", Similar, Attrs{"cluster": "x"})
+	mustEdge("a", "b", Dependency, Attrs{"dep": "b"})
+
+	// Reversed endpoints resolve the same undirected edge.
+	if !g.RemoveEdge("b", "a", Coexisting) {
+		t.Fatal("undirected removal by reversed endpoints failed")
+	}
+	if g.HasEdge("a", "b", Coexisting) {
+		t.Fatal("edge survives removal")
+	}
+	// Other types between the same endpoints are untouched.
+	if !g.HasEdge("a", "b", Similar) || !g.HasEdge("a", "b", Dependency) {
+		t.Fatal("removal bled into other edge types")
+	}
+	if got := g.EdgeCount(Coexisting); got != 1 {
+		t.Fatalf("coexisting count = %d, want 1", got)
+	}
+	// Neighbors reflect the filtered adjacency, and the slot can be rewritten
+	// with fresh attrs — the ownership-repair pattern.
+	if nb := g.Neighbors("a", Coexisting); len(nb) != 0 {
+		t.Fatalf("a still has coexisting neighbors: %v", nb)
+	}
+	mustEdge("a", "b", Coexisting, Attrs{"report": "r0"})
+	for _, e := range g.Edges(Coexisting) {
+		if (e.From == "a" || e.To == "a") && e.Attrs["report"] != "r0" {
+			t.Fatalf("re-added edge kept stale attrs: %v", e.Attrs)
+		}
+	}
+	// Dependency edges are directed: the reverse orientation is not it.
+	if g.RemoveEdge("b", "a", Dependency) {
+		t.Fatal("directed edge removed via reverse orientation")
+	}
+	if !g.RemoveEdge("a", "b", Dependency) {
+		t.Fatal("directed removal failed")
+	}
+	// Removing a missing edge reports false and changes nothing.
+	if g.RemoveEdge("a", "c", Coexisting) {
+		t.Fatal("phantom removal reported true")
+	}
+	if got := g.EdgeCount(); got != 3 {
+		t.Fatalf("total edges = %d, want 3", got)
+	}
+	// Tombstones are invisible to serialisation.
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.EdgeCount(); got != 3 {
+		t.Fatalf("round-trip count = %d, want 3", got)
+	}
+}

@@ -10,10 +10,21 @@ import (
 // mentions and IoCs from its body — the §III-D path from raw crawl output to
 // structured report corpus. Pages naming no packages yield ok=false (they
 // are not analysis reports even if topically relevant).
+//
+// fetchedAt is the crawl instant and is recorded as FetchedAt only.
+// PublishedAt comes from the page's publication dateline when it discloses
+// one; pages without a dateline fall back to the crawl instant (the best
+// available bound), but never the other way around — publication time and
+// crawl time are distinct, and conflating them made report-timeline ordering
+// a function of crawl scheduling.
 func FromPage(p *webworld.Page, fetchedAt time.Time) (*Report, bool) {
 	pkgs := ExtractPackages(p.Body)
 	if len(pkgs) == 0 {
 		return nil, false
+	}
+	publishedAt, ok := ExtractPublishedAt(p.Body)
+	if !ok {
+		publishedAt = fetchedAt
 	}
 	return &Report{
 		URL:         p.URL,
@@ -22,7 +33,8 @@ func FromPage(p *webworld.Page, fetchedAt time.Time) (*Report, bool) {
 		Body:        p.Body,
 		Packages:    pkgs,
 		IoCs:        ExtractIoCs(p.Body),
-		PublishedAt: fetchedAt,
+		PublishedAt: publishedAt,
+		FetchedAt:   fetchedAt,
 	}, true
 }
 

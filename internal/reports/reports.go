@@ -89,23 +89,32 @@ func dedupe(in []string) []string {
 
 // Report is one security analysis report.
 type Report struct {
-	URL         string
-	Site        string
-	Category    Category
-	Title       string
-	Body        string
-	Packages    []ecosys.Coord // packages the report names
-	IoCs        IoCSet
+	URL      string
+	Site     string
+	Category Category
+	Title    string
+	Body     string
+	Packages []ecosys.Coord // packages the report names
+	IoCs     IoCSet
+	// PublishedAt is when the report was published (as disclosed by the
+	// page); FetchedAt is when the crawler retrieved it. The two used to be
+	// conflated — FromPage stamped PublishedAt with the crawl instant, so
+	// report-timeline ordering shifted with crawl scheduling.
 	PublishedAt time.Time
+	FetchedAt   time.Time `json:",omitzero"`
 }
 
 // Render builds the natural-language body for a report naming the given
 // packages with the given IoCs. The produced text follows the structure the
-// paper describes for analysis webpages: discovery context, behaviours,
-// package names/versions, and IoCs — partially defanged like real reports.
-func Render(rng *xrand.RNG, title string, eco ecosys.Ecosystem, pkgs []ecosys.Coord, iocs IoCSet, behaviors []string) string {
+// paper describes for analysis webpages: a publication dateline (when
+// publishedAt is non-zero), discovery context, behaviours, package
+// names/versions, and IoCs — partially defanged like real reports.
+func Render(rng *xrand.RNG, title string, publishedAt time.Time, eco ecosys.Ecosystem, pkgs []ecosys.Coord, iocs IoCSet, behaviors []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n\n", title)
+	if !publishedAt.IsZero() {
+		fmt.Fprintf(&b, "Published: %s\n\n", publishedAt.UTC().Format("2006-01-02"))
+	}
 	intro := []string{
 		"Our automated scanning pipeline flagged a new wave of malicious uploads",
 		"During routine monitoring of new releases we identified suspicious packages",
@@ -165,9 +174,25 @@ var (
 	urlRe        = regexp.MustCompile(`h(?:xx|tt)ps?://[^\s"'<>\)]+`)
 	// A PowerShell IoC is a command line (powershell followed by flags),
 	// not merely prose mentioning PowerShell behaviour.
-	psRe       = regexp.MustCompile(`(?i)powershell\s+-[^\n]+`)
-	behaviorRe = regexp.MustCompile(`Observed behaviours: ([^.\n]+)\.`)
+	psRe        = regexp.MustCompile(`(?i)powershell\s+-[^\n]+`)
+	behaviorRe  = regexp.MustCompile(`Observed behaviours: ([^.\n]+)\.`)
+	publishedRe = regexp.MustCompile(`(?m)^Published: (\d{4}-\d{2}-\d{2})$`)
 )
+
+// ExtractPublishedAt parses the publication dateline out of a report body.
+// ok=false when the page discloses no date (older pages, external documents);
+// callers then fall back to the crawl instant.
+func ExtractPublishedAt(body string) (time.Time, bool) {
+	m := publishedRe.FindStringSubmatch(body)
+	if m == nil {
+		return time.Time{}, false
+	}
+	t, err := time.Parse("2006-01-02", m[1])
+	if err != nil {
+		return time.Time{}, false
+	}
+	return t, true
+}
 
 // ExtractBehaviors parses the behaviour summary line out of a report body
 // (§VI-B path 1: "if the malware is reported by online sources, we use the

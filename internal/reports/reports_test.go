@@ -4,8 +4,10 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"malgraph/internal/ecosys"
+	"malgraph/internal/webworld"
 	"malgraph/internal/xrand"
 )
 
@@ -27,7 +29,8 @@ func sampleIoCs() IoCSet {
 
 func TestRenderAndExtractRoundTrip(t *testing.T) {
 	rng := xrand.New(1)
-	body := Render(rng, "Malicious Lolip0p packages on PyPI", ecosys.PyPI, samplePkgs(), sampleIoCs(), []string{"info stealing"})
+	published := time.Date(2023, 1, 16, 9, 30, 0, 0, time.UTC)
+	body := Render(rng, "Malicious Lolip0p packages on PyPI", published, ecosys.PyPI, samplePkgs(), sampleIoCs(), []string{"info stealing"})
 
 	pkgs := ExtractPackages(body)
 	if len(pkgs) != 3 {
@@ -58,6 +61,51 @@ func TestRenderAndExtractRoundTrip(t *testing.T) {
 		if strings.Contains(u, "hxxp") || strings.Contains(u, "[.]") {
 			t.Fatalf("URL not refanged: %s", u)
 		}
+	}
+
+	got, ok := ExtractPublishedAt(body)
+	if !ok {
+		t.Fatal("rendered dateline not extracted")
+	}
+	if want := time.Date(2023, 1, 16, 0, 0, 0, 0, time.UTC); !got.Equal(want) {
+		t.Fatalf("published = %v, want %v", got, want)
+	}
+}
+
+// TestFromPageSeparatesPublishedFromFetched is the regression test for the
+// publication/crawl-time conflation: a page disclosing a dateline must keep
+// its published date whatever instant the crawler fetched it, and only pages
+// without a dateline fall back to the crawl instant.
+func TestFromPageSeparatesPublishedFromFetched(t *testing.T) {
+	published := time.Date(2023, 1, 16, 0, 0, 0, 0, time.UTC)
+	fetched := time.Date(2024, 6, 1, 12, 0, 0, 0, time.UTC)
+	body := Render(xrand.New(1), "Malicious packages", published, ecosys.PyPI, samplePkgs(), IoCSet{}, nil)
+	rep, ok := FromPage(&webworld.Page{URL: "https://s/r1", Site: "s", Title: "t", Body: body}, fetched)
+	if !ok {
+		t.Fatal("report page rejected")
+	}
+	if !rep.PublishedAt.Equal(published) {
+		t.Fatalf("PublishedAt = %v, want the page's dateline %v", rep.PublishedAt, published)
+	}
+	if !rep.FetchedAt.Equal(fetched) {
+		t.Fatalf("FetchedAt = %v, want crawl instant %v", rep.FetchedAt, fetched)
+	}
+
+	// Re-crawling the same page later must not move its publication date.
+	later := fetched.AddDate(0, 3, 0)
+	rep2, _ := FromPage(&webworld.Page{URL: "https://s/r1", Site: "s", Title: "t", Body: body}, later)
+	if !rep2.PublishedAt.Equal(published) {
+		t.Fatalf("re-crawl moved PublishedAt to %v", rep2.PublishedAt)
+	}
+
+	// No dateline: fall back to the crawl instant, recorded in both fields.
+	noDate := Render(xrand.New(1), "Malicious packages", time.Time{}, ecosys.PyPI, samplePkgs(), IoCSet{}, nil)
+	if _, ok := ExtractPublishedAt(noDate); ok {
+		t.Fatal("dateline extracted from a page without one")
+	}
+	rep3, _ := FromPage(&webworld.Page{URL: "https://s/r2", Site: "s", Title: "t", Body: noDate}, fetched)
+	if !rep3.PublishedAt.Equal(fetched) || !rep3.FetchedAt.Equal(fetched) {
+		t.Fatalf("fallback: published %v fetched %v, want both %v", rep3.PublishedAt, rep3.FetchedAt, fetched)
 	}
 }
 

@@ -104,7 +104,8 @@ func (w *World) buildWeb(rng *xrand.RNG) error {
 				}
 			}
 			title := reportTitle(rng, c, ri)
-			body := reports.Render(rng.Derive(pageURL), title, c.Eco, coords, iocs, behaviors)
+			publishedAt := latest.Add(6 * time.Hour)
+			body := reports.Render(rng.Derive(pageURL), title, publishedAt, c.Eco, coords, iocs, behaviors)
 			rep := &reports.Report{
 				URL:         pageURL,
 				Site:        site.name,
@@ -113,7 +114,7 @@ func (w *World) buildWeb(rng *xrand.RNG) error {
 				Body:        body,
 				Packages:    coords,
 				IoCs:        iocs,
-				PublishedAt: latest.Add(6 * time.Hour),
+				PublishedAt: publishedAt,
 			}
 			w.Reports = append(w.Reports, rep)
 
@@ -153,12 +154,13 @@ func (w *World) buildWeb(rng *xrand.RNG) error {
 		c := reported[0]
 		coords := []ecosys.Coord{c.Packages[0].Artifact.Coord}
 		title := "Quarterly IoC appendix for malicious package campaigns"
-		body := reports.Render(rng.Derive("appendix"), title, c.Eco, coords, iocs, nil)
+		publishedAt := w.Config.CollectAt.AddDate(0, -1, 0)
+		body := reports.Render(rng.Derive("appendix"), title, publishedAt, c.Eco, coords, iocs, nil)
 		pageURL := "https://" + site.name + "/reports/appendix"
 		rep := &reports.Report{
 			URL: pageURL, Site: site.name, Category: site.category, Title: title,
 			Body: body, Packages: coords, IoCs: iocs,
-			PublishedAt: w.Config.CollectAt.AddDate(0, -1, 0),
+			PublishedAt: publishedAt,
 		}
 		w.Reports = append(w.Reports, rep)
 		if err := w.Web.AddPage(&webworld.Page{
