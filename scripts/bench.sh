@@ -14,11 +14,17 @@
 #   BENCH_pipeline.json     BenchmarkPipeline_EndToEnd (whole-corpus envelope)
 #   BENCH_incremental.json  BenchmarkIncremental_{Append,FullRebuild} plus the
 #                           append-vs-rebuild speedup (the streaming engine's
-#                           headline: a 1% delta must stay ≥10× cheaper), and
+#                           headline: a 1% delta must stay ≥10× cheaper),
 #                           BenchmarkIncremental_AppendGrowth records (fixed
 #                           ≈1% append at 1×/4×/10× corpus) with the LSH
 #                           recluster-scope metrics and the 10×/1× growth
 #                           ratio — appends must stay flat as the corpus grows
+#                           — and BenchmarkIncremental_ReportAppendGrowth
+#                           records (fixed wanted-package delta at 1×/4×/10×
+#                           REPORT corpus) with the report-join scope metrics
+#                           (reports_rejoined, coexisting_edges_replaced,
+#                           coexisting_rebuilt) and their own 10×/1× ratio —
+#                           a wanted arrival must stay flat as reports accrue
 #
 # Each record carries ns/op, B/op, allocs/op and the benchmark's shape
 # metrics (edge/package counts), keyed by scale, so future sessions can plot
@@ -33,7 +39,7 @@ TIME="${BENCH_TIME:-3x}"
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
-    -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$|BenchmarkIncremental_Append$|BenchmarkIncremental_FullRebuild$|BenchmarkIncremental_AppendGrowth$' \
+    -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$|BenchmarkIncremental_Append$|BenchmarkIncremental_FullRebuild$|BenchmarkIncremental_AppendGrowth$|BenchmarkIncremental_ReportAppendGrowth$' \
     -benchmem -benchtime "$TIME" . |
 awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
   function record(name,    line, metrics, i, val, unit) {
@@ -61,6 +67,9 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
     if (name == "BenchmarkIncremental_AppendGrowth/size=1x")  { g1_ns = ns;  g1_rec = record(name) }
     if (name == "BenchmarkIncremental_AppendGrowth/size=4x")  { g4_ns = ns;  g4_rec = record(name) }
     if (name == "BenchmarkIncremental_AppendGrowth/size=10x") { g10_ns = ns; g10_rec = record(name) }
+    if (name == "BenchmarkIncremental_ReportAppendGrowth/size=1x")  { r1_ns = ns;  r1_rec = record(name) }
+    if (name == "BenchmarkIncremental_ReportAppendGrowth/size=4x")  { r4_ns = ns;  r4_rec = record(name) }
+    if (name == "BenchmarkIncremental_ReportAppendGrowth/size=10x") { r10_ns = ns; r10_rec = record(name) }
     if (out == "") next
     line = record(name)
     print line > out
@@ -75,6 +84,10 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
       if (g1_ns != "" && g10_ns != "") {
         line = line sprintf(",\"append_growth_10x_vs_1x\":%.2f,\"append_growth\":{\"x1\":%s,\"x4\":%s,\"x10\":%s}",
                             g10_ns / g1_ns, g1_rec, g4_rec, g10_rec)
+      }
+      if (r1_ns != "" && r10_ns != "") {
+        line = line sprintf(",\"report_append_growth_10x_vs_1x\":%.2f,\"report_append_growth\":{\"x1\":%s,\"x4\":%s,\"x10\":%s}",
+                            r10_ns / r1_ns, r1_rec, r4_rec, r10_rec)
       }
       line = line "}"
       print line > out
