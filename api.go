@@ -19,6 +19,7 @@ import (
 	"malgraph/internal/parallel"
 	"malgraph/internal/registry"
 	"malgraph/internal/reports"
+	"malgraph/internal/wal"
 	"malgraph/internal/world"
 	"malgraph/internal/xrand"
 )
@@ -98,6 +99,12 @@ type Pipeline struct {
 	// being appended. Lazily created on first AppendExternal.
 	view     registry.View
 	resolver *collect.Resolver
+	// journal, when attached, receives every accepted ingest (external
+	// observations/reports and feed batches) as an fsync'd WAL record
+	// before the engine applies it; lastSeq is the sequence of the last
+	// batch this pipeline's engine reflects. See durable.go.
+	journal *wal.Log
+	lastSeq uint64
 }
 
 // Source returns the full collected dataset and report corpus behind the
@@ -275,6 +282,15 @@ func (p *Pipeline) SetExternalView(v registry.View) {
 func (p *Pipeline) AppendExternal(obs []collect.Observation, reps []*reports.Report) (core.IngestStats, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.appendExternalLocked(obs, reps, true)
+}
+
+// appendExternalLocked resolves and ingests one external delivery. With
+// journal set, the raw wire shapes are WAL-journaled after validation
+// succeeds and before the engine applies them — an acknowledged append is
+// durable; a journal failure aborts with nothing applied. Replay passes
+// journal=false: the record is already on disk.
+func (p *Pipeline) appendExternalLocked(obs []collect.Observation, reps []*reports.Report, journal bool) (core.IngestStats, error) {
 	if p.resolver == nil {
 		view := p.view
 		if view == nil {
@@ -285,6 +301,11 @@ func (p *Pipeline) AppendExternal(obs []collect.Observation, reps []*reports.Rep
 	b, err := p.resolver.Resolve(obs, p.Engine.Dataset())
 	if err != nil {
 		return core.IngestStats{}, fmt.Errorf("malgraph: resolve observations: %w", err)
+	}
+	if journal {
+		if err := p.journalLocked(recExternal, externalRecord{Observations: obs, Reports: reps}); err != nil {
+			return core.IngestStats{}, err
+		}
 	}
 	return p.appendLocked(core.Batch{
 		Entries:   b.Entries,
@@ -302,6 +323,9 @@ func (p *Pipeline) AppendNext() (st core.IngestStats, ok bool, err error) {
 	defer p.mu.Unlock()
 	if p.fed >= len(p.feed) {
 		return core.IngestStats{}, false, nil
+	}
+	if err := p.journalLocked(recFeed, feedRecord{Index: p.fed}); err != nil {
+		return core.IngestStats{}, false, err
 	}
 	b := p.feed[p.fed]
 	p.fed++
@@ -325,6 +349,9 @@ func (p *Pipeline) AppendPending(n int, exact bool) (stats []core.IngestStats, o
 		n = pending
 	}
 	for i := 0; i < n; i++ {
+		if err := p.journalLocked(recFeed, feedRecord{Index: p.fed}); err != nil {
+			return stats, true, err
+		}
 		b := p.feed[p.fed]
 		p.fed++
 		st, err := p.appendLocked(b)
@@ -394,18 +421,25 @@ func (p *Pipeline) Node(id string) (graph.Node, map[string][]string, bool) {
 	return n, neighbors, true
 }
 
-// SnapshotEngine checkpoints the engine (graph, dataset, caches) to w.
+// SnapshotEngine checkpoints the engine (graph, dataset, caches) to w. The
+// snapshot is stamped with the last journaled ingest sequence the engine
+// reflects, so WAL recovery replays only the suffix the checkpoint does not
+// already contain.
 func (p *Pipeline) SnapshotEngine(w io.Writer) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.Engine.SetAppliedSeq(p.lastSeq)
+	p.Engine.SetFeedPos(p.fed)
 	return p.Engine.Snapshot(w)
 }
 
 // RestoreEngine swaps in an engine checkpoint (core.RestoreEngine) — the
 // warm-restart path: embeddings, cluster state and scan caches come back
 // with the graph, so serving resumes without an O(corpus) rebuild. The feed
-// is left untouched; replaying already-ingested batches through AppendNext
-// is an idempotent no-op, so a restarted server can simply drain the feed.
+// cursor restores from the snapshot's stamp (pre-v4 snapshots carry none and
+// restart it at zero; re-draining already-ingested batches is an idempotent
+// no-op), and journal replay advances it further from any feed records past
+// the checkpoint.
 func (p *Pipeline) RestoreEngine(r io.Reader) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -417,6 +451,16 @@ func (p *Pipeline) RestoreEngine(r io.Reader) error {
 	p.Dataset = eng.Dataset()
 	p.Reports = eng.Reports()
 	p.Graph = eng.Graph()
+	p.lastSeq = eng.AppliedSeq()
+	if p.fed = eng.FeedPos(); p.fed > len(p.feed) {
+		// The feed was re-partitioned since the snapshot (different
+		// -batches); the saved cursor has no meaning in the new partition,
+		// so fall back to the idempotent full re-drain.
+		p.fed = 0
+	}
+	if p.journal != nil {
+		p.journal.EnsureSeq(p.lastSeq)
+	}
 	p.cache = nil
 	p.dirty = allDirty()
 	return nil

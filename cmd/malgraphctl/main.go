@@ -7,8 +7,9 @@
 //	malgraphctl graph   [-scale 0.05] [-seed N] [-out graph.json]
 //	malgraphctl crawl   [-scale 0.05] [-seed N]
 //	malgraphctl serve   [-scale 0.05] [-seed N] [-addr :8080] [-batches 10] [-snapshot state.json]
+//	                    [-wal dir] [-checkpoint-bytes N]
 //	                    [-remote-root URL[,URL...]] [-remote-mirror URL[,URL...]]
-//	malgraphctl push    [-scale 0.05] [-seed N] [-server http://localhost:8080] [-file obs.json] [-batches 10]
+//	malgraphctl push    [-scale 0.05] [-seed N] [-server http://localhost:8080] [-file obs.json] [-batches 10] [-from K]
 //	malgraphctl dataset [-scale 0.05] [-seed N] [-out data.json] [-full]
 //
 // run executes the full pipeline and renders every table and figure; graph
@@ -37,6 +38,7 @@ import (
 	"malgraph"
 	"malgraph/internal/collect"
 	"malgraph/internal/registry"
+	"malgraph/internal/wal"
 )
 
 func main() {
@@ -62,6 +64,9 @@ func run(args []string) error {
 	maxPages := fs.Int("maxpages", 0, "crawl page budget (0 = library default)")
 	batches := fs.Int("batches", 10, "ingest batches the feed is partitioned into (serve/push)")
 	snapshot := fs.String("snapshot", "", "engine snapshot file for warm restarts (serve only)")
+	walDir := fs.String("wal", "", "write-ahead journal directory: accepted ingests are journaled before apply and replayed on restart (serve only)")
+	checkpointBytes := fs.Int64("checkpoint-bytes", 4<<20, "auto-checkpoint once this many journal bytes accumulate (serve only; needs -wal and -snapshot; 0 disables)")
+	from := fs.Int("from", 1, "first batch to push, 1-based — resume an interrupted push from its last acknowledged batch (push only)")
 	remoteRoots := fs.String("remote-root", "", "comma-separated root registry base URLs for external-observation recovery (serve only)")
 	remoteMirrors := fs.String("remote-mirror", "", "comma-separated mirror base URLs for external-observation recovery (serve only)")
 	server := fs.String("server", "http://localhost:8080", "serve instance to push to (push only)")
@@ -82,9 +87,10 @@ func run(args []string) error {
 	case "crawl":
 		return cmdCrawl(cfg)
 	case "serve":
-		return cmdServe(cfg, *addr, *batches, *snapshot, splitList(*remoteRoots), splitList(*remoteMirrors))
+		return cmdServe(cfg, *addr, *batches, *snapshot, *walDir, *checkpointBytes,
+			splitList(*remoteRoots), splitList(*remoteMirrors))
 	case "push":
-		return cmdPush(cfg, *server, *file, *batches)
+		return cmdPush(cfg, *server, *file, *batches, *from)
 	case "dataset":
 		return cmdDataset(cfg, *out, *full)
 	default:
@@ -183,11 +189,15 @@ func splitList(raw string) []string {
 // into ingest batches, with ingest/query/results over HTTP (see serve.go),
 // the external observations/reports inlet, plus the simulated PyPI registry
 // endpoints. With -snapshot, existing engine state warm-restarts the server
-// and POST /api/v1/snapshot checkpoints it again. With -remote-root /
+// and POST /api/v1/snapshot checkpoints it again. With -wal, every accepted
+// ingest is journaled (fsync'd) before the engine applies it, the journal
+// suffix past the snapshot replays on startup, and -checkpoint-bytes bounds
+// how much journal accumulates before an automatic checkpoint+truncate —
+// recovery is always last snapshot + WAL suffix. With -remote-root /
 // -remote-mirror, artifact recovery for externally POSTed observations goes
 // through a registry.RemoteFleet against those live base URLs instead of
 // the in-process fleet.
-func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath string, remoteRoots, remoteMirrors []string) error {
+func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath, walDir string, checkpointBytes int64, remoteRoots, remoteMirrors []string) error {
 	p, err := malgraph.NewStreamingPipeline(context.Background(), cfg, batches)
 	if err != nil {
 		return err
@@ -216,15 +226,31 @@ func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath string
 			if restoreErr != nil {
 				return fmt.Errorf("warm restart from %s: %w", snapshotPath, restoreErr)
 			}
-			fmt.Printf("warm restart: %d packages, %d edges from %s\n",
-				len(p.Dataset.Entries), p.Graph.G.EdgeCount(), snapshotPath)
+			fmt.Printf("warm restart: %d packages, %d edges from %s (seq %d)\n",
+				len(p.Dataset.Entries), p.Graph.G.EdgeCount(), snapshotPath, p.LastSeq())
 		case os.IsNotExist(err):
 			fmt.Printf("cold start: no snapshot at %s yet\n", snapshotPath)
 		default:
 			return fmt.Errorf("warm restart from %s: %w", snapshotPath, err)
 		}
 	}
+	var journal *wal.Log
+	if walDir != "" {
+		journal, err = wal.Open(walDir, nil)
+		if err != nil {
+			return fmt.Errorf("serve -wal: %w", err)
+		}
+		replayed, err := p.ReplayJournal(journal)
+		if err != nil {
+			return fmt.Errorf("serve -wal replay: %w", err)
+		}
+		p.AttachJournal(journal)
+		fmt.Printf("journal at %s: replayed %d record(s) past the snapshot (seq %d)\n",
+			walDir, replayed, p.LastSeq())
+	}
 	srv := newServer(p, snapshotPath)
+	srv.wal = journal
+	srv.checkpointBytes = checkpointBytes
 	fmt.Printf("serving MALGRAPH at %s: POST /api/v1/{ingest,observations,reports} (%d batches pending), "+
 		"GET /api/v1/{results,stats,node,snapshot}, /healthz, PyPI registry at /root/ and /mirror/<name>/\n",
 		addr, p.PendingBatches())

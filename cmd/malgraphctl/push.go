@@ -21,14 +21,29 @@ import (
 	"malgraph"
 	"malgraph/internal/collect"
 	"malgraph/internal/reports"
+	"malgraph/internal/retry"
 )
+
+// pushRetry bounds the per-request retry loop of the loader client:
+// transport errors and 5xx answers (including the serve API's 502
+// "registry transport-failed, retry the batch") back off and retry;
+// definitive rejections (4xx) abort immediately.
+var pushRetry = retry.Policy{
+	Attempts:  4,
+	BaseDelay: 200 * time.Millisecond,
+	MaxDelay:  3 * time.Second,
+	Jitter:    0.5,
+}
 
 // cmdPush runs the loader loop against serverURL. With -file, observations
 // are read from a JSON document ({"observations": [...]}); otherwise the
 // simulated world for (seed, scale) is flattened into its raw observation
 // stream and report corpus — which must match the serve process's seed and
 // scale, since the server recovers artifacts from its own registry fleet.
-func cmdPush(cfg malgraph.Config, serverURL, file string, batches int) error {
+// from (1-based) resumes an interrupted push at that batch: the server
+// dedupes re-delivered batches, so resuming one batch early is safe while
+// skipping an unacknowledged one is not.
+func cmdPush(cfg malgraph.Config, serverURL, file string, batches, from int) error {
 	var (
 		obs  []collect.Observation
 		reps []*reports.Report
@@ -48,7 +63,7 @@ func cmdPush(cfg malgraph.Config, serverURL, file string, batches int) error {
 		_, reps = p.Source()
 	}
 	hc := &http.Client{Timeout: 60 * time.Second}
-	return pushAll(hc, serverURL, obs, reps, batches, os.Stdout)
+	return pushAll(hc, serverURL, obs, reps, batches, from, os.Stdout)
 }
 
 // readObservationsFile loads {"observations": [...]} from a JSON file.
@@ -69,8 +84,12 @@ func readObservationsFile(path string) ([]collect.Observation, error) {
 
 // pushAll drives the loader loop: observations sorted into timeline order,
 // cut into k batches, each POSTed with its proportional slice of the report
-// corpus, with a stats poll after every round-trip.
-func pushAll(hc *http.Client, base string, obs []collect.Observation, reps []*reports.Report, batches int, out io.Writer) error {
+// corpus, with a stats poll after every round-trip. from (1-based) skips
+// the batches an interrupted run already delivered. Each POST retries
+// transient failures with backoff; once the budget is spent the error
+// names the batch to resume from, so a crashed push never has to restart
+// from scratch — the server dedupes whatever was already acknowledged.
+func pushAll(hc *http.Client, base string, obs []collect.Observation, reps []*reports.Report, batches, from int, out io.Writer) error {
 	collect.SortObservations(obs)
 	if batches < 1 {
 		batches = 1
@@ -78,26 +97,34 @@ func pushAll(hc *http.Client, base string, obs []collect.Observation, reps []*re
 	if batches > len(obs) && len(obs) > 0 {
 		batches = len(obs)
 	}
-	for i := 0; i < batches; i++ {
+	if from < 1 {
+		from = 1
+	}
+	if from > 1 {
+		fmt.Fprintf(out, "resuming at batch %d/%d\n", from, batches)
+	}
+	for i := from - 1; i < batches; i++ {
 		lo, hi := i*len(obs)/batches, (i+1)*len(obs)/batches
 		rlo, rhi := i*len(reps)/batches, (i+1)*len(reps)/batches
 		var resp map[string]any
 		if err := postJSONBody(hc, base+"/api/v1/observations",
 			map[string]any{"observations": obs[lo:hi]}, &resp); err != nil {
-			return fmt.Errorf("push batch %d/%d: %w", i+1, batches, err)
+			return fmt.Errorf("push batch %d/%d failed after retries (resume with -from %d): %w",
+				i+1, batches, i+1, err)
 		}
 		if rhi > rlo {
 			if err := postJSONBody(hc, base+"/api/v1/reports",
 				map[string]any{"reports": reps[rlo:rhi]}, nil); err != nil {
-				return fmt.Errorf("push reports %d/%d: %w", i+1, batches, err)
+				return fmt.Errorf("push reports %d/%d failed after retries (resume with -from %d): %w",
+					i+1, batches, i+1, err)
 			}
 		}
 		stats, err := getStats(hc, base)
 		if err != nil {
 			return fmt.Errorf("poll stats after batch %d/%d: %w", i+1, batches, err)
 		}
-		fmt.Fprintf(out, "batch %d/%d: pushed %d observations, %d reports -> %v entries, %v nodes, %v edges\n",
-			i+1, batches, hi-lo, rhi-rlo, stats["entries"], stats["nodes"], stats["edges"])
+		fmt.Fprintf(out, "batch %d/%d: pushed %d observations, %d reports (seq %v) -> %v entries, %v nodes, %v edges\n",
+			i+1, batches, hi-lo, rhi-rlo, resp["seq"], stats["entries"], stats["nodes"], stats["edges"])
 	}
 	stats, err := getStats(hc, base)
 	if err != nil {
@@ -109,28 +136,42 @@ func pushAll(hc *http.Client, base string, obs []collect.Observation, reps []*re
 }
 
 // postJSONBody POSTs body as JSON and decodes the response into v (when
-// non-nil); a non-2xx status is surfaced with the server's error message.
+// non-nil). Transport errors and 5xx statuses — including the serve API's
+// 502 for a registry blip, which ingests nothing — retry under pushRetry;
+// other non-2xx statuses are definitive and surface the server's error
+// message immediately.
 func postJSONBody(hc *http.Client, url string, body, v any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := hc.Post(url, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
+	return pushRetry.Do(context.Background(), func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			return err
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, e.Error)
-	}
-	if v == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := hc.Do(req)
+		if err != nil {
+			return retry.Mark(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			serr := fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, e.Error)
+			if resp.StatusCode >= 500 {
+				return retry.Mark(serr)
+			}
+			return serr
+		}
+		if v == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(v)
+	})
 }
 
 func getStats(hc *http.Client, base string) (map[string]any, error) {

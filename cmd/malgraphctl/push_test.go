@@ -57,7 +57,7 @@ func TestPushExternalMatchesFeedAndOneShot(t *testing.T) {
 	obs := collect.ObservationsFromSources(client.World.Sources)
 	_, reportCorpus := client.Source()
 	var log bytes.Buffer
-	if err := pushAll(pushTS.Client(), pushTS.URL, obs, reportCorpus, 5, &log); err != nil {
+	if err := pushAll(pushTS.Client(), pushTS.URL, obs, reportCorpus, 5, 1, &log); err != nil {
 		t.Fatalf("push: %v\n%s", err, log.String())
 	}
 	if !strings.Contains(log.String(), "push complete") {

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 
 	"malgraph"
 	"malgraph/internal/collect"
@@ -27,6 +28,7 @@ import (
 	"malgraph/internal/graph"
 	"malgraph/internal/registry"
 	"malgraph/internal/reports"
+	"malgraph/internal/wal"
 )
 
 // server wraps a streaming pipeline with the ingest/query/results API.
@@ -36,10 +38,92 @@ type server struct {
 	// snapshot produces an engine checkpoint; indirected so tests can
 	// exercise the mid-stream failure path of GET /api/v1/snapshot.
 	snapshot func(io.Writer) error
+	// wal is the attached write-ahead journal (nil without -wal). With a
+	// snapshot path configured, the server auto-checkpoints once
+	// checkpointBytes have been journaled since the last checkpoint, then
+	// truncates the journal — bounding both replay time and journal size.
+	wal             *wal.Log
+	checkpointBytes int64
+	checkpointMu    sync.Mutex
 }
 
 func newServer(p *malgraph.Pipeline, snapshotPath string) *server {
 	return &server{p: p, snapshotPath: snapshotPath, snapshot: p.SnapshotEngine}
+}
+
+// writeFileAtomic durably replaces path with the bytes write produces:
+// temp file in the same directory, fsync the file, rename over the target,
+// fsync the directory. An interrupted checkpoint never destroys the last
+// good snapshot, and a completed rename survives power loss.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// checkpoint writes the snapshot durably and truncates the journal. The
+// order is what makes losing either step safe: the snapshot lands (stamped
+// with the last applied sequence) before any journal bytes disappear, and
+// a crash between the two just leaves records that replay as
+// sequence-gated no-ops.
+func (s *server) checkpoint() error {
+	if err := writeFileAtomic(s.snapshotPath, s.snapshot); err != nil {
+		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.Reset(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeCheckpoint runs after each accepted ingest: once the journal has
+// grown past the configured budget, checkpoint and truncate. Failures are
+// reported but non-fatal — the ingest itself is already durable in the
+// journal, and the next ingest retries the checkpoint.
+func (s *server) maybeCheckpoint() {
+	if s.wal == nil || s.snapshotPath == "" || s.checkpointBytes <= 0 {
+		return
+	}
+	s.checkpointMu.Lock()
+	defer s.checkpointMu.Unlock()
+	grown := s.wal.AppendedBytes()
+	if grown < s.checkpointBytes {
+		return
+	}
+	if err := s.checkpoint(); err != nil {
+		fmt.Fprintf(os.Stderr, "auto-checkpoint failed (will retry next ingest): %v\n", err)
+		return
+	}
+	fmt.Printf("auto-checkpoint: %d journal bytes folded into %s (seq %d)\n",
+		grown, s.snapshotPath, s.p.LastSeq())
 }
 
 // handler builds the full route table.
@@ -188,9 +272,12 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for _, st := range stats {
 		ingested = append(ingested, statsOut(st))
 	}
+	seq := s.p.LastSeq()
+	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ingested": ingested,
 		"pending":  s.p.PendingBatches(),
+		"seq":      seq,
 	})
 }
 
@@ -225,10 +312,13 @@ func (s *server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	seq := s.p.LastSeq()
+	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"accepted": len(req.Observations),
 		"stats":    statsOut(st),
 		"entries":  s.p.Stats().Entries,
+		"seq":      seq,
 	})
 }
 
@@ -274,10 +364,13 @@ func (s *server) handleReports(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	seq := s.p.LastSeq()
+	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"accepted": len(accepted),
 		"skipped":  skipped,
 		"stats":    statsOut(st),
+		"seq":      seq,
 	})
 }
 
@@ -356,26 +449,13 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("no -snapshot path configured"))
 			return
 		}
-		// Write-then-rename: an interrupted checkpoint must never destroy
-		// the last good snapshot.
-		tmp, err := os.CreateTemp(filepath.Dir(s.snapshotPath), ".snapshot-*")
+		// Durable write-then-rename (fsync file + dir), and with a journal
+		// attached the checkpoint also truncates it — an explicit POST is
+		// the same operation as an auto-checkpoint.
+		s.checkpointMu.Lock()
+		err := s.checkpoint()
+		s.checkpointMu.Unlock()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		if err := s.snapshot(tmp); err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		if err := tmp.Close(); err != nil {
-			os.Remove(tmp.Name())
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		if err := os.Rename(tmp.Name(), s.snapshotPath); err != nil {
-			os.Remove(tmp.Name())
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}

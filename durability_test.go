@@ -1,0 +1,303 @@
+package malgraph
+
+// Durability tests (ISSUE 6): recovery from last snapshot + WAL suffix must
+// be bit-identical to the engine that never died. The crash matrix kills the
+// pipeline at every journal record boundary (plus torn half-record tails),
+// recovers a fresh pipeline from the surviving bytes, re-delivers the rest
+// of the script, and requires the exact per-type edge sets and Results of
+// the uninterrupted reference run. A second suite replays a shuffled
+// external delivery from the journal alone and requires one-shot equality —
+// the PR 2/3 equivalence contract extended across process death.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"malgraph/internal/collect"
+	"malgraph/internal/reports"
+	"malgraph/internal/wal"
+	"malgraph/internal/xrand"
+)
+
+// journalBytes reads the raw journal file so the crash matrix can replant
+// byte-exact prefixes of it.
+func journalBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// decoupledObservations round-trips observations through JSON — the same
+// copy the HTTP inlet and the journal itself perform — so recovery
+// pipelines never share artifact pointers with the reference world.
+func decoupledObservations(t *testing.T, obs []collect.Observation) []collect.Observation {
+	t.Helper()
+	raw, err := json.Marshal(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []collect.Observation
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// deliveryScript is the fixed interleaving of feed and external ingests the
+// crash matrix replays: step i produces journal record i+1. The same script
+// runs against the reference pipeline and, suffix-wise, against every
+// recovered pipeline — re-delivery after a crash is the client resuming
+// from its last acknowledged batch.
+func deliveryScript(p *Pipeline, obs []collect.Observation, reps []*reports.Report) []func() error {
+	feedStep := func() error {
+		_, ok, err := p.AppendNext()
+		if err == nil && !ok {
+			return fmt.Errorf("feed exhausted early")
+		}
+		return err
+	}
+	half := len(obs) / 2
+	extStep := func(o []collect.Observation, r []*reports.Report) func() error {
+		return func() error {
+			_, err := p.AppendExternal(o, r)
+			return err
+		}
+	}
+	return []func() error{
+		feedStep,
+		extStep(obs[:half], reps[:1]),
+		feedStep,
+		extStep(obs[half:], reps[1:2]),
+		feedStep,
+		feedStep,
+	}
+}
+
+// TestCrashRecoveryMatrixMatchesUninterrupted is the tentpole acceptance
+// test: a journaled pipeline is killed after every record boundary (and at
+// torn mid-record offsets), recovered from the latest snapshot at or below
+// the kill point plus the surviving journal bytes, and driven through the
+// remainder of the delivery script. Every recovery must land on the
+// reference run's exact edge sets; clean-boundary kills must also match its
+// full Results.
+func TestCrashRecoveryMatrixMatchesUninterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	const scale = 0.02
+	cfg := Config{Scale: scale}
+	const feedBatches = 4
+
+	// Reference run: journaled, never killed, snapshots taken mid-stream so
+	// later kill points recover from snapshot + suffix instead of a cold
+	// journal-only replay.
+	refDir := t.TempDir()
+	pRef, err := NewStreamingPipeline(context.Background(), cfg, feedBatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jRef, err := wal.Open(refDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRef.AttachJournal(jRef)
+
+	obs := decoupledObservations(t, collect.ObservationsFromSources(pRef.World.Sources))
+	_, reportCorpus := pRef.Source()
+	if len(reportCorpus) < 2 {
+		t.Fatalf("report corpus too small: %d", len(reportCorpus))
+	}
+
+	script := deliveryScript(pRef, obs, reportCorpus)
+	records := len(script)
+	sizes := make([]int64, records+1) // sizes[i] = journal bytes after i records
+	snaps := map[uint64][]byte{}      // snapshot bytes keyed by AppliedSeq
+	for i, step := range script {
+		if err := step(); err != nil {
+			t.Fatalf("reference step %d: %v", i+1, err)
+		}
+		sizes[i+1] = jRef.Size()
+		if seq := pRef.LastSeq(); seq != uint64(i+1) {
+			t.Fatalf("reference seq after step %d = %d", i+1, seq)
+		}
+		// Snapshot after records 2 and 4: kill points 0-1 recover cold,
+		// 2-3 from snapshot@2 + suffix, 4-6 from snapshot@4 + suffix.
+		if i+1 == 2 || i+1 == 4 {
+			var buf bytes.Buffer
+			if err := pRef.SnapshotEngine(&buf); err != nil {
+				t.Fatal(err)
+			}
+			snaps[uint64(i+1)] = buf.Bytes()
+		}
+	}
+	refRes, err := pRef.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jRef.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := journalBytes(t, refDir)
+	if int64(len(full)) != sizes[records] {
+		t.Fatalf("journal file %d bytes, log reports %d", len(full), sizes[records])
+	}
+
+	recoverAt := func(t *testing.T, cut int64, durable int) {
+		t.Helper()
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "journal.wal"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewStreamingPipeline(context.Background(), cfg, feedBatches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Latest snapshot at or below the kill point, exactly as serve
+		// picks its -snapshot file.
+		var snapSeq uint64
+		for seq := range snaps {
+			if seq <= uint64(durable) && seq > snapSeq {
+				snapSeq = seq
+			}
+		}
+		if snapSeq > 0 {
+			if err := p.RestoreEngine(bytes.NewReader(snaps[snapSeq])); err != nil {
+				t.Fatalf("restore snapshot@%d: %v", snapSeq, err)
+			}
+			if p.LastSeq() != snapSeq {
+				t.Fatalf("restored seq %d, want %d", p.LastSeq(), snapSeq)
+			}
+		}
+		j, err := wal.Open(dir, nil)
+		if err != nil {
+			t.Fatalf("open truncated journal: %v", err)
+		}
+		defer j.Close()
+		applied, err := p.ReplayJournal(j)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if want := durable - int(snapSeq); applied != want {
+			t.Fatalf("replay applied %d records, want %d (snapshot@%d)", applied, want, snapSeq)
+		}
+		if p.LastSeq() != uint64(durable) {
+			t.Fatalf("recovered seq %d, want %d", p.LastSeq(), durable)
+		}
+		p.AttachJournal(j)
+
+		// Re-deliver everything past the last durable record — the loader
+		// resuming from its last acknowledged sequence.
+		for i := durable; i < records; i++ {
+			if err := deliveryScript(p, obs, reportCorpus)[i](); err != nil {
+				t.Fatalf("re-deliver step %d: %v", i+1, err)
+			}
+		}
+		if p.LastSeq() != uint64(records) {
+			t.Fatalf("final seq %d, want %d", p.LastSeq(), records)
+		}
+		assertEdgeSetsEqual(t, p.Graph, pRef.Graph, fmt.Sprintf("kill@%d", durable))
+		if cut == sizes[durable] { // clean boundary: pin full Results too
+			got, err := p.Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsEqual(t, got, refRes, fmt.Sprintf("kill@%d", durable))
+		}
+	}
+
+	for durable := 0; durable <= records; durable++ {
+		t.Run(fmt.Sprintf("boundary=%d", durable), func(t *testing.T) {
+			recoverAt(t, sizes[durable], durable)
+		})
+		// Torn tail: the crash landed mid-write of record durable+1. The
+		// half-written record must be truncated away, recovering exactly
+		// the durable prefix.
+		if durable < records {
+			t.Run(fmt.Sprintf("torn=%d", durable), func(t *testing.T) {
+				recoverAt(t, sizes[durable]+(sizes[durable+1]-sizes[durable])/2, durable)
+			})
+		}
+	}
+}
+
+// TestJournaledShuffledReplayMatchesOneShot delivers the corpus as shuffled
+// external batches through a journaled pipeline, then recovers a fresh
+// pipeline from the journal alone (no snapshot, total process loss) and
+// requires one-shot-equal Results: replay is just another batch partition.
+func TestJournaledShuffledReplayMatchesOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	const scale = 0.02
+	_, want := oneShot(t, scale)
+
+	dir := t.TempDir()
+	p1, err := NewStreamingPipeline(context.Background(), Config{Scale: scale}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := wal.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.AttachJournal(j1)
+
+	obs := decoupledObservations(t, collect.ObservationsFromSources(p1.World.Sources))
+	_, reportCorpus := p1.Source()
+	rng := xrand.New(6006)
+	for i := len(obs) - 1; i > 0; i-- {
+		j := int(rng.Uint64() % uint64(i+1))
+		obs[i], obs[j] = obs[j], obs[i]
+	}
+	const k = 5
+	for i := 0; i < k; i++ {
+		lo, hi := i*len(obs)/k, (i+1)*len(obs)/k
+		rlo, rhi := i*len(reportCorpus)/k, (i+1)*len(reportCorpus)/k
+		if _, err := p1.AppendExternal(obs[lo:hi], reportCorpus[rlo:rhi]); err != nil {
+			t.Fatalf("shuffled external batch %d: %v", i+1, err)
+		}
+	}
+	liveRes, err := p1.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, liveRes, want, "shuffled external (pre-crash)")
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Total process loss: a fresh pipeline, the journal the only survivor.
+	p2, err := NewStreamingPipeline(context.Background(), Config{Scale: scale}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := wal.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	applied, err := p2.ReplayJournal(j2)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if applied != k {
+		t.Fatalf("replay applied %d records, want %d", applied, k)
+	}
+	if p2.LastSeq() != uint64(k) {
+		t.Fatalf("recovered seq %d, want %d", p2.LastSeq(), k)
+	}
+	got, err := p2.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEdgeSetsEqual(t, p2.Graph, p1.Graph, "journal replay")
+	assertResultsEqual(t, got, want, "journal replay vs one-shot")
+}

@@ -7,17 +7,20 @@ package malgraph
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"reflect"
 	"runtime"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"malgraph/internal/collect"
 	"malgraph/internal/core"
 	"malgraph/internal/graph"
 	"malgraph/internal/reports"
+	"malgraph/internal/wal"
 	"malgraph/internal/xrand"
 )
 
@@ -295,6 +298,74 @@ func BenchmarkIncremental_Append(b *testing.B) {
 		b.ReportMetric(float64(len(st.Reclustered)), "reclustered_ecos")
 		b.ReportMetric(float64(st.NewArtifacts), "new_artifacts")
 	}
+}
+
+// BenchmarkIncremental_JournaledAppend is BenchmarkIncremental_Append with
+// the ISSUE 6 durability tax in the measured op: the delta's journal record
+// is marshalled and appended (fsync'd) to a WAL before the engine ingests
+// it — exactly what serve's -wal mode does per accepted feed batch. The CI
+// gate requires journaled ≤ 1.5× the in-memory append: durability must cost
+// one fsync, not a second ingest. The WAL component is timed on its own and
+// reported two ways: wal_append_ns (the mean, informational) and wal_min_ns
+// (the per-iteration minimum, which the CI gate uses). The mean fsync
+// latency on shared infrastructure swings severalfold with ambient disk
+// load, but the minimum is the code's intrinsic durability tax — a
+// structural regression (a second fsync, a bloated record) raises every
+// iteration including the quietest one, while a busy disk does not. The
+// compute side of the ratio comes from the same run (journaled mean minus
+// WAL mean), so ingest noise cancels too.
+func BenchmarkIncremental_JournaledAppend(b *testing.B) {
+	ds, reportCorpus := incrementalBenchWorld(b)
+	feed := BatchFeed(ds, reportCorpus, 100)
+	if len(feed) < 2 {
+		b.Fatalf("feed too small: %d batches", len(feed))
+	}
+	delta := feed[len(feed)-1]
+	base := core.NewEngine(core.DefaultConfig())
+	for _, batch := range feed[:len(feed)-1] {
+		if _, err := base.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := base.Snapshot(&snap); err != nil {
+		b.Fatal(err)
+	}
+	j, err := wal.Open(b.TempDir(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportMetric(float64(len(delta.Entries)), "delta_entries")
+	var walTime, walMin time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := core.RestoreEngine(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		runtime.GC()
+		b.StartTimer()
+		walStart := time.Now()
+		payload, err := json.Marshal(feedRecord{Index: len(feed) - 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := j.Append(recFeed, payload); err != nil {
+			b.Fatal(err)
+		}
+		walStep := time.Since(walStart)
+		walTime += walStep
+		if walMin == 0 || walStep < walMin {
+			walMin = walStep
+		}
+		if _, err := eng.Ingest(delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(walTime.Nanoseconds())/float64(b.N), "wal_append_ns")
+	b.ReportMetric(float64(walMin.Nanoseconds()), "wal_min_ns")
 }
 
 // --- Append-growth benchmark (ISSUE 4 acceptance) ---

@@ -4,12 +4,17 @@ package collect
 // mirrors served by httptest, collection through registry.RemoteFleet.
 
 import (
+	"context"
+	"errors"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"malgraph/internal/ecosys"
+	"malgraph/internal/faultinject"
 	"malgraph/internal/registry"
+	"malgraph/internal/retry"
 	"malgraph/internal/sources"
 )
 
@@ -92,6 +97,69 @@ func TestCollectionOverHTTP(t *testing.T) {
 	}
 	if missing.ReleasedAt.IsZero() || missing.RemovedAt.IsZero() {
 		t.Fatal("remote release metadata missing for Fig. 7")
+	}
+}
+
+// TestResolveSurvivesTransientTransportFaults drives the external ingest
+// resolver over a remote fleet whose transport flaps (error-then-succeed):
+// the client-level retries absorb the blips, so the resolve succeeds where
+// the pre-retry pipeline would have aborted the whole batch with
+// ErrUnresolved. A persistent outage must still surface as ErrUnresolved —
+// retries bound the blip, they do not invent answers.
+func TestResolveSurvivesTransientTransportFaults(t *testing.T) {
+	root := registry.New("pypi-root", ecosys.PyPI)
+	a := art("flaky-pkg")
+	if err := root.Publish(a, day(1), true); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(registry.NewServer(root))
+	defer srv.Close()
+
+	tr := faultinject.NewTransport(nil)
+	tr.Match(func(r *http.Request) bool { return r.URL.Path == "/api/v1/package" })
+	fast := retry.Policy{
+		Attempts:  3,
+		BaseDelay: time.Millisecond,
+		Sleep:     func(context.Context, time.Duration) error { return nil },
+	}
+	remote := registry.NewRemoteFleet(&http.Client{Transport: tr}, registry.WithRetry(fast))
+	if err := remote.AddRoot(srv.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	obs := []Observation{{
+		Source:     sources.Snyk,
+		Coord:      a.Coord,
+		ObservedAt: day(2),
+	}}
+
+	tr.FailNext(2, 0) // two transport errors, then the registry answers
+	r := NewResolver(remote, day(30))
+	batch, err := r.Resolve(obs, NewResult(day(30)))
+	if err != nil {
+		t.Fatalf("transient faults must be absorbed by retries: %v", err)
+	}
+	if len(batch.Entries) != 1 || batch.Entries[0].Availability != FromMirror {
+		t.Fatalf("resolved batch = %+v", batch.Entries)
+	}
+	if batch.Entries[0].Artifact.Hash() != a.Hash() {
+		t.Fatal("artifact corrupted across retried transport")
+	}
+
+	// Persistent outage: the retry budget runs dry and the batch aborts
+	// with the PR 3 retryable-error contract intact.
+	tr.FailNext(100, 0)
+	other := art("still-down")
+	if err := root.Publish(other, day(1), true); err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewResolver(remote, day(30)).Resolve([]Observation{{
+		Source:     sources.Snyk,
+		Coord:      other.Coord,
+		ObservedAt: day(2),
+	}}, NewResult(day(30)))
+	if !errors.Is(err, ErrUnresolved) {
+		t.Fatalf("persistent outage: err = %v, want ErrUnresolved", err)
 	}
 }
 

@@ -188,6 +188,52 @@ type Engine struct {
 	reportByURL map[string]*reports.Report
 	posting     map[string][]string
 	coexOwner   map[string]string
+
+	// appliedSeq is the durable ingest sequence stamp: the WAL sequence of
+	// the last journaled batch applied to this engine. Snapshots carry it
+	// (v4) so recovery replays only the journal suffix the checkpoint does
+	// not already contain. The engine itself never bumps it — the pipeline
+	// that owns the journal does, via SetAppliedSeq before Snapshot.
+	appliedSeq uint64
+	// feedPos is the companion stamp for the simulated feed: how many feed
+	// batches the pipeline had ingested when the snapshot was taken. Without
+	// it, a checkpoint that truncates the journal would lose the feed cursor
+	// (feed records only live in the journal) and a restarted server would
+	// re-report every batch as pending.
+	feedPos int
+}
+
+// SetAppliedSeq records the durable ingest sequence the engine's state now
+// reflects; Snapshot persists it.
+func (e *Engine) SetAppliedSeq(seq uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.appliedSeq = seq
+}
+
+// AppliedSeq returns the durable ingest sequence restored from the last
+// snapshot (0 for a cold engine): journal records at or below it are
+// already part of this engine's state.
+func (e *Engine) AppliedSeq() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.appliedSeq
+}
+
+// SetFeedPos records the feed cursor (batches ingested) alongside the
+// sequence stamp; Snapshot persists it.
+func (e *Engine) SetFeedPos(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.feedPos = n
+}
+
+// FeedPos returns the feed cursor restored from the last snapshot (0 for a
+// cold engine).
+func (e *Engine) FeedPos() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.feedPos
 }
 
 // NewEngine creates an empty engine. Zero-valued config falls back to the

@@ -27,8 +27,14 @@ import (
 // one would have. Version 3 added the co-existing join index (per-coordinate
 // report posting lists and per-pair edge ownership), so a restored engine's
 // first wanted-package ingest is report-scoped instead of an O(reports)
-// re-derivation.
-const snapshotVersion = 3
+// re-derivation. Version 4 added the durable ingest sequence stamp
+// (AppliedSeq) that lets WAL recovery skip journal records the checkpoint
+// already contains; version 3 snapshots still restore (stamp 0 replays the
+// whole journal, which the idempotent ingest absorbs).
+const snapshotVersion = 4
+
+// minSnapshotVersion is the oldest format RestoreEngine still accepts.
+const minSnapshotVersion = 3
 
 // snapshotItem carries a cached clustering item. SimHash fingerprints are
 // full 64-bit values, so Hash travels as hex — JSON numbers lose integer
@@ -61,6 +67,13 @@ type engineSnapshot struct {
 	// the whole URL-ordered join, so it rides along instead.
 	Posting    map[string][]string `json:"posting"`
 	PairOwners map[string]string   `json:"pairOwners"`
+	// AppliedSeq is the last durable ingest sequence applied before the
+	// snapshot was taken: WAL records with Seq ≤ AppliedSeq are already in
+	// this snapshot and must be skipped on replay. FeedPos is the feed
+	// cursor at the same instant — journal truncation at a checkpoint
+	// discards the feed records that would otherwise re-derive it.
+	AppliedSeq uint64 `json:"appliedSeq,omitempty"`
+	FeedPos    int    `json:"feedPos,omitempty"`
 }
 
 // Snapshot serialises the engine's full state: merged dataset (with
@@ -78,6 +91,8 @@ func (e *Engine) Snapshot(w io.Writer) error {
 	}
 	snap := engineSnapshot{
 		Version:    snapshotVersion,
+		AppliedSeq: e.appliedSeq,
+		FeedPos:    e.feedPos,
 		Config:     e.cfg,
 		Dataset:    ds.Bytes(),
 		Reports:    e.mg.Reports,
@@ -116,8 +131,9 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("restore decode: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("restore: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	if snap.Version < minSnapshotVersion || snap.Version > snapshotVersion {
+		return nil, fmt.Errorf("restore: snapshot version %d, want %d..%d",
+			snap.Version, minSnapshotVersion, snapshotVersion)
 	}
 	ds, err := collect.ReadJSON(bytes.NewReader(snap.Dataset))
 	if err != nil {
@@ -128,6 +144,8 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("restore graph: %w", err)
 	}
 	e := NewEngine(snap.Config)
+	e.appliedSeq = snap.AppliedSeq
+	e.feedPos = snap.FeedPos
 	e.mg.G = g
 	e.mg.Dataset = ds
 	e.mg.Reports = snap.Reports

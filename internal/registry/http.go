@@ -1,15 +1,18 @@
 package registry
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
 
 	"malgraph/internal/ecosys"
+	"malgraph/internal/retry"
 )
 
 // Server exposes a registry-like endpoint (root or mirror) over HTTP so the
@@ -114,34 +117,50 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// Client fetches packages from a remote registry Server.
+// Client fetches packages from a remote registry Server. Every request
+// carries a context deadline — a hung mirror times out instead of stalling
+// an ingest forever — and transport errors and 5xx answers are retried
+// with bounded exponential backoff. Definitive answers (200, 404) are
+// never retried, so the ErrNotFound takedown signal stays exact.
 type Client struct {
-	base string
-	http *http.Client
-	eco  ecosys.Ecosystem
-	name string
+	base    string
+	http    *http.Client
+	eco     ecosys.Ecosystem
+	name    string
+	timeout time.Duration
+	retry   retry.Policy
+}
+
+// ClientOption tunes a Client at construction.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-request deadline (default 30s).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetry replaces the backoff policy (default retry.Default()).
+func WithRetry(p retry.Policy) ClientOption {
+	return func(c *Client) { c.retry = p }
 }
 
 // NewClient connects to a registry server at baseURL and reads its identity.
-func NewClient(baseURL string, hc *http.Client) (*Client, error) {
+func NewClient(baseURL string, hc *http.Client, opts ...ClientOption) (*Client, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	c := &Client{base: baseURL, http: hc}
-	resp, err := hc.Get(baseURL + "/api/v1/info")
-	if err != nil {
-		return nil, fmt.Errorf("registry client info: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("registry client info: status %d", resp.StatusCode)
+	c := &Client{base: baseURL, http: hc, timeout: 30 * time.Second, retry: retry.Default()}
+	for _, opt := range opts {
+		opt(c)
 	}
 	var info struct {
 		Name      string `json:"name"`
 		Ecosystem string `json:"ecosystem"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return nil, fmt.Errorf("registry client info decode: %w", err)
+	if status, err := c.getJSON("/api/v1/info", nil, &info); err != nil {
+		return nil, fmt.Errorf("registry client info: %w", err)
+	} else if status != http.StatusOK {
+		return nil, fmt.Errorf("registry client info: status %d", status)
 	}
 	c.name = info.Name
 	for _, e := range ecosys.All() {
@@ -156,35 +175,75 @@ func NewClient(baseURL string, hc *http.Client) (*Client, error) {
 	return c, nil
 }
 
+// getJSON issues one GET under the client's deadline/backoff policy and,
+// on 200, decodes the body into v. The final status is returned for the
+// caller to map (404 → ErrNotFound stays the caller's decision); a non-nil
+// error means no definitive answer arrived even after retries.
+func (c *Client) getJSON(path string, q url.Values, v any) (int, error) {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	status := 0
+	err := c.retry.Do(context.Background(), func(ctx context.Context) error {
+		if c.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return retry.Mark(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			// Transient server-side failure: drain and retry.
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return retry.Mark(fmt.Errorf("status %d", resp.StatusCode))
+		}
+		status = resp.StatusCode
+		if status == http.StatusOK && v != nil {
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				return fmt.Errorf("decode: %w", err)
+			}
+		}
+		return nil
+	})
+	return status, err
+}
+
 // Name returns the remote endpoint's name.
 func (c *Client) Name() string { return c.name }
 
 // Ecosystem returns the remote endpoint's ecosystem.
 func (c *Client) Ecosystem() ecosys.Ecosystem { return c.eco }
 
-// Fetch retrieves an artifact as of time t.
+// Fetch retrieves an artifact as of time t. A 404 is the registry's
+// definitive takedown answer (ErrNotFound); transport failures and 5xx
+// responses surface as plain errors after the retry budget is spent, so
+// callers never mistake an outage for a removal.
 func (c *Client) Fetch(coord ecosys.Coord, t time.Time) (*ecosys.Artifact, error) {
 	q := url.Values{}
 	q.Set("name", coord.Name)
 	q.Set("version", coord.Version)
 	q.Set("t", t.UTC().Format(time.RFC3339))
-	resp, err := c.http.Get(c.base + "/api/v1/package?" + q.Encode())
+	var art ecosys.Artifact
+	status, err := c.getJSON("/api/v1/package", q, &art)
 	if err != nil {
 		return nil, fmt.Errorf("registry client fetch: %w", err)
 	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
+	switch status {
 	case http.StatusOK:
+		return &art, nil
 	case http.StatusNotFound:
 		return nil, fmt.Errorf("%w: %s (remote %s)", ErrNotFound, coord, c.name)
 	default:
-		return nil, fmt.Errorf("registry client fetch: status %d", resp.StatusCode)
+		return nil, fmt.Errorf("registry client fetch: status %d", status)
 	}
-	var art ecosys.Artifact
-	if err := json.NewDecoder(resp.Body).Decode(&art); err != nil {
-		return nil, fmt.Errorf("registry client fetch decode: %w", err)
-	}
-	return &art, nil
 }
 
 var _ Endpoint = (*Client)(nil)

@@ -1,7 +1,6 @@
 package registry
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -43,13 +42,17 @@ type RemoteFleet struct {
 	roots   map[ecosys.Ecosystem]*Client
 	mirrors map[ecosys.Ecosystem][]*Client
 	http    *http.Client
+	opts    []ClientOption
 }
 
 var _ View = (*RemoteFleet)(nil)
 
 // NewRemoteFleet returns an empty remote fleet using hc for requests
-// (http.DefaultClient when nil).
-func NewRemoteFleet(hc *http.Client) *RemoteFleet {
+// (http.DefaultClient when nil). opts apply to every client the fleet
+// connects — per-request deadlines and retry policy — so a hung or
+// flapping endpoint delays a fetch by at most the configured budget
+// instead of stalling the ingest pipeline.
+func NewRemoteFleet(hc *http.Client, opts ...ClientOption) *RemoteFleet {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
@@ -57,12 +60,13 @@ func NewRemoteFleet(hc *http.Client) *RemoteFleet {
 		roots:   make(map[ecosys.Ecosystem]*Client),
 		mirrors: make(map[ecosys.Ecosystem][]*Client),
 		http:    hc,
+		opts:    opts,
 	}
 }
 
 // AddRoot connects the root registry for its ecosystem.
 func (rf *RemoteFleet) AddRoot(baseURL string) error {
-	c, err := NewClient(baseURL, rf.http)
+	c, err := NewClient(baseURL, rf.http, rf.opts...)
 	if err != nil {
 		return fmt.Errorf("remote fleet root: %w", err)
 	}
@@ -72,7 +76,7 @@ func (rf *RemoteFleet) AddRoot(baseURL string) error {
 
 // AddMirror connects one mirror endpoint.
 func (rf *RemoteFleet) AddMirror(baseURL string) error {
-	c, err := NewClient(baseURL, rf.http)
+	c, err := NewClient(baseURL, rf.http, rf.opts...)
 	if err != nil {
 		return fmt.Errorf("remote fleet mirror: %w", err)
 	}
@@ -148,22 +152,19 @@ func (rf *RemoteFleet) ReleaseInfo(coord ecosys.Coord) (ecosys.Release, bool) {
 	return rel, true
 }
 
-// Release fetches release metadata from a remote root registry.
+// Release fetches release metadata from a remote root registry, under the
+// client's deadline and retry policy.
 func (c *Client) Release(coord ecosys.Coord) (ecosys.Release, error) {
 	q := url.Values{}
 	q.Set("name", coord.Name)
 	q.Set("version", coord.Version)
-	resp, err := c.http.Get(c.base + "/api/v1/release?" + q.Encode())
+	var rel ecosys.Release
+	status, err := c.getJSON("/api/v1/release", q, &rel)
 	if err != nil {
 		return ecosys.Release{}, fmt.Errorf("registry client release: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return ecosys.Release{}, fmt.Errorf("registry client release: status %d", resp.StatusCode)
-	}
-	var rel ecosys.Release
-	if err := json.NewDecoder(resp.Body).Decode(&rel); err != nil {
-		return ecosys.Release{}, fmt.Errorf("registry client release decode: %w", err)
+	if status != http.StatusOK {
+		return ecosys.Release{}, fmt.Errorf("registry client release: status %d", status)
 	}
 	return rel, nil
 }

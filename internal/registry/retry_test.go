@@ -1,0 +1,185 @@
+package registry
+
+// Retry/deadline behaviour of the HTTP client (ISSUE 6): transport errors
+// and 5xx answers are retried with backoff and then succeed transparently;
+// a hung endpoint is cut off by the per-request deadline instead of
+// stalling the caller; 404 stays a definitive, never-retried answer.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"malgraph/internal/ecosys"
+	"malgraph/internal/faultinject"
+	"malgraph/internal/retry"
+)
+
+// fastRetry keeps test retries instant while preserving the attempt count.
+func fastRetry(attempts int) retry.Policy {
+	return retry.Policy{
+		Attempts:  attempts,
+		BaseDelay: time.Millisecond,
+		Sleep:     func(context.Context, time.Duration) error { return nil },
+	}
+}
+
+func testRegistry(t *testing.T) (*Registry, *ecosys.Artifact, time.Time) {
+	t.Helper()
+	epoch := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	art := ecosys.NewArtifact(
+		ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "flaky-served", Version: "1.0.0"},
+		"d", []ecosys.File{{Path: "setup.py", Content: "import os"}})
+	reg := New("pypi-root", ecosys.PyPI)
+	if err := reg.Publish(art, epoch, true); err != nil {
+		t.Fatal(err)
+	}
+	return reg, art, epoch
+}
+
+func TestClientRetriesTransientFailuresThenSucceeds(t *testing.T) {
+	reg, art, epoch := testRegistry(t)
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		name   string
+		status int // 0 = transport error
+	}{
+		{"transport error then success", 0},
+		{"503 then success", http.StatusServiceUnavailable},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := faultinject.NewTransport(nil)
+			tr.Match(func(r *http.Request) bool { return r.URL.Path == "/api/v1/package" })
+			hc := &http.Client{Transport: tr}
+			c, err := NewClient(srv.URL, hc, WithRetry(fastRetry(3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.FailNext(2, tc.status)
+			got, err := c.Fetch(art.Coord, epoch.AddDate(0, 1, 0))
+			if err != nil {
+				t.Fatalf("fetch must survive two injected faults: %v", err)
+			}
+			if got.Hash() != art.Hash() {
+				t.Fatalf("fetched wrong artifact %s", got.Coord.Key())
+			}
+			if tr.Attempts() != 3 {
+				t.Fatalf("attempts = %d, want 3 (2 failures + 1 success)", tr.Attempts())
+			}
+		})
+	}
+}
+
+func TestClientExhaustsRetriesOnPersistentFailure(t *testing.T) {
+	reg, art, epoch := testRegistry(t)
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+
+	tr := faultinject.NewTransport(nil)
+	tr.Match(func(r *http.Request) bool { return r.URL.Path == "/api/v1/package" })
+	hc := &http.Client{Transport: tr}
+	c, err := NewClient(srv.URL, hc, WithRetry(fastRetry(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.FailNext(100, 0)
+	_, err = c.Fetch(art.Coord, epoch.AddDate(0, 1, 0))
+	if err == nil {
+		t.Fatal("fetch must fail once the retry budget is spent")
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Fatalf("transport exhaustion mislabeled as not-found: %v", err)
+	}
+	if tr.Attempts() != 3 {
+		t.Fatalf("attempts = %d, want exactly the budget of 3", tr.Attempts())
+	}
+}
+
+func TestClientNeverRetriesNotFound(t *testing.T) {
+	reg, _, epoch := testRegistry(t)
+	var packageCalls atomic.Int64
+	inner := NewServer(reg)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/package" {
+			packageCalls.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c, err := NewClient(srv.URL, nil, WithRetry(fastRetry(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := ecosys.Coord{Ecosystem: ecosys.PyPI, Name: "never-published", Version: "0.1"}
+	_, err = c.Fetch(missing, epoch)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if n := packageCalls.Load(); n != 1 {
+		t.Fatalf("404 was requested %d times; a definitive answer must not be retried", n)
+	}
+}
+
+func TestClientDeadlineCutsOffHungEndpoint(t *testing.T) {
+	reg, art, epoch := testRegistry(t)
+	inner := NewServer(reg)
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/package" {
+			<-release // hang until the test ends
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer func() { close(release); srv.Close() }()
+
+	c, err := NewClient(srv.URL, nil,
+		WithTimeout(50*time.Millisecond), WithRetry(fastRetry(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Fetch(art.Coord, epoch.AddDate(0, 1, 0))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("fetch against a hung endpoint must fail")
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Fatalf("timeout mislabeled as not-found: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the hang: took %v", elapsed)
+	}
+}
+
+// TestRemoteFleetRecoversThroughFlappingMirror exercises the fleet-level
+// path: the only endpoint holding the artifact flaps (error-then-succeed),
+// and the retrying client still recovers it, preserving the Recover
+// success contract without any caller-side retry loop.
+func TestRemoteFleetRecoversThroughFlappingMirror(t *testing.T) {
+	reg, art, epoch := testRegistry(t)
+	srv := httptest.NewServer(NewServer(reg))
+	defer srv.Close()
+
+	tr := faultinject.NewTransport(nil)
+	tr.Match(func(r *http.Request) bool { return r.URL.Path == "/api/v1/package" })
+	rf := NewRemoteFleet(&http.Client{Transport: tr}, WithRetry(fastRetry(3)))
+	if err := rf.AddRoot(srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	tr.FailNext(2, http.StatusBadGateway)
+	got, from, err := rf.Recover(art.Coord, epoch.AddDate(0, 1, 0))
+	if err != nil {
+		t.Fatalf("recover through flapping endpoint: %v", err)
+	}
+	if from != "pypi-root" || got.Hash() != art.Hash() {
+		t.Fatalf("recovered %q from %q", got.Coord.Key(), from)
+	}
+}

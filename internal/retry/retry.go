@@ -1,0 +1,126 @@
+// Package retry implements bounded exponential backoff with jitter for the
+// network edges of the pipeline (registry clients, malgraphctl push). Only
+// errors explicitly marked retryable — transport failures and 5xx answers —
+// are retried; definitive answers (404 takedowns, 4xx rejections) must pass
+// through untouched so the PR 3 ErrNotFound/ErrUnresolved contract survives.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy bounds a retry loop: at most Attempts tries, sleeping
+// BaseDelay·2^n (capped at MaxDelay) between them, with up to Jitter
+// fraction of each delay randomized away so synchronized clients do not
+// stampede a recovering endpoint.
+type Policy struct {
+	// Attempts is the total number of tries, including the first (min 1).
+	Attempts int
+	// BaseDelay is the sleep before the second attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Jitter in [0,1] is the fraction of each delay drawn uniformly at
+	// random (equal jitter: delay/2 fixed + delay/2 random at Jitter=1).
+	Jitter float64
+	// Sleep replaces the wait between attempts, for tests. nil sleeps on
+	// a timer, honouring ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand supplies jitter randomness; nil uses math/rand's global source.
+	Rand *rand.Rand
+}
+
+// Default is the policy used by the registry client and push paths: three
+// tries, 50ms base doubling to a 2s cap, half-jittered.
+func Default() Policy {
+	return Policy{Attempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.5}
+}
+
+// Do runs op until it succeeds, returns a non-retryable error, or the
+// attempt budget is spent. The last error is returned verbatim (minus the
+// retryable marker), so errors.Is checks against the underlying cause work.
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			if serr := p.sleep(ctx, p.delay(attempt-1)); serr != nil {
+				return serr
+			}
+		}
+		err = op(ctx)
+		if err == nil || !IsRetryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+func (p Policy) delay(n int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 0; i < n && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		span := float64(d) * j
+		var u float64
+		if p.Rand != nil {
+			u = p.Rand.Float64()
+		} else {
+			u = rand.Float64()
+		}
+		d = time.Duration(float64(d) - span/2 + u*span)
+	}
+	return d
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+type retryableError struct{ err error }
+
+func (e retryableError) Error() string { return e.err.Error() }
+func (e retryableError) Unwrap() error { return e.err }
+
+// Mark wraps err so Do treats it as transient. Marking nil returns nil.
+func Mark(err error) error {
+	if err == nil {
+		return nil
+	}
+	return retryableError{err}
+}
+
+// IsRetryable reports whether err (or anything it wraps) was Marked.
+func IsRetryable(err error) bool {
+	var r retryableError
+	return errors.As(err, &r)
+}

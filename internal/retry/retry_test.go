@@ -1,0 +1,117 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestDoRetriesOnlyMarkedErrors(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{Attempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Sleep: noSleep(&delays)}
+
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return Mark(errors.New("transient"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on 3rd try", err, calls)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(delays))
+	}
+
+	calls = 0
+	permanent := errors.New("not found")
+	err = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("permanent error must not be retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoExhaustsBudgetAndKeepsCause(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{Attempts: 3, BaseDelay: 10 * time.Millisecond, Sleep: noSleep(&delays)}
+	cause := errors.New("boom")
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Mark(fmt.Errorf("attempt %d: %w", calls, cause))
+	})
+	if calls != 3 {
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("exhausted error lost its cause: %v", err)
+	}
+}
+
+func TestDelayGrowsExponentiallyAndCaps(t *testing.T) {
+	p := Policy{Attempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := p.delay(i); got != w*time.Millisecond {
+			t.Fatalf("delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterStaysBounded(t *testing.T) {
+	p := Policy{
+		Attempts: 2, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second,
+		Jitter: 0.5, Rand: rand.New(rand.NewSource(1)),
+	}
+	for i := 0; i < 200; i++ {
+		d := p.delay(0)
+		if d < 75*time.Millisecond || d > 125*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [75ms,125ms]", d)
+		}
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{Attempts: 5, BaseDelay: time.Millisecond}
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		return Mark(errors.New("transient"))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry after cancel)", calls)
+	}
+}
+
+func TestMarkSurvivesWrapping(t *testing.T) {
+	err := fmt.Errorf("outer: %w", Mark(errors.New("inner")))
+	if !IsRetryable(err) {
+		t.Fatal("wrapped marked error must stay retryable")
+	}
+	if IsRetryable(errors.New("plain")) {
+		t.Fatal("plain error must not be retryable")
+	}
+	if Mark(nil) != nil {
+		t.Fatal("Mark(nil) must be nil")
+	}
+}

@@ -1,0 +1,20 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// datasync flushes the file's data and the metadata needed to read it back
+// (the size) without forcing the full inode flush fsync implies — exactly
+// the durability a length-prefixed, checksummed journal record needs.
+func datasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

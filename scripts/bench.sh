@@ -24,7 +24,14 @@
 #                           REPORT corpus) with the report-join scope metrics
 #                           (reports_rejoined, coexisting_edges_replaced,
 #                           coexisting_rebuilt) and their own 10×/1× ratio —
-#                           a wanted arrival must stay flat as reports accrue
+#                           a wanted arrival must stay flat as reports accrue —
+#                           and BenchmarkIncremental_JournaledAppend (the same
+#                           append with a fsync'd WAL record in the measured
+#                           op) with the journaled/in-memory overhead ratio:
+#                           durability must cost one fsync, not a second
+#                           ingest (CI gates ≤ 1.5×, computed from the
+#                           minimum per-iteration WAL cost so ambient disk
+#                           load cannot flake the gate)
 #
 # Each record carries ns/op, B/op, allocs/op and the benchmark's shape
 # metrics (edge/package counts), keyed by scale, so future sessions can plot
@@ -38,9 +45,20 @@ SCALE="${MALGRAPH_BENCH_SCALE:-0.05}"
 TIME="${BENCH_TIME:-3x}"
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
-    -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$|BenchmarkIncremental_Append$|BenchmarkIncremental_FullRebuild$|BenchmarkIncremental_AppendGrowth$|BenchmarkIncremental_ReportAppendGrowth$' \
-    -benchmem -benchtime "$TIME" . |
+# The append/journaled-append pair runs at its own (higher) iteration count:
+# the CI gate on their ratio is tight (1.5×) and a single-iteration sample of
+# two ~1ms ops is too noisy to gate on. 20 iterations settle the per-append
+# fsync latency near its mean.
+PAIR_TIME="${BENCH_PAIR_TIME:-20x}"
+
+{
+  MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
+      -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$|BenchmarkIncremental_FullRebuild$|BenchmarkIncremental_AppendGrowth$|BenchmarkIncremental_ReportAppendGrowth$' \
+      -benchmem -benchtime "$TIME" .
+  MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
+      -bench 'BenchmarkIncremental_Append$|BenchmarkIncremental_JournaledAppend$' \
+      -benchmem -benchtime "$PAIR_TIME" .
+} |
 awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
   function record(name,    line, metrics, i, val, unit) {
     metrics = ""
@@ -62,8 +80,15 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
     if (name == "BenchmarkTable6_ClusteringStage") out = dir "/BENCH_clustering.json"
     if (name == "BenchmarkPipeline_EndToEnd")      out = dir "/BENCH_pipeline.json"
     for (i = 3; i < NF; i += 2) if ($(i + 1) == "ns/op") ns = $i
-    if (name == "BenchmarkIncremental_Append")      { append_ns = ns;  append_rec = record(name) }
-    if (name == "BenchmarkIncremental_FullRebuild") { rebuild_ns = ns; rebuild_rec = record(name) }
+    if (name == "BenchmarkIncremental_Append")          { append_ns = ns;  append_rec = record(name) }
+    if (name == "BenchmarkIncremental_JournaledAppend") {
+      wal_ns = ns; wal_rec = record(name)
+      for (i = 3; i < NF; i += 2) {
+        if ($(i + 1) == "wal_append_ns") wal_component_ns = $i
+        if ($(i + 1) == "wal_min_ns")    wal_min_ns = $i
+      }
+    }
+    if (name == "BenchmarkIncremental_FullRebuild")     { rebuild_ns = ns; rebuild_rec = record(name) }
     if (name == "BenchmarkIncremental_AppendGrowth/size=1x")  { g1_ns = ns;  g1_rec = record(name) }
     if (name == "BenchmarkIncremental_AppendGrowth/size=4x")  { g4_ns = ns;  g4_rec = record(name) }
     if (name == "BenchmarkIncremental_AppendGrowth/size=10x") { g10_ns = ns; g10_rec = record(name) }
@@ -88,6 +113,20 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
       if (r1_ns != "" && r10_ns != "") {
         line = line sprintf(",\"report_append_growth_10x_vs_1x\":%.2f,\"report_append_growth\":{\"x1\":%s,\"x4\":%s,\"x10\":%s}",
                             r10_ns / r1_ns, r1_rec, r4_rec, r10_rec)
+      }
+      if (wal_ns != "" && wal_component_ns != "" && wal_min_ns != "" && wal_ns > wal_component_ns) {
+        # Overhead ratio from one run: the journaled op minus its timed WAL
+        # component IS the same iterations in-memory append time, so the
+        # ingest noise cancels instead of comparing two separately noisy
+        # benchmarks. The WAL side of the gated ratio uses the per-iteration
+        # MINIMUM fsync cost: on shared infrastructure the mean swings
+        # severalfold with ambient disk load, but the minimum is the code
+        # durability tax itself — a structural regression (second fsync,
+        # bloated record) raises every iteration including the quietest one.
+        compute_ns = wal_ns - wal_component_ns
+        line = line sprintf(",\"journaled_append_ns_per_op\":%s,\"wal_append_ns_per_op\":%s,\"wal_min_ns\":%s,\"journaled_append_overhead\":%.2f,\"journaled_append_overhead_mean\":%.2f,\"journaled_append\":%s",
+                            wal_ns, wal_component_ns, wal_min_ns,
+                            (compute_ns + wal_min_ns) / compute_ns, wal_ns / compute_ns, wal_rec)
       }
       line = line "}"
       print line > out
