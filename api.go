@@ -276,20 +276,27 @@ func (p *Pipeline) SetExternalView(v registry.View) {
 // any externally published reports. Resolution is evaluated at the world's
 // collection instant, so the same observations delivered in any batch
 // partition yield Results bit-identical to a one-shot Build of the merged
-// corpus. A transport failure from a remote registry aborts the append with
+// corpus. The returned sequence is this batch's own durable sequence
+// number (read under the same lock the append held, so concurrent pushers
+// each get the sequence of their batch, not a later one's). A transport
+// failure from a remote registry aborts the append with
 // collect.ErrUnresolved and ingests nothing — the caller retries; a
 // malformed observation aborts with collect.ErrBadObservation.
-func (p *Pipeline) AppendExternal(obs []collect.Observation, reps []*reports.Report) (core.IngestStats, error) {
+func (p *Pipeline) AppendExternal(obs []collect.Observation, reps []*reports.Report) (core.IngestStats, uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.appendExternalLocked(obs, reps, true)
+	st, err := p.appendExternalLocked(obs, reps, true)
+	return st, p.lastSeq, err
 }
 
 // appendExternalLocked resolves and ingests one external delivery. With
 // journal set, the raw wire shapes are WAL-journaled after validation
 // succeeds and before the engine applies them — an acknowledged append is
-// durable; a journal failure aborts with nothing applied. Replay passes
-// journal=false: the record is already on disk.
+// durable; a journal failure aborts with nothing applied, and lastSeq
+// commits only once the apply succeeds (a journaled-but-unapplied record
+// must stay above the next snapshot's stamp so replay re-applies it).
+// Replay passes journal=false: the record is already on disk and
+// ReplayJournal advances lastSeq itself.
 func (p *Pipeline) appendExternalLocked(obs []collect.Observation, reps []*reports.Report, journal bool) (core.IngestStats, error) {
 	if p.resolver == nil {
 		view := p.view
@@ -302,18 +309,26 @@ func (p *Pipeline) appendExternalLocked(obs []collect.Observation, reps []*repor
 	if err != nil {
 		return core.IngestStats{}, fmt.Errorf("malgraph: resolve observations: %w", err)
 	}
+	var seq uint64
 	if journal {
-		if err := p.journalLocked(recExternal, externalRecord{Observations: obs, Reports: reps}); err != nil {
+		if seq, err = p.journalLocked(recExternal, externalRecord{Observations: obs, Reports: reps}); err != nil {
 			return core.IngestStats{}, err
 		}
 	}
-	return p.appendLocked(core.Batch{
+	st, err := p.appendLocked(core.Batch{
 		Entries:   b.Entries,
 		PerSource: b.PerSource,
 		Stats:     b.Stats,
 		Reports:   reps,
 		At:        b.At,
 	})
+	if err != nil {
+		return st, err
+	}
+	if journal {
+		p.lastSeq = seq
+	}
+	return st, nil
 }
 
 // AppendNext ingests the next pending feed batch; ok=false when the feed is
@@ -324,13 +339,17 @@ func (p *Pipeline) AppendNext() (st core.IngestStats, ok bool, err error) {
 	if p.fed >= len(p.feed) {
 		return core.IngestStats{}, false, nil
 	}
-	if err := p.journalLocked(recFeed, feedRecord{Index: p.fed}); err != nil {
+	seq, err := p.journalLocked(recFeed, feedRecord{Index: p.fed})
+	if err != nil {
 		return core.IngestStats{}, false, err
 	}
 	b := p.feed[p.fed]
 	p.fed++
-	st, err = p.appendLocked(b)
-	return st, true, err
+	if st, err = p.appendLocked(b); err != nil {
+		return st, true, err
+	}
+	p.lastSeq = seq
+	return st, true, nil
 }
 
 // AppendPending ingests up to n pending feed batches under one lock
@@ -338,29 +357,36 @@ func (p *Pipeline) AppendNext() (st core.IngestStats, ok bool, err error) {
 // all-or-nothing: when fewer than n batches are pending, nothing is ingested
 // and ok=false — the atomicity the serve API's ?n=K contract promises, which
 // a check-then-loop caller could not guarantee against concurrent ingesters.
-func (p *Pipeline) AppendPending(n int, exact bool) (stats []core.IngestStats, ok bool, err error) {
+// seq is the durable sequence of the last batch this call applied (read
+// under the same lock, so it never names a concurrent pusher's batch); on a
+// mid-loop failure stats still carries the batches that were journaled and
+// applied before the failure — those are durable and their feed positions
+// consumed, so the caller must account for them rather than retry them.
+func (p *Pipeline) AppendPending(n int, exact bool) (stats []core.IngestStats, seq uint64, ok bool, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	pending := len(p.feed) - p.fed
 	if n < 0 || n > pending {
 		if exact && n > pending {
-			return nil, false, nil
+			return nil, p.lastSeq, false, nil
 		}
 		n = pending
 	}
 	for i := 0; i < n; i++ {
-		if err := p.journalLocked(recFeed, feedRecord{Index: p.fed}); err != nil {
-			return stats, true, err
+		recSeq, err := p.journalLocked(recFeed, feedRecord{Index: p.fed})
+		if err != nil {
+			return stats, p.lastSeq, true, err
 		}
 		b := p.feed[p.fed]
 		p.fed++
 		st, err := p.appendLocked(b)
 		if err != nil {
-			return stats, true, err
+			return stats, p.lastSeq, true, err
 		}
+		p.lastSeq = recSeq
 		stats = append(stats, st)
 	}
-	return stats, true, nil
+	return stats, p.lastSeq, true, nil
 }
 
 // PendingBatches reports how many feed batches AppendNext has not ingested.
@@ -428,6 +454,10 @@ func (p *Pipeline) Node(id string) (graph.Node, map[string][]string, bool) {
 func (p *Pipeline) SnapshotEngine(w io.Writer) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.snapshotEngineLocked(w)
+}
+
+func (p *Pipeline) snapshotEngineLocked(w io.Writer) error {
 	p.Engine.SetAppliedSeq(p.lastSeq)
 	p.Engine.SetFeedPos(p.fed)
 	return p.Engine.Snapshot(w)

@@ -35,8 +35,10 @@ import (
 type server struct {
 	p            *malgraph.Pipeline
 	snapshotPath string
-	// snapshot produces an engine checkpoint; indirected so tests can
-	// exercise the mid-stream failure path of GET /api/v1/snapshot.
+	// snapshot produces an engine checkpoint for GET /api/v1/snapshot;
+	// indirected so tests can exercise the mid-stream failure path.
+	// Checkpoints to disk go through Pipeline.Checkpoint instead, which
+	// holds the ingest lock across snapshot + journal truncation.
 	snapshot func(io.Writer) error
 	// wal is the attached write-ahead journal (nil without -wal). With a
 	// snapshot path configured, the server auto-checkpoints once
@@ -87,21 +89,19 @@ func writeFileAtomic(path string, write func(io.Writer) error) error {
 	return d.Sync()
 }
 
-// checkpoint writes the snapshot durably and truncates the journal. The
-// order is what makes losing either step safe: the snapshot lands (stamped
-// with the last applied sequence) before any journal bytes disappear, and
-// a crash between the two just leaves records that replay as
-// sequence-gated no-ops.
-func (s *server) checkpoint() error {
-	if err := writeFileAtomic(s.snapshotPath, s.snapshot); err != nil {
-		return err
-	}
-	if s.wal != nil {
-		if err := s.wal.Reset(); err != nil {
-			return err
-		}
-	}
-	return nil
+// checkpoint writes the snapshot durably and truncates the journal, both
+// under the pipeline's ingest lock (Pipeline.Checkpoint) so no concurrent
+// handler can journal a batch between the snapshot's sequence stamp and
+// the truncation — truncating outside the lock could destroy an
+// acknowledged record the snapshot does not contain. The order makes
+// losing either step safe: the snapshot lands (stamped with the last
+// applied sequence) before any journal bytes disappear, and a crash
+// between the two just leaves records that replay as sequence-gated
+// no-ops. Returns the sequence the snapshot covers.
+func (s *server) checkpoint() (uint64, error) {
+	return s.p.Checkpoint(func(snapshot func(io.Writer) error) error {
+		return writeFileAtomic(s.snapshotPath, snapshot)
+	})
 }
 
 // maybeCheckpoint runs after each accepted ingest: once the journal has
@@ -118,12 +118,13 @@ func (s *server) maybeCheckpoint() {
 	if grown < s.checkpointBytes {
 		return
 	}
-	if err := s.checkpoint(); err != nil {
+	seq, err := s.checkpoint()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "auto-checkpoint failed (will retry next ingest): %v\n", err)
 		return
 	}
 	fmt.Printf("auto-checkpoint: %d journal bytes folded into %s (seq %d)\n",
-		grown, s.snapshotPath, s.p.LastSeq())
+		grown, s.snapshotPath, seq)
 }
 
 // handler builds the full route table.
@@ -257,10 +258,24 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	// AppendPending claims the batches atomically, so an explicit ?n=K
 	// either ingests exactly K or conflicts — even against concurrent
-	// ingesters.
-	stats, ok, err := s.p.AppendPending(n, exact)
+	// ingesters. seq is the last applied batch's own durable sequence,
+	// read under the append's lock — never a concurrent pusher's.
+	stats, seq, ok, err := s.p.AppendPending(n, exact)
+	ingested := make([]batchOut, 0, len(stats))
+	for _, st := range stats {
+		ingested = append(ingested, statsOut(st))
+	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		// Mid-loop failure: the batches in stats were journaled and applied
+		// before the failure — durable, their feed positions consumed, never
+		// re-delivered. Carry them in the error body so a drain loop can
+		// account for what landed instead of losing their stats forever.
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":    err.Error(),
+			"ingested": ingested,
+			"pending":  s.p.PendingBatches(),
+			"seq":      seq,
+		})
 		return
 	}
 	if !ok {
@@ -268,11 +283,6 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("n=%d batches requested, fewer pending", n))
 		return
 	}
-	ingested := make([]batchOut, 0, len(stats))
-	for _, st := range stats {
-		ingested = append(ingested, statsOut(st))
-	}
-	seq := s.p.LastSeq()
 	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ingested": ingested,
@@ -300,7 +310,7 @@ func (s *server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode observations: %w", err))
 		return
 	}
-	st, err := s.p.AppendExternal(req.Observations, nil)
+	st, seq, err := s.p.AppendExternal(req.Observations, nil)
 	if err != nil {
 		switch {
 		case errors.Is(err, collect.ErrBadObservation):
@@ -312,7 +322,6 @@ func (s *server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	seq := s.p.LastSeq()
 	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"accepted": len(req.Observations),
@@ -359,12 +368,11 @@ func (s *server) handleReports(w http.ResponseWriter, r *http.Request) {
 		}
 		accepted = append(accepted, rep)
 	}
-	st, err := s.p.AppendExternal(nil, accepted)
+	st, seq, err := s.p.AppendExternal(nil, accepted)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	seq := s.p.LastSeq()
 	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"accepted": len(accepted),
@@ -453,13 +461,13 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		// attached the checkpoint also truncates it — an explicit POST is
 		// the same operation as an auto-checkpoint.
 		s.checkpointMu.Lock()
-		err := s.checkpoint()
+		seq, err := s.checkpoint()
 		s.checkpointMu.Unlock()
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"snapshot": s.snapshotPath})
+		writeJSON(w, http.StatusOK, map[string]any{"snapshot": s.snapshotPath, "seq": seq})
 	default:
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST required"))
 	}

@@ -13,9 +13,11 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"malgraph"
+	"malgraph/internal/faultinject"
 	"malgraph/internal/wal"
 )
 
@@ -147,5 +149,58 @@ func TestServeWALRecoveryAcrossRestarts(t *testing.T) {
 	got, want := p3.Stats(), ref.Stats()
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("restarted drain stats %+v\nwant uninterrupted %+v", got, want)
+	}
+}
+
+// TestIngestPartialFailureReportsAppliedBatches: when a multi-batch drain
+// fails midway (here: the second batch's journal fsync), the batches that
+// were already journaled and applied are durable and their feed positions
+// consumed — the 500 response is the only place their per-batch stats can
+// ever reach the client, so it must carry them (plus the durable sequence)
+// instead of a bare error.
+func TestIngestPartialFailureReportsAppliedBatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	s, ts := newTestServer(t, 4, "")
+	fi := faultinject.NewFS(nil)
+	j, err := wal.Open(filepath.Join(t.TempDir(), "wal"), fi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	s.p.AttachJournal(j)
+	s.wal = j
+
+	// The drain journals batch 1 (fsync 1), then batch 2's journal append
+	// fails at its fsync: batch 1 is durable and applied, batch 2 rolls
+	// back untouched.
+	fi.FailSync(2)
+	out := postJSON(t, ts.URL+"/api/v1/ingest?all=1", http.StatusInternalServerError)
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "injected fault") {
+		t.Fatalf("error = %v, want the injected journal failure", out["error"])
+	}
+	ingested, ok := out["ingested"].([]any)
+	if !ok || len(ingested) != 1 {
+		t.Fatalf("partial failure reported %v ingested batches, want 1", out["ingested"])
+	}
+	if out["seq"].(float64) != 1 {
+		t.Fatalf("partial failure seq = %v, want 1 (the applied batch)", out["seq"])
+	}
+	if out["pending"].(float64) != 3 {
+		t.Fatalf("pending after partial failure = %v, want 3", out["pending"])
+	}
+
+	// The failpoint was one-shot: the drain resumes where it stopped and
+	// finishes, burning no feed positions for the rolled-back batch.
+	out2 := postJSON(t, ts.URL+"/api/v1/ingest?all=1", http.StatusOK)
+	if got := len(out2["ingested"].([]any)); got != 3 {
+		t.Fatalf("resumed drain ingested %d batches, want 3", got)
+	}
+	if out2["seq"].(float64) != 4 {
+		t.Fatalf("seq after resumed drain = %v, want 4", out2["seq"])
+	}
+	if out2["pending"].(float64) != 0 {
+		t.Fatalf("pending after resumed drain = %v, want 0", out2["pending"])
 	}
 }

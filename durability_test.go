@@ -14,8 +14,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"malgraph/internal/collect"
@@ -67,7 +69,7 @@ func deliveryScript(p *Pipeline, obs []collect.Observation, reps []*reports.Repo
 	half := len(obs) / 2
 	extStep := func(o []collect.Observation, r []*reports.Report) func() error {
 		return func() error {
-			_, err := p.AppendExternal(o, r)
+			_, _, err := p.AppendExternal(o, r)
 			return err
 		}
 	}
@@ -261,7 +263,7 @@ func TestJournaledShuffledReplayMatchesOneShot(t *testing.T) {
 	for i := 0; i < k; i++ {
 		lo, hi := i*len(obs)/k, (i+1)*len(obs)/k
 		rlo, rhi := i*len(reportCorpus)/k, (i+1)*len(reportCorpus)/k
-		if _, err := p1.AppendExternal(obs[lo:hi], reportCorpus[rlo:rhi]); err != nil {
+		if _, _, err := p1.AppendExternal(obs[lo:hi], reportCorpus[rlo:rhi]); err != nil {
 			t.Fatalf("shuffled external batch %d: %v", i+1, err)
 		}
 	}
@@ -300,4 +302,218 @@ func TestJournaledShuffledReplayMatchesOneShot(t *testing.T) {
 	}
 	assertEdgeSetsEqual(t, p2.Graph, p1.Graph, "journal replay")
 	assertResultsEqual(t, got, want, "journal replay vs one-shot")
+}
+
+// TestCheckpointConcurrentWithIngestLosesNothing pins the atomicity of
+// Pipeline.Checkpoint: the journal truncation happens under the same lock
+// that stamps the snapshot's AppliedSeq, so a batch journaled by a
+// concurrent pusher can never land between the stamp and the truncate and
+// be destroyed. Pushers hammer AppendExternal while a checkpointer loops
+// as fast as it can; afterwards, recovery from the last checkpoint plus
+// the surviving journal must reproduce every acknowledged batch.
+func TestCheckpointConcurrentWithIngestLosesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	const scale = 0.02
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "state.json")
+
+	p1, err := NewStreamingPipeline(context.Background(), Config{Scale: scale}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := wal.Open(filepath.Join(dir, "wal"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.AttachJournal(j1)
+
+	obs := decoupledObservations(t, collect.ObservationsFromSources(p1.World.Sources))
+	_, reportCorpus := p1.Source()
+
+	// The test's persist: buffer the locked snapshot, then replace the file
+	// whole — recovery below only ever reads a complete checkpoint.
+	persist := func(snapshot func(io.Writer) error) error {
+		var buf bytes.Buffer
+		if err := snapshot(&buf); err != nil {
+			return err
+		}
+		return os.WriteFile(snapPath, buf.Bytes(), 0o644)
+	}
+
+	const pushers, perPusher = 4, 3
+	records := pushers * perPusher
+	stop := make(chan struct{})
+	ckptDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				ckptDone <- nil
+				return
+			default:
+			}
+			if _, err := p1.Checkpoint(persist); err != nil {
+				ckptDone <- err
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	fail := make(chan error, records)
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perPusher; i++ {
+				b := g*perPusher + i
+				lo, hi := b*len(obs)/records, (b+1)*len(obs)/records
+				rlo, rhi := b*len(reportCorpus)/records, (b+1)*len(reportCorpus)/records
+				if _, _, err := p1.AppendExternal(obs[lo:hi], reportCorpus[rlo:rhi]); err != nil {
+					fail <- fmt.Errorf("pusher %d batch %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-ckptDone; err != nil {
+		t.Fatalf("checkpointer: %v", err)
+	}
+	close(fail)
+	for err := range fail {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	finalSeq := p1.LastSeq()
+	if finalSeq != uint64(records) {
+		t.Fatalf("live seq %d, want %d", finalSeq, records)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: recover from the last checkpoint plus whatever the journal
+	// still holds. Every acknowledged batch must be there.
+	p2, err := NewStreamingPipeline(context.Background(), Config{Scale: scale}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := os.ReadFile(snapPath); err == nil {
+		if err := p2.RestoreEngine(bytes.NewReader(snap)); err != nil {
+			t.Fatalf("restore checkpoint: %v", err)
+		}
+	} else if !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	j2, err := wal.Open(filepath.Join(dir, "wal"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, err := p2.ReplayJournal(j2); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if p2.LastSeq() != finalSeq {
+		t.Fatalf("recovered seq %d, want %d — a checkpoint destroyed an acknowledged record", p2.LastSeq(), finalSeq)
+	}
+	assertEdgeSetsEqual(t, p2.Graph, p1.Graph, "checkpoint-under-ingest recovery")
+}
+
+// TestSnapshotStampExcludesJournaledButUnappliedRecord pins the lastSeq
+// commit point: a record that reaches the journal but whose engine apply
+// fails must not advance the pipeline's applied sequence — otherwise the
+// next snapshot stamps AppliedSeq past the engine's real state and replay
+// silently skips the record. The journal-succeeded/apply-failed state is
+// entered directly (journalLocked without the commit), which is exactly
+// what the append paths leave behind when the apply errors.
+func TestSnapshotStampExcludesJournaledButUnappliedRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	const scale = 0.02
+	const feedBatches = 2
+	dir := t.TempDir()
+	p1, err := NewStreamingPipeline(context.Background(), Config{Scale: scale}, feedBatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := wal.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.AttachJournal(j1)
+
+	// Batch 1 lands normally.
+	if _, ok, err := p1.AppendNext(); err != nil || !ok {
+		t.Fatalf("first feed batch: ok=%v err=%v", ok, err)
+	}
+	if p1.LastSeq() != 1 {
+		t.Fatalf("seq after first batch = %d, want 1", p1.LastSeq())
+	}
+	// Batch 2 reaches the journal, then its apply "fails".
+	p1.mu.Lock()
+	seq, err := p1.journalLocked(recFeed, feedRecord{Index: 1})
+	p1.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("journaled seq %d, want 2", seq)
+	}
+	if got := p1.LastSeq(); got != 1 {
+		t.Fatalf("lastSeq advanced to %d before the apply succeeded", got)
+	}
+	// A snapshot taken now must stamp only the applied record.
+	var snap bytes.Buffer
+	if err := p1.SnapshotEngine(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash + recover from snapshot@1 + journal{1,2}: record 2 is above the
+	// stamp and must be re-applied, not skipped.
+	p2, err := NewStreamingPipeline(context.Background(), Config{Scale: scale}, feedBatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.RestoreEngine(&snap); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := wal.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	applied, err := p2.ReplayJournal(j2)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("replay applied %d records, want 1 (the journaled-but-unapplied batch)", applied)
+	}
+	if p2.LastSeq() != 2 {
+		t.Fatalf("recovered seq %d, want 2", p2.LastSeq())
+	}
+	if pending := p2.PendingBatches(); pending != 0 {
+		t.Fatalf("feed not drained after replay: %d pending", pending)
+	}
+
+	// The recovered engine equals an uninterrupted two-batch drain.
+	ref, err := NewStreamingPipeline(context.Background(), Config{Scale: scale}, feedBatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ref.PendingBatches() > 0 {
+		if _, _, err := ref.AppendNext(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertEdgeSetsEqual(t, p2.Graph, ref.Graph, "journaled-but-unapplied replay")
 }

@@ -26,6 +26,7 @@ package malgraph
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"malgraph/internal/collect"
 	"malgraph/internal/reports"
@@ -70,24 +71,49 @@ func (p *Pipeline) LastSeq() uint64 {
 	return p.lastSeq
 }
 
-// journalLocked appends one record (fsync'd) and advances lastSeq. With no
-// journal attached it only counts the sequence, so serve without -wal
-// still hands out monotonic (just not durable) sequence numbers.
-func (p *Pipeline) journalLocked(kind string, v any) error {
+// journalLocked appends one record (fsync'd) and returns its sequence
+// number without touching lastSeq: the caller commits the sequence only
+// after the engine apply succeeds, so a snapshot's AppliedSeq stamp never
+// claims a record the engine does not reflect. (A journaled-but-unapplied
+// record keeps its burned sequence above the stamp and is re-applied on
+// replay instead of being silently skipped.) With no journal attached the
+// next sequence is just counted, so serve without -wal still hands out
+// monotonic (just not durable) sequence numbers.
+func (p *Pipeline) journalLocked(kind string, v any) (uint64, error) {
 	if p.journal == nil {
-		p.lastSeq++
-		return nil
+		return p.lastSeq + 1, nil
 	}
 	payload, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("malgraph: journal %s: %w", kind, err)
+		return 0, fmt.Errorf("malgraph: journal %s: %w", kind, err)
 	}
 	seq, err := p.journal.Append(kind, payload)
 	if err != nil {
-		return fmt.Errorf("malgraph: journal %s: %w", kind, err)
+		return 0, fmt.Errorf("malgraph: journal %s: %w", kind, err)
 	}
-	p.lastSeq = seq
-	return nil
+	return seq, nil
+}
+
+// Checkpoint couples "snapshot the engine" with "truncate the journal"
+// under the pipeline lock: no concurrent ingest can journal a record
+// between the snapshot's AppliedSeq stamp and the truncation, so the
+// truncate never destroys an acknowledged record the snapshot does not
+// contain. persist receives the engine snapshot writer and is responsible
+// for making the bytes durable (serve wraps it in an fsync'd atomic file
+// replace); the journal is truncated only after persist returns success.
+// Returns the sequence the snapshot was stamped with.
+func (p *Pipeline) Checkpoint(persist func(snapshot func(io.Writer) error) error) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := persist(p.snapshotEngineLocked); err != nil {
+		return p.lastSeq, err
+	}
+	if p.journal != nil {
+		if err := p.journal.Reset(); err != nil {
+			return p.lastSeq, err
+		}
+	}
+	return p.lastSeq, nil
 }
 
 // ReplayJournal re-applies the journal's intact records to the engine,

@@ -49,7 +49,7 @@ func TestExternalObservationsMatchOneShot(t *testing.T) {
 			for bi := 0; bi < k; bi++ {
 				lo, hi := bi*len(obs)/k, (bi+1)*len(obs)/k
 				rlo, rhi := bi*len(reportCorpus)/k, (bi+1)*len(reportCorpus)/k
-				if _, err := p.AppendExternal(obs[lo:hi], reportCorpus[rlo:rhi]); err != nil {
+				if _, _, err := p.AppendExternal(obs[lo:hi], reportCorpus[rlo:rhi]); err != nil {
 					t.Fatalf("append external batch %d: %v", bi, err)
 				}
 			}
@@ -75,7 +75,7 @@ func TestExternalDuplicateDeliveryIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	obs := collect.ObservationsFromSources(p.World.Sources)
-	if _, err := p.AppendExternal(obs, nil); err != nil {
+	if _, _, err := p.AppendExternal(obs, nil); err != nil {
 		t.Fatal(err)
 	}
 	before := p.Stats()
@@ -83,7 +83,7 @@ func TestExternalDuplicateDeliveryIdempotent(t *testing.T) {
 	for id, st := range p.Dataset.PerSource {
 		perSource[id.String()] = st
 	}
-	st, err := p.AppendExternal(obs, nil)
+	st, _, err := p.AppendExternal(obs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
