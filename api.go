@@ -5,23 +5,19 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"malgraph/internal/analysis"
 	"malgraph/internal/attacker"
-	"malgraph/internal/behavior"
-	"malgraph/internal/codegen"
 	"malgraph/internal/collect"
 	"malgraph/internal/core"
 	"malgraph/internal/crawler"
-	"malgraph/internal/detect"
 	"malgraph/internal/ecosys"
 	"malgraph/internal/graph"
-	"malgraph/internal/parallel"
 	"malgraph/internal/registry"
 	"malgraph/internal/reports"
 	"malgraph/internal/wal"
 	"malgraph/internal/world"
-	"malgraph/internal/xrand"
 )
 
 // Config controls a full pipeline run.
@@ -83,11 +79,17 @@ type Pipeline struct {
 	Crawl   crawler.Result
 	Engine  *core.Engine
 
-	mu    sync.Mutex
-	feed  []core.Batch // pending ingest batches (streaming mode)
-	fed   int
-	cache *Results
-	dirty dirtyBlocks
+	mu   sync.Mutex
+	feed []core.Batch // pending ingest batches (streaming mode)
+	fed  int
+	// epoch is the published read path: every mutator exits by storing a
+	// fresh immutable Epoch here (see epoch.go), and every reader loads it
+	// without touching mu. dirty accumulates the analysis blocks invalidated
+	// since the last publish; publishLocked folds it into the epoch's
+	// incremental-results chain and resets it.
+	epoch   atomic.Pointer[Epoch]
+	epochID uint64
+	dirty   dirtyBlocks
 	// source retains the collected dataset and parsed report corpus the feed
 	// was cut from (with its recorded per-entry accounting), for callers that
 	// re-partition the world — the shuffle property tests and serve mode.
@@ -207,6 +209,7 @@ func NewStreamingPipeline(ctx context.Context, cfg Config, batches int) (*Pipeli
 		source:        ds,
 		sourceReports: reportCorpus,
 	}
+	p.publishLocked() // epoch 1: the empty engine (nothing ingested yet)
 	return p, nil
 }
 
@@ -243,7 +246,11 @@ func BatchFeed(ds *collect.Result, reportCorpus []*reports.Report, k int) []core
 func (p *Pipeline) Append(b core.Batch) (core.IngestStats, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.appendLocked(b)
+	st, err := p.appendLocked(b)
+	if err == nil {
+		p.publishLocked()
+	}
+	return st, err
 }
 
 func (p *Pipeline) appendLocked(b core.Batch) (core.IngestStats, error) {
@@ -286,6 +293,9 @@ func (p *Pipeline) AppendExternal(obs []collect.Observation, reps []*reports.Rep
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st, err := p.appendExternalLocked(obs, reps, true)
+	if err == nil {
+		p.publishLocked()
+	}
 	return st, p.lastSeq, err
 }
 
@@ -349,6 +359,7 @@ func (p *Pipeline) AppendNext() (st core.IngestStats, ok bool, err error) {
 		return st, true, err
 	}
 	p.lastSeq = seq
+	p.publishLocked()
 	return st, true, nil
 }
 
@@ -365,6 +376,14 @@ func (p *Pipeline) AppendNext() (st core.IngestStats, ok bool, err error) {
 func (p *Pipeline) AppendPending(n int, exact bool) (stats []core.IngestStats, seq uint64, ok bool, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// One publish covers the whole drain: the epoch clone is paid per call,
+	// not per batch. A mid-loop failure still publishes what landed — those
+	// batches are durable and visible.
+	defer func() {
+		if len(stats) > 0 {
+			p.publishLocked()
+		}
+	}()
 	pending := len(p.feed) - p.fed
 	if n < 0 || n > pending {
 		if exact && n > pending {
@@ -409,42 +428,16 @@ type PipelineStats struct {
 	PendingBatches int
 }
 
-// Stats reports the current pipeline shape.
+// Stats reports the pipeline shape of the current epoch — precomputed at
+// publish time, so the call never touches the ingest mutex.
 func (p *Pipeline) Stats() PipelineStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := PipelineStats{
-		Entries:        len(p.Dataset.Entries),
-		Available:      len(p.Dataset.Available()),
-		MissingRate:    p.Dataset.TotalMR(),
-		Reports:        len(p.Reports),
-		Nodes:          p.Graph.G.NodeCount(),
-		Edges:          p.Graph.G.EdgeCount(),
-		EdgesByType:    make(map[string]int, 4),
-		PendingBatches: len(p.feed) - p.fed,
-	}
-	for _, et := range graph.EdgeTypes() {
-		st.EdgesByType[et.String()] = p.Graph.G.EdgeCount(et)
-	}
-	return st
+	return p.CurrentEpoch().Stats()
 }
 
-// Node resolves one graph node and its sorted per-type neighbors, under the
-// pipeline lock.
+// Node resolves one graph node and its sorted per-type neighbors against
+// the current epoch's graph view, lock-free.
 func (p *Pipeline) Node(id string) (graph.Node, map[string][]string, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	n, ok := p.Graph.G.Node(id)
-	if !ok {
-		return graph.Node{}, nil, false
-	}
-	neighbors := make(map[string][]string)
-	for _, et := range graph.EdgeTypes() {
-		if nb := p.Graph.G.Neighbors(id, et); len(nb) > 0 {
-			neighbors[et.String()] = nb
-		}
-	}
-	return n, neighbors, true
+	return p.CurrentEpoch().Node(id)
 }
 
 // SnapshotEngine checkpoints the engine (graph, dataset, caches) to w. The
@@ -491,264 +484,32 @@ func (p *Pipeline) RestoreEngine(r io.Reader) error {
 	if p.journal != nil {
 		p.journal.EnsureSeq(p.lastSeq)
 	}
-	p.cache = nil
 	p.dirty = allDirty()
+	p.publishLocked()
 	return nil
 }
 
-// Analyze computes the Results for the pipeline's current state. Results
-// are cached: after an Append, only the analysis blocks the batch
-// invalidated (per core.IngestStats) are recomputed — a small delta after a
-// large corpus costs the affected RQ blocks, not a full re-analysis. The
-// first call (and any call after an entry merge) computes everything.
+// Analyze computes the Results for the current epoch, lock-free: it loads
+// the published epoch and computes (once per epoch, shared by all callers)
+// only the analysis blocks the epoch's ingests invalidated — a small delta
+// after a large corpus costs the affected RQ blocks, not a full
+// re-analysis. A concurrent ingest never blocks Analyze and Analyze never
+// blocks an ingest: the computation runs against the epoch's immutable
+// view while the loader keeps writing.
 func (p *Pipeline) Analyze() (*Results, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	dirty := p.dirty
-	if p.cache == nil {
-		dirty = allDirty()
-	}
-	r := &Results{
-		Seed:            p.Config.Seed,
-		Scale:           p.Config.Scale,
-		TotalPackages:   len(p.Dataset.Entries),
-		Available:       len(p.Dataset.Available()),
-		Missing:         len(p.Dataset.MissingEntries()),
-		TotalMR:         p.Dataset.TotalMR(),
-		CrawledPages:    p.Crawl.Fetched,
-		CrawledReports:  len(p.Reports),
-		GraphNodes:      p.Graph.G.NodeCount(),
-		GraphEdges:      p.Graph.G.EdgeCount(),
-		DuplicatedEdges: p.Graph.G.EdgeCount(graph.Duplicated),
-		SimilarEdges:    p.Graph.G.EdgeCount(graph.Similar),
-		DependencyEdges: p.Graph.G.EdgeCount(graph.Dependency),
-		CoexistingEdges: p.Graph.G.EdgeCount(graph.Coexisting),
-	}
-
-	// The RQ blocks read the pipeline's immutable products (dataset, graph,
-	// reports) and write disjoint Results fields, so they run concurrently;
-	// every analysis is itself deterministic, making the merged Results
-	// identical to a sequential pass.
-	rq1 := func() error {
-		for _, row := range analysis.SourceSizes(p.Dataset) {
-			r.SourceSizes = append(r.SourceSizes, SourceSizeRow{
-				Source: row.Source.String(), Unavailable: row.Unavailable, Available: row.Available,
-			})
-		}
-		overlap := analysis.Overlap(p.Dataset)
-		for _, id := range overlap.IDs {
-			r.OverlapNames = append(r.OverlapNames, id.String())
-		}
-		r.Overlap = overlap.Matrix
-		rows, total := analysis.MissingRates(p.Dataset)
-		r.TotalMR = total
-		for _, row := range rows {
-			r.MissingRates = append(r.MissingRates, MissingRateRow{
-				Source: row.Source.String(), Missing: row.Missing, Total: row.Total,
-				LocalMR: row.LocalMR, GlobalMR: row.GlobalMR,
-			})
-		}
-		for eco, cdf := range analysis.OccurrenceCDF(p.Dataset) {
-			r.OccurrenceCDF = append(r.OccurrenceCDF, OccurrenceRow{
-				Ecosystem: eco.String(),
-				AtOne:     cdf.At(1), AtTwo: cdf.At(2), AtThree: cdf.At(3), Max: cdf.Quantile(1),
-			})
-		}
-		sortOccurrence(r.OccurrenceCDF)
-		for _, b := range analysis.Timeline(p.Dataset) {
-			r.Timeline = append(r.Timeline, TimelineRow{Year: b.Year, All: b.All, Missing: b.Missing})
-		}
-		causes := analysis.ClassifyMissing(p.Dataset, p.World.Fleet)
-		r.MissingCauses = MissingCausesRow{
-			EarlyRelease: causes.EarlyRelease, ShortPersistence: causes.ShortPersistence, Other: causes.Other,
-		}
-		return nil
-	}
-
-	rq2 := func() error {
-		r.SimilarSubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Similar))
-		r.SimilarOps = opsRow(analysis.Operations(p.Graph, graph.Similar))
-		r.SimilarActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Similar))
-		div := analysis.Diversity(p.Graph)
-		r.Diversity = DiversityRow{
-			Packages: div.Packages, Singletons: div.Singletons, Families: div.Families,
-			EffectiveFamilies: div.EffectiveFamilies, SimpsonIndex: div.SimpsonIndex,
-			Top5Share: div.Top5Share,
-		}
-		return nil
-	}
-
-	rq3 := func() error {
-		r.DependencySubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Dependency))
-		for _, d := range analysis.TopDependencyTargets(p.Graph, 2) {
-			r.DependencyTargets = append(r.DependencyTargets, DepTargetRow{
-				Ecosystem: d.Eco.String(), Name: d.Name, Count: d.Count,
-			})
-		}
-		cores, fronts := analysis.DependencyReuse(p.Graph, 3)
-		r.DepCores, r.DepFronts = cores, fronts
-		r.DependencyActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Dependency))
-		return nil
-	}
-
-	rq4 := func() error {
-		r.CoexistSubgraphs = subgraphRows(analysis.SubgraphStatsFor(p.Graph, graph.Coexisting))
-		r.CoexistOps = opsRow(analysis.Operations(p.Graph, graph.Coexisting))
-		r.CoexistActive = activeRow(analysis.ActivePeriods(p.Graph, graph.Coexisting))
-		iocs := analysis.IoCs(p.Reports, 10)
-		r.IoCs = IoCRow{
-			UniqueURLs: iocs.UniqueURLs, UniqueIPs: iocs.UniqueIPs,
-			PowerShell: iocs.PowerShell, MaxSameIPReports: iocs.MaxSameIPReports,
-		}
-		for _, d := range iocs.TopDomains {
-			r.TopDomains = append(r.TopDomains, DomainRow{Domain: d.Domain, Count: d.Count})
-		}
-		return nil
-	}
-
-	// §VI-B — Table XI.
-	behaviors := func() error {
-		for _, row := range behavior.TableXI(p.Graph, p.Config.MinBehaviorGroup) {
-			r.Behaviors = append(r.Behaviors, BehaviorRow{
-				Ecosystem: row.Eco.String(), Size: row.Size,
-				Behaviors: row.Behaviors, Source: row.Source,
-			})
-		}
-		return nil
-	}
-
-	// §IV-A — controlled validation experiment (own derived RNG stream).
-	validation := func() error {
-		r.Validation = p.runValidation()
-		return nil
-	}
-
-	// Run only the invalidated blocks; serve the rest from the cache.
-	tasks := make([]func() error, 0, 6)
-	for _, blk := range []struct {
-		dirty bool
-		run   func() error
-		reuse func(from *Results)
-	}{
-		{dirty.rq1, rq1, func(c *Results) {
-			r.SourceSizes, r.OverlapNames, r.Overlap = c.SourceSizes, c.OverlapNames, c.Overlap
-			r.MissingRates, r.OccurrenceCDF, r.Timeline = c.MissingRates, c.OccurrenceCDF, c.Timeline
-			r.MissingCauses = c.MissingCauses
-		}},
-		{dirty.rq2, rq2, func(c *Results) {
-			r.SimilarSubgraphs, r.SimilarOps = c.SimilarSubgraphs, c.SimilarOps
-			r.SimilarActive, r.Diversity = c.SimilarActive, c.Diversity
-		}},
-		{dirty.rq3, rq3, func(c *Results) {
-			r.DependencySubgraphs, r.DependencyTargets = c.DependencySubgraphs, c.DependencyTargets
-			r.DepCores, r.DepFronts, r.DependencyActive = c.DepCores, c.DepFronts, c.DependencyActive
-		}},
-		{dirty.rq4, rq4, func(c *Results) {
-			r.CoexistSubgraphs, r.CoexistOps, r.CoexistActive = c.CoexistSubgraphs, c.CoexistOps, c.CoexistActive
-			r.IoCs, r.TopDomains = c.IoCs, c.TopDomains
-		}},
-		{dirty.behaviors, behaviors, func(c *Results) { r.Behaviors = c.Behaviors }},
-		{dirty.validation, validation, func(c *Results) { r.Validation = c.Validation }},
-	} {
-		if blk.dirty {
-			tasks = append(tasks, blk.run)
-		} else {
-			blk.reuse(p.cache)
-		}
-	}
-	if err := parallel.Do(tasks...); err != nil {
-		return nil, err
-	}
-
-	// §VI-A — Table X (optional).
-	if p.Config.Detection {
-		if dirty.detection {
-			det, err := p.RunDetection(p.Config.DetectionIterations)
-			if err != nil {
-				return nil, err
-			}
-			r.Detection = det
-		} else {
-			r.Detection = p.cache.Detection
-		}
-	}
-	p.cache = r
-	p.dirty = dirtyBlocks{}
-	return r, nil
+	return p.CurrentEpoch().Results()
 }
 
-// runValidation reproduces §IV-A: five 100-package samples scanned by the
-// rule scanner, with scanner misses adjudicated against ground truth (the
-// stand-in for the paper's manual reverse-engineering inspection).
-func (p *Pipeline) runValidation() ValidationRow {
-	available := p.Dataset.Available()
-	artifacts := make([]*ecosys.Artifact, 0, len(available))
-	for _, e := range available {
-		artifacts = append(artifacts, e.Artifact)
-	}
-	sampleSize := 100
-	if sampleSize > len(artifacts) {
-		sampleSize = len(artifacts)
-	}
-	res := detect.ValidateSampling(artifacts, 5, sampleSize, func(a *ecosys.Artifact) bool {
-		rec, ok := p.World.Record(a.Coord)
-		return ok && rec != nil // every corpus member is ground-truth malware
-	}, xrand.New(p.Config.Seed).Derive("validation"))
-	return ValidationRow{
-		Experiments: res.Experiments, SampleSize: res.SampleSize,
-		ScannerRate: res.ScannerRate(), VerifiedRate: res.VerifiedRate(),
-	}
-}
-
-// RunDetection executes the Table X experiment on the NPM similar clusters.
+// RunDetection executes the Table X experiment on the current epoch's NPM
+// similar clusters.
 func (p *Pipeline) RunDetection(iterations int) ([]DetectionRow, error) {
-	clusters := p.NPMClusters()
-	if len(clusters) < 4 {
-		return nil, fmt.Errorf("malgraph: only %d NPM clusters; need ≥4 for Table X", len(clusters))
-	}
-	benignCount := int(3500 * p.Config.Scale)
-	if benignCount < 60 {
-		benignCount = 60
-	}
-	benign := codegen.GenerateBenignPool(ecosys.NPM, benignCount, xrand.New(p.Config.Seed).Derive("benign"))
-	cfg := detect.DefaultTableXConfig()
-	cfg.Iterations = iterations
-	cfg.Seed = p.Config.Seed
-	cfg.ClustersPerIter = len(clusters) / 4
-	if cfg.ClustersPerIter < 2 {
-		cfg.ClustersPerIter = 2
-	}
-	rows, err := detect.RunTableX(clusters, benign, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("malgraph: table X: %w", err)
-	}
-	out := make([]DetectionRow, 0, len(rows))
-	for _, row := range rows {
-		out = append(out, DetectionRow{
-			Algorithm:  row.Algorithm,
-			AccWithout: row.AccWithout, AccWith: row.AccWith,
-			RecallWithout: row.RecallWithout, RecallWith: row.RecallWith,
-		})
-	}
-	return out, nil
+	return detectionOf(p.Config, p.CurrentEpoch().graph, iterations)
 }
 
-// NPMClusters returns the NPM similar clusters as artifact groups — the
-// "tracked malware packages" §VI-A trains on.
+// NPMClusters returns the current epoch's NPM similar clusters as artifact
+// groups — the "tracked malware packages" §VI-A trains on.
 func (p *Pipeline) NPMClusters() [][]*ecosys.Artifact {
-	var clusters [][]*ecosys.Artifact
-	for _, cl := range p.Graph.SimilarClusters[ecosys.NPM] {
-		var arts []*ecosys.Artifact
-		for _, id := range cl.Members {
-			if e, ok := p.Graph.EntryByNodeID(id); ok && e.Artifact != nil {
-				arts = append(arts, e.Artifact)
-			}
-		}
-		if len(arts) >= 2 {
-			clusters = append(clusters, arts)
-		}
-	}
-	return clusters
+	return npmClustersOf(p.CurrentEpoch().graph)
 }
 
 // GroundTruth exposes the simulated world's campaign ledger (for calibration

@@ -7,7 +7,7 @@
 //	malgraphctl graph   [-scale 0.05] [-seed N] [-out graph.json]
 //	malgraphctl crawl   [-scale 0.05] [-seed N]
 //	malgraphctl serve   [-scale 0.05] [-seed N] [-addr :8080] [-batches 10] [-snapshot state.json]
-//	                    [-wal dir] [-checkpoint-bytes N]
+//	                    [-wal dir] [-checkpoint-bytes N] [-pprof localhost:6060]
 //	                    [-remote-root URL[,URL...]] [-remote-mirror URL[,URL...]]
 //	malgraphctl push    [-scale 0.05] [-seed N] [-server http://localhost:8080] [-file obs.json] [-batches 10] [-from K]
 //	malgraphctl dataset [-scale 0.05] [-seed N] [-out data.json] [-full]
@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // -pprof side listener (serve only)
 	"os"
 	"strings"
 	"time"
@@ -69,6 +70,7 @@ func run(args []string) error {
 	from := fs.Int("from", 1, "first batch to push, 1-based — resume an interrupted push from its last acknowledged batch (push only)")
 	remoteRoots := fs.String("remote-root", "", "comma-separated root registry base URLs for external-observation recovery (serve only)")
 	remoteMirrors := fs.String("remote-mirror", "", "comma-separated mirror base URLs for external-observation recovery (serve only)")
+	pprofAddr := fs.String("pprof", "", "side listener address for net/http/pprof, e.g. localhost:6060 (serve only; off by default)")
 	server := fs.String("server", "http://localhost:8080", "serve instance to push to (push only)")
 	file := fs.String("file", "", "observations JSON file to push; default: generate from the simulated world (push only)")
 	if err := fs.Parse(rest); err != nil {
@@ -88,7 +90,7 @@ func run(args []string) error {
 		return cmdCrawl(cfg)
 	case "serve":
 		return cmdServe(cfg, *addr, *batches, *snapshot, *walDir, *checkpointBytes,
-			splitList(*remoteRoots), splitList(*remoteMirrors))
+			splitList(*remoteRoots), splitList(*remoteMirrors), *pprofAddr)
 	case "push":
 		return cmdPush(cfg, *server, *file, *batches, *from)
 	case "dataset":
@@ -196,11 +198,25 @@ func splitList(raw string) []string {
 // recovery is always last snapshot + WAL suffix. With -remote-root /
 // -remote-mirror, artifact recovery for externally POSTed observations goes
 // through a registry.RemoteFleet against those live base URLs instead of
-// the in-process fleet.
-func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath, walDir string, checkpointBytes int64, remoteRoots, remoteMirrors []string) error {
+// the in-process fleet. With -pprof, net/http/pprof is exposed on a side
+// listener (never on the main API address) so lock contention and
+// allocation profiles stay observable in production.
+func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath, walDir string, checkpointBytes int64, remoteRoots, remoteMirrors []string, pprofAddr string) error {
 	p, err := malgraph.NewStreamingPipeline(context.Background(), cfg, batches)
 	if err != nil {
 		return err
+	}
+	if pprofAddr != "" {
+		// The pprof mux is the package's side-effect DefaultServeMux
+		// registration; serving it from a dedicated listener keeps profiling
+		// endpoints off the public API surface.
+		go func() {
+			pprofSrv := &http.Server{Addr: pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "pprof listener %s: %v\n", pprofAddr, err)
+			}
+		}()
+		fmt.Printf("pprof side listener at http://%s/debug/pprof/\n", pprofAddr)
 	}
 	if len(remoteRoots)+len(remoteMirrors) > 0 {
 		rf := registry.NewRemoteFleet(nil)

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 
 	"malgraph"
@@ -50,7 +51,9 @@ type server struct {
 }
 
 func newServer(p *malgraph.Pipeline, snapshotPath string) *server {
-	return &server{p: p, snapshotPath: snapshotPath, snapshot: p.SnapshotEngine}
+	// GET /api/v1/snapshot serves through the epoch cache: the first GET
+	// per epoch snapshots the engine, later GETs reuse the bytes lock-free.
+	return &server{p: p, snapshotPath: snapshotPath, snapshot: p.SnapshotCached}
 }
 
 // writeFileAtomic durably replaces path with the bytes write produces:
@@ -382,21 +385,57 @@ func (s *server) handleReports(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleResults serves the cached Analyze — after a small ingest delta only
-// the invalidated RQ blocks recompute.
-func (s *server) handleResults(w http.ResponseWriter, _ *http.Request) {
-	res, err := s.p.Analyze()
+// handleResults serves the current epoch's Analyze — after a small ingest
+// delta only the invalidated RQ blocks recompute, and the computation runs
+// against the epoch's immutable view, never blocking (or blocked by) the
+// loader. The response carries the epoch-derived ETag; a conditional GET
+// whose tag still matches gets 304 Not-Modified without the results being
+// recomputed or re-serialized.
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	ep := s.p.CurrentEpoch()
+	etag := ep.ETag()
+	w.Header().Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); etagMatches(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, err := ep.ResultsJSON()
 	if err != nil {
+		w.Header().Del("ETag")
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// etagMatches implements If-None-Match for the single weak tag the results
+// endpoint issues: a wildcard or any listed tag equal to the current one
+// (weak comparison — a W/ prefix on the client's copy is ignored).
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == strings.TrimPrefix(etag, "W/") {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	// Pipeline.Stats reads under the pipeline lock — handlers run
-	// concurrently with POST /api/v1/ingest.
-	st := s.p.Stats()
+	// Stats are precomputed at epoch publish time — the handler is a single
+	// atomic load, untouched by however long the current ingest batch runs.
+	ep := s.p.CurrentEpoch()
+	st := ep.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"entries":        st.Entries,
 		"available":      st.Available,
@@ -409,6 +448,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"dependency":     st.EdgesByType[graph.Dependency.String()],
 		"coexisting":     st.EdgesByType[graph.Coexisting.String()],
 		"pendingBatches": st.PendingBatches,
+		"epoch":          ep.ID(),
+		"seq":            ep.Seq(),
 	})
 }
 

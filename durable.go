@@ -173,5 +173,8 @@ func (p *Pipeline) ReplayJournal(l *wal.Log) (int, error) {
 		return applied, err
 	}
 	l.EnsureSeq(p.lastSeq)
+	// One publish covers the whole replay: recovered state becomes visible
+	// to lock-free readers at the recovered batch boundary.
+	p.publishLocked()
 	return applied, nil
 }

@@ -634,9 +634,11 @@ func TestAnalyzeCacheMatchesFresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Fresh analysis of identical state: drop the cache.
+	// Fresh analysis of identical state: republish with every block dirty,
+	// forcing the next epoch's Results to recompute everything.
 	p.mu.Lock()
-	p.cache = nil
+	p.dirty = allDirty()
+	p.publishLocked()
 	p.mu.Unlock()
 	fresh, err := p.Analyze()
 	if err != nil {

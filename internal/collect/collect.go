@@ -231,6 +231,30 @@ func (r *Result) Entry(coord ecosys.Coord) (*Entry, bool) {
 	return e, ok
 }
 
+// View returns a read-only snapshot of the dataset for concurrent readers.
+// The entry slice, lookup index and per-source aggregates are copied;
+// *Entry values are shared — Upsert never mutates a stored entry in place
+// (changed entries are replaced with fresh merged copies), so shared
+// pointers stay consistent however far the original advances. The view
+// carries no per-entry accounting (statsByKey): it serves analyses and
+// queries, not feeds or upserts.
+func (r *Result) View() *Result {
+	v := &Result{
+		Entries:     make([]*Entry, len(r.Entries)),
+		PerSource:   make(map[sources.ID]SourceStats, len(r.PerSource)),
+		CollectedAt: r.CollectedAt,
+		byKey:       make(map[string]*Entry, len(r.byKey)),
+	}
+	copy(v.Entries, r.Entries)
+	for id, st := range r.PerSource {
+		v.PerSource[id] = st
+	}
+	for k, e := range r.byKey {
+		v.byKey[k] = e
+	}
+	return v
+}
+
 // Available returns the entries with artifacts, sorted by coordinate key.
 func (r *Result) Available() []*Entry {
 	var out []*Entry

@@ -139,6 +139,51 @@ func (s IngestStats) CoexistingChanged() bool {
 	return s.CoexistingRebuilt || s.CoexistingScoped || s.NewReports > 0
 }
 
+// ecoShard is one ecosystem's slice of the engine state. The §III edge
+// families the shard feeds (duplicated record cliques aside, which are
+// per-entry) never cross ecosystems: dependency names resolve within one
+// registry, and similar clusters are computed per ecosystem. That
+// independence is what lets Ingest plan every shard of a batch in parallel
+// (see planShard) — each shard mutates only its own indexes and emits a
+// pure plan of graph operations, which a serial commit phase applies in
+// sorted-ecosystem order so the result is deterministic under any
+// GOMAXPROCS.
+type ecoShard struct {
+	// Corpus dictionary (§III-C): name → canonical node IDs, and the name
+	// set. Both grow monotonically.
+	byName map[string][]string
+	corpus map[string]bool
+	// Reverse import index: imported name → canonical node IDs of the
+	// already-scanned fronts importing it (self-name imports excluded).
+	importers map[string][]string
+	// importsOf caches each scanned artifact's manifest+source import names.
+	importsOf map[string][]string
+
+	// items caches the §III-B per-artifact products, sorted by node ID (the
+	// order a one-shot Build clusters in).
+	items []textsim.Item
+	// lsh partitions the shard's items by verified band-candidate
+	// connectivity under cfg.Cluster (LSHBands, Threshold) — the unit of
+	// incremental re-clustering. Partition identity is content-derived
+	// (canonical key = smallest member node ID), so any batch order
+	// reproduces the same partitions.
+	lsh *textsim.LSHIndex
+	// clustersByPart caches each partition's surviving clusters by its
+	// canonical key; flattening the map in key order yields the ecosystem's
+	// cluster list exactly as a one-shot build derives it.
+	clustersByPart map[string][]textsim.Cluster
+}
+
+func newEcoShard() *ecoShard {
+	return &ecoShard{
+		byName:         make(map[string][]string),
+		corpus:         make(map[string]bool),
+		importers:      make(map[string][]string),
+		importsOf:      make(map[string][]string),
+		clustersByPart: make(map[string][]textsim.Cluster),
+	}
+}
+
 // Engine maintains MALGRAPH incrementally across Ingest batches.
 type Engine struct {
 	mu  sync.Mutex
@@ -148,29 +193,9 @@ type Engine struct {
 	embedder *textsim.Embedder
 	scanner  *depscan.Scanner
 
-	// Corpus dictionaries (§III-C): name → canonical node IDs, and the name
-	// set, per ecosystem. Both grow monotonically.
-	byName map[ecosys.Ecosystem]map[string][]string
-	corpus map[ecosys.Ecosystem]map[string]bool
-	// Reverse import index: imported name → canonical node IDs of the
-	// already-scanned fronts importing it (self-name imports excluded).
-	importers map[ecosys.Ecosystem]map[string][]string
-	// importsOf caches each scanned artifact's manifest+source import names.
-	importsOf map[string][]string
-
-	// itemsByEco caches the §III-B per-artifact products, sorted by node ID
-	// (the order a one-shot Build clusters in).
-	itemsByEco map[ecosys.Ecosystem][]textsim.Item
-	// lshByEco partitions each ecosystem's items by verified band-candidate
-	// connectivity under cfg.Cluster (LSHBands, Threshold) — the unit of
-	// incremental re-clustering. Partition identity is content-derived
-	// (canonical key = smallest member node ID), so any batch order
-	// reproduces the same partitions.
-	lshByEco map[ecosys.Ecosystem]*textsim.LSHIndex
-	// clustersByPart caches each partition's surviving clusters by its
-	// canonical key; flattening the map in key order yields the ecosystem's
-	// cluster list exactly as a one-shot build derives it.
-	clustersByPart map[ecosys.Ecosystem]map[string][]textsim.Cluster
+	// shards holds the per-ecosystem state (corpus dictionaries, import
+	// indexes, clustering caches); see ecoShard. Created on first use.
+	shards map[ecosys.Ecosystem]*ecoShard
 	// clusterScratch pools the clustering kernels' buffers across ingests,
 	// one Scratch per re-clustering worker.
 	clusterScratch sync.Pool
@@ -251,19 +276,23 @@ func NewEngine(cfg Config) *Engine {
 			ReportsByPackage: make(map[string][]*reports.Report),
 			entryByID:        make(map[string]*collect.Entry),
 		},
-		embedder:       textsim.NewEmbedder(cfg.Embed),
-		scanner:        depscan.NewScanner(),
-		byName:         make(map[ecosys.Ecosystem]map[string][]string),
-		corpus:         make(map[ecosys.Ecosystem]map[string]bool),
-		importers:      make(map[ecosys.Ecosystem]map[string][]string),
-		importsOf:      make(map[string][]string),
-		itemsByEco:     make(map[ecosys.Ecosystem][]textsim.Item),
-		lshByEco:       make(map[ecosys.Ecosystem]*textsim.LSHIndex),
-		clustersByPart: make(map[ecosys.Ecosystem]map[string][]textsim.Cluster),
-		reportByURL:    make(map[string]*reports.Report),
-		posting:        make(map[string][]string),
-		coexOwner:      make(map[string]string),
+		embedder:    textsim.NewEmbedder(cfg.Embed),
+		scanner:     depscan.NewScanner(),
+		shards:      make(map[ecosys.Ecosystem]*ecoShard),
+		reportByURL: make(map[string]*reports.Report),
+		posting:     make(map[string][]string),
+		coexOwner:   make(map[string]string),
 	}
+}
+
+// shard returns the ecosystem's shard, creating it on first use.
+func (e *Engine) shard(eco ecosys.Ecosystem) *ecoShard {
+	sh := e.shards[eco]
+	if sh == nil {
+		sh = newEcoShard()
+		e.shards[eco] = sh
+	}
+	return sh
 }
 
 // Config returns the engine's effective configuration.
@@ -278,6 +307,41 @@ func (e *Engine) Dataset() *collect.Result { return e.mg.Dataset }
 
 // Reports returns the merged, URL-sorted report corpus.
 func (e *Engine) Reports() []*reports.Report { return e.mg.Reports }
+
+// View returns an immutable snapshot of the engine's read state — the
+// MalGraph an epoch-published read path serves from while Ingest keeps
+// writing. Containers are copied (graph via graph.Clone, dataset via
+// collect.Result.View, the report slice and index maps by value); leaves
+// are shared where the writer provably never mutates them in place:
+// dataset entries (Upsert replaces changed entries), reports (first crawl
+// wins), per-ecosystem cluster slices (re-clustering replaces the flat
+// list wholesale) and per-package report lists (indexReportForPackage
+// copy-inserts). Cost is O(corpus) pointer copies, paid once per publish
+// by the writer.
+func (e *Engine) View() *MalGraph {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mg := e.mg
+	v := &MalGraph{
+		G:                mg.G.Clone(),
+		Dataset:          mg.Dataset.View(),
+		Reports:          make([]*reports.Report, len(mg.Reports)),
+		SimilarClusters:  make(map[ecosys.Ecosystem][]textsim.Cluster, len(mg.SimilarClusters)),
+		ReportsByPackage: make(map[string][]*reports.Report, len(mg.ReportsByPackage)),
+		entryByID:        make(map[string]*collect.Entry, len(mg.entryByID)),
+	}
+	copy(v.Reports, mg.Reports)
+	for eco, cs := range mg.SimilarClusters {
+		v.SimilarClusters[eco] = cs
+	}
+	for id, lst := range mg.ReportsByPackage {
+		v.ReportsByPackage[id] = lst
+	}
+	for id, en := range mg.entryByID {
+		v.entryByID[id] = en
+	}
+	return v
+}
 
 // entryChange tracks what one batch entry did to the merged dataset.
 type entryChange struct {
@@ -325,11 +389,14 @@ func (e *Engine) Ingest(b Batch) (IngestStats, error) {
 	if err := e.applyNodes(changes, &st); err != nil {
 		return st, fmt.Errorf("core ingest nodes: %w", err)
 	}
-	if err := e.applyDependency(changes, &st); err != nil {
-		return st, fmt.Errorf("core ingest dependency: %w", err)
-	}
-	if err := e.applySimilar(changes, &st); err != nil {
-		return st, fmt.Errorf("core ingest similar: %w", err)
+	// Shard phase: the batch's per-ecosystem slices plan their dependency
+	// and similar updates in parallel (each shard owns its indexes and emits
+	// graph operations without touching the graph); the commit phase then
+	// applies every plan serially in sorted-ecosystem order, so the edge
+	// insertion sequence — and the serialized graph — is identical under any
+	// GOMAXPROCS.
+	if err := e.applyShards(changes, &st); err != nil {
+		return st, err
 	}
 	if err := e.applyCoexisting(b.Reports, changes, &st); err != nil {
 		return st, fmt.Errorf("core ingest coexisting: %w", err)
@@ -462,27 +529,124 @@ func canonicalAttrs(en *collect.Entry) graph.Attrs {
 	return attrs
 }
 
-// applyDependency extends the §III-C dependency edges in both directions:
-// new artifacts are scanned once (imports cached), linked to the corpus
-// members they import, and registered in the reverse index; new corpus names
-// are linked back from previously scanned importers.
-func (e *Engine) applyDependency(changes []entryChange, st *IngestStats) error {
-	before := e.mg.G.EdgeCount(graph.Dependency)
-	// 1. Grow the corpus dictionary with every new entry (missing packages
-	// are legitimate dependency targets — names survive takedown).
+// plannedEdge is one graph edge a shard plan asks the commit phase to
+// insert.
+type plannedEdge struct {
+	from, to string
+	attrs    graph.Attrs
+}
+
+// plannedGroup is one similar cluster the commit phase connects
+// (connectGroup semantics: clique up to PairwiseLimit, hub-and-path beyond).
+type plannedGroup struct {
+	members []string
+	attrs   graph.Attrs
+}
+
+// shardPlan is the pure output of one ecosystem's shard phase: every graph
+// mutation the shard wants, plus the recluster-scope accounting, with no
+// graph access of its own. Plans are committed serially in sorted-ecosystem
+// order.
+type shardPlan struct {
+	eco ecosys.Ecosystem
+	err error
+
+	// §III-C dependency edges (forward links from scanned fronts and
+	// backward links from waiting importers, in shard-deterministic order).
+	depEdges []plannedEdge
+
+	// §III-B similar-family replacement: drop every similar edge incident
+	// to dirtyMembers, then connect groups. clusters is the ecosystem's
+	// re-derived flat cluster list.
+	reclustered  bool
+	dirtyMembers []string
+	groups       []plannedGroup
+	clusters     []textsim.Cluster
+	partitions   int
+	artifacts    int
+	dirtyItems   int
+}
+
+// applyShards runs the batch's per-ecosystem slices through the parallel
+// shard phase and commits the resulting plans serially.
+func (e *Engine) applyShards(changes []entryChange, st *IngestStats) error {
+	byEco := make(map[ecosys.Ecosystem][]entryChange)
+	for _, ch := range changes {
+		eco := ch.entry.Coord.Ecosystem
+		byEco[eco] = append(byEco[eco], ch)
+	}
+	ecos := make([]ecosys.Ecosystem, 0, len(byEco))
+	for eco := range byEco {
+		ecos = append(ecos, eco)
+	}
+	sort.Slice(ecos, func(i, j int) bool { return ecos[i] < ecos[j] })
+
+	// Shard phase: each ecosystem's slice plans in parallel. A shard only
+	// touches its own ecoShard state (no two goroutines share one) and the
+	// read-only scanner/embedder, so the fan-out is race-free; per-shard
+	// work is itself deterministic (order-preserving inner maps, sorted
+	// partition keys, content-derived RNG streams), so the plans are
+	// byte-identical under any worker count.
+	plans := parallel.Map(len(ecos), func(i int) *shardPlan {
+		return e.planShard(ecos[i], byEco[ecos[i]])
+	})
+
+	// Commit phase: serial, sorted-ecosystem order.
+	depBefore := e.mg.G.EdgeCount(graph.Dependency)
+	simBefore := e.mg.G.EdgeCount(graph.Similar)
+	for _, plan := range plans {
+		if plan.err != nil {
+			return fmt.Errorf("core ingest %s shard: %w", plan.eco, plan.err)
+		}
+		for _, pe := range plan.depEdges {
+			if err := e.mg.G.AddEdge(pe.from, pe.to, graph.Dependency, pe.attrs); err != nil {
+				return err
+			}
+		}
+		if !plan.reclustered {
+			continue
+		}
+		// Clusters never span partitions, so every stale similar edge is
+		// incident to a dirty partition member; drop exactly those, leaving
+		// all other partitions' edges (and adjacency indexes) untouched.
+		e.mg.G.RemoveEdgesIncident(graph.Similar, plan.dirtyMembers)
+		for _, grp := range plan.groups {
+			if err := e.mg.connectGroup(grp.members, graph.Similar, grp.attrs, e.cfg.PairwiseLimit); err != nil {
+				return err
+			}
+		}
+		e.mg.SimilarClusters[plan.eco] = plan.clusters
+		st.Reclustered = append(st.Reclustered, plan.eco)
+		st.PartitionsReclustered += plan.partitions
+		st.ArtifactsReclustered += plan.artifacts
+		st.DirtyEcoItems += plan.dirtyItems
+	}
+	st.DependencyDelta = e.mg.G.EdgeCount(graph.Dependency) - depBefore
+	st.SimilarDelta = e.mg.G.EdgeCount(graph.Similar) - simBefore
+	return nil
+}
+
+// planShard runs one ecosystem's shard phase: grow the corpus dictionary,
+// scan and link dependencies (§III-C), embed and re-cluster the dirty LSH
+// partitions (§III-B) — mutating only the shard's own indexes and returning
+// the graph operations for the serial commit.
+func (e *Engine) planShard(eco ecosys.Ecosystem, changes []entryChange) *shardPlan {
+	sh := e.shard(eco)
+	plan := &shardPlan{eco: eco}
+
+	// Dependency 1: grow the corpus dictionary with every new entry
+	// (missing packages are legitimate dependency targets — names survive
+	// takedown).
 	for _, ch := range changes {
 		if !ch.isNew {
 			continue
 		}
-		eco, name := ch.entry.Coord.Ecosystem, ch.entry.Coord.Name
-		if e.byName[eco] == nil {
-			e.byName[eco] = make(map[string][]string)
-			e.corpus[eco] = make(map[string]bool)
-		}
-		e.byName[eco][name] = append(e.byName[eco][name], NodeID(ch.entry.Coord))
-		e.corpus[eco][name] = true
+		name := ch.entry.Coord.Name
+		sh.byName[name] = append(sh.byName[name], NodeID(ch.entry.Coord))
+		sh.corpus[name] = true
 	}
-	// 2. Scan new artifacts (parallel, order-preserving) and link forward.
+	// Dependency 2: scan new artifacts (parallel, order-preserving) and
+	// link forward.
 	newArts := artifactChanges(changes)
 	type scanResult struct {
 		deps []string
@@ -511,61 +675,44 @@ func (e *Engine) applyDependency(changes []entryChange, st *IngestStats) error {
 	})
 	for i, ch := range newArts {
 		if scans[i].err != nil {
-			return fmt.Errorf("dep scan %s: %w", ch.entry.Coord, scans[i].err)
+			plan.err = fmt.Errorf("dep scan %s: %w", ch.entry.Coord, scans[i].err)
+			return plan
 		}
-		eco := ch.entry.Coord.Ecosystem
 		front := NodeID(ch.entry.Coord)
-		e.importsOf[front] = scans[i].deps
-		if e.importers[eco] == nil {
-			e.importers[eco] = make(map[string][]string)
-		}
+		sh.importsOf[front] = scans[i].deps
 		for _, dep := range scans[i].deps {
-			e.importers[eco][dep] = append(e.importers[eco][dep], front)
-			for _, target := range e.byName[eco][dep] {
+			sh.importers[dep] = append(sh.importers[dep], front)
+			for _, target := range sh.byName[dep] {
 				if target == front {
 					continue
 				}
-				if err := e.mg.G.AddEdge(front, target, graph.Dependency, graph.Attrs{"dep": dep}); err != nil {
-					return err
-				}
+				plan.depEdges = append(plan.depEdges, plannedEdge{front, target, graph.Attrs{"dep": dep}})
 			}
 		}
 	}
-	// 3. Link backward: earlier fronts that were waiting for a new name.
+	// Dependency 3: link backward — earlier fronts waiting for a new name.
 	for _, ch := range changes {
 		if !ch.isNew {
 			continue
 		}
-		eco, name := ch.entry.Coord.Ecosystem, ch.entry.Coord.Name
+		name := ch.entry.Coord.Name
 		target := NodeID(ch.entry.Coord)
-		for _, front := range e.importers[eco][name] {
+		for _, front := range sh.importers[name] {
 			if front == target {
 				continue
 			}
-			if err := e.mg.G.AddEdge(front, target, graph.Dependency, graph.Attrs{"dep": name}); err != nil {
-				return err
-			}
+			plan.depEdges = append(plan.depEdges, plannedEdge{front, target, graph.Attrs{"dep": name}})
 		}
 	}
-	st.DependencyDelta = e.mg.G.EdgeCount(graph.Dependency) - before
-	return nil
-}
 
-// applySimilar embeds the batch's new artifacts, grows the per-ecosystem LSH
-// partition index, then re-runs the §III-B clustering for exactly the
-// partitions whose member set changed — replacing only those partitions'
-// similar edges (graph.RemoveEdgesIncident) instead of the whole ecosystem's.
-func (e *Engine) applySimilar(changes []entryChange, st *IngestStats) error {
-	before := e.mg.G.EdgeCount(graph.Similar)
-	newArts := artifactChanges(changes)
+	// Similar: embed the new artifacts with the identical per-artifact
+	// pipeline to a one-shot Build — tokenize once, share the hashed stream
+	// between embedding and fingerprint, recycle buffers per worker.
 	type scratch struct {
 		tokens []string
 		hashed []textsim.TokenHash
 	}
 	var pool sync.Pool
-	// Identical per-artifact pipeline to a one-shot Build: tokenize once,
-	// share the hashed stream between embedding and fingerprint, recycle
-	// buffers per worker.
 	items := parallel.Map(len(newArts), func(i int) textsim.Item {
 		en := newArts[i].entry
 		sc, _ := pool.Get().(*scratch)
@@ -583,71 +730,55 @@ func (e *Engine) applySimilar(changes []entryChange, st *IngestStats) error {
 			Hash:   textsim.SimHashHashed(sc.hashed),
 		}
 	})
-	dirty := make(map[ecosys.Ecosystem][]string)
-	for i, ch := range newArts {
-		eco := ch.entry.Coord.Ecosystem
-		e.itemsByEco[eco] = insertItem(e.itemsByEco[eco], items[i])
-		if e.lshByEco[eco] == nil {
-			e.lshByEco[eco] = textsim.NewLSHIndex(e.cfg.Cluster)
+	dirty := make([]string, 0, len(items))
+	for _, it := range items {
+		sh.items = insertItem(sh.items, it)
+		if sh.lsh == nil {
+			sh.lsh = textsim.NewLSHIndex(e.cfg.Cluster)
 		}
-		e.lshByEco[eco].Add(items[i].ID, items[i].Hash, items[i].Vector)
-		dirty[eco] = append(dirty[eco], items[i].ID)
+		sh.lsh.Add(it.ID, it.Hash, it.Vector)
+		dirty = append(dirty, it.ID)
 	}
 	if len(dirty) == 0 {
-		return nil
+		return plan
 	}
-	ecos := make([]ecosys.Ecosystem, 0, len(dirty))
-	for eco := range dirty {
-		ecos = append(ecos, eco)
-	}
-	sort.Slice(ecos, func(i, j int) bool { return ecos[i] < ecos[j] })
 	// Resolve the dirty partitions: where the new items landed after every
 	// merge this batch caused. A partition key retired by a merge always
 	// re-surfaces inside one of these (the merge was bridged by a new item),
 	// so dropping its cached clusters loses nothing.
+	for _, retiredKey := range sh.lsh.DrainRetired() {
+		delete(sh.clustersByPart, retiredKey)
+	}
 	type partJob struct {
-		eco   ecosys.Ecosystem
 		key   string
 		items []textsim.Item
 	}
-	var jobs []partJob
-	var dirtyMembers []string
-	for _, eco := range ecos {
-		idx := e.lshByEco[eco]
-		if e.clustersByPart[eco] == nil {
-			e.clustersByPart[eco] = make(map[string][]textsim.Cluster)
+	seen := make(map[string]bool)
+	keys := make([]string, 0, len(dirty))
+	for _, id := range dirty {
+		key, ok := sh.lsh.Root(id)
+		if !ok || seen[key] {
+			continue
 		}
-		for _, retiredKey := range idx.DrainRetired() {
-			delete(e.clustersByPart[eco], retiredKey)
-		}
-		seen := make(map[string]bool)
-		keys := make([]string, 0, len(dirty[eco]))
-		for _, id := range dirty[eco] {
-			key, ok := idx.Root(id)
-			if !ok || seen[key] {
-				continue
-			}
-			seen[key] = true
-			keys = append(keys, key)
-		}
-		sort.Strings(keys)
-		for _, key := range keys {
-			members := idx.Members(key)
-			pitems := make([]textsim.Item, 0, len(members))
-			for _, id := range members {
-				it, ok := e.itemAt(eco, id)
-				if !ok {
-					return fmt.Errorf("similar: partition %s references unknown item %s", key, id)
-				}
-				pitems = append(pitems, it)
-			}
-			jobs = append(jobs, partJob{eco: eco, key: key, items: pitems})
-			dirtyMembers = append(dirtyMembers, members...)
-		}
-		st.DirtyEcoItems += len(e.itemsByEco[eco])
+		seen[key] = true
+		keys = append(keys, key)
 	}
-	st.PartitionsReclustered = len(jobs)
-	st.ArtifactsReclustered = len(dirtyMembers)
+	sort.Strings(keys)
+	var jobs []partJob
+	for _, key := range keys {
+		members := sh.lsh.Members(key)
+		pitems := make([]textsim.Item, 0, len(members))
+		for _, id := range members {
+			it, ok := sh.itemAt(id)
+			if !ok {
+				plan.err = fmt.Errorf("similar: partition %s references unknown item %s", key, id)
+				return plan
+			}
+			pitems = append(pitems, it)
+		}
+		jobs = append(jobs, partJob{key: key, items: pitems})
+		plan.dirtyMembers = append(plan.dirtyMembers, members...)
+	}
 	// Re-cluster dirty partitions concurrently. Each partition's items are
 	// sorted by node ID and its RNG stream is derived from its canonical key
 	// — both content-derived, so any batch order (and a one-shot Build)
@@ -659,49 +790,44 @@ func (e *Engine) applySimilar(changes []entryChange, st *IngestStats) error {
 		}
 		defer e.clusterScratch.Put(sc)
 		job := jobs[i]
-		rng := xrand.New(e.cfg.Seed).Derive("similar/" + job.eco.String() + "/" + job.key)
+		rng := xrand.New(e.cfg.Seed).Derive("similar/" + eco.String() + "/" + job.key)
 		return textsim.ClusterItemsScratch(job.items, e.cfg.Cluster, rng, sc)
 	})
-	// Clusters never span partitions, so every stale similar edge is
-	// incident to a dirty partition member; drop exactly those, leaving all
-	// other partitions' edges (and the adjacency indexes) untouched.
-	e.mg.G.RemoveEdgesIncident(graph.Similar, dirtyMembers)
 	for i, job := range jobs {
 		clusters := clustersByJob[i]
 		if len(clusters) == 0 {
-			delete(e.clustersByPart[job.eco], job.key)
+			delete(sh.clustersByPart, job.key)
 		} else {
-			e.clustersByPart[job.eco][job.key] = clusters
+			sh.clustersByPart[job.key] = clusters
 		}
 		for ci, cluster := range clusters {
-			attrs := graph.Attrs{
-				// Labels are partition-scoped so an untouched partition's
-				// edge attrs stay valid verbatim across appends.
-				"cluster":    job.key + "#" + strconv.Itoa(ci),
-				"silhouette": fmt.Sprintf("%.3f", cluster.Silhouette),
-			}
-			if err := e.mg.connectGroup(cluster.Members, graph.Similar, attrs, e.cfg.PairwiseLimit); err != nil {
-				return err
-			}
+			plan.groups = append(plan.groups, plannedGroup{
+				members: cluster.Members,
+				attrs: graph.Attrs{
+					// Labels are partition-scoped so an untouched partition's
+					// edge attrs stay valid verbatim across appends.
+					"cluster":    job.key + "#" + strconv.Itoa(ci),
+					"silhouette": fmt.Sprintf("%.3f", cluster.Silhouette),
+				},
+			})
 		}
 	}
-	// Re-derive each dirty ecosystem's flat cluster list in canonical
-	// partition-key order — the order a one-shot build yields.
-	for _, eco := range ecos {
-		e.mg.SimilarClusters[eco] = flattenClusters(e.clustersByPart[eco])
-	}
-	st.Reclustered = ecos
-	st.SimilarDelta = e.mg.G.EdgeCount(graph.Similar) - before
-	return nil
+	// Re-derive the flat cluster list in canonical partition-key order —
+	// the order a one-shot build yields.
+	plan.reclustered = true
+	plan.clusters = flattenClusters(sh.clustersByPart)
+	plan.partitions = len(jobs)
+	plan.artifacts = len(plan.dirtyMembers)
+	plan.dirtyItems = len(sh.items)
+	return plan
 }
 
 // itemAt returns the cached clustering item for a node ID via binary search
-// in the ecosystem's ID-sorted item slice.
-func (e *Engine) itemAt(eco ecosys.Ecosystem, id string) (textsim.Item, bool) {
-	items := e.itemsByEco[eco]
-	i := sort.Search(len(items), func(i int) bool { return items[i].ID >= id })
-	if i < len(items) && items[i].ID == id {
-		return items[i], true
+// in the shard's ID-sorted item slice.
+func (sh *ecoShard) itemAt(id string) (textsim.Item, bool) {
+	i := sort.Search(len(sh.items), func(i int) bool { return sh.items[i].ID >= id })
+	if i < len(sh.items) && sh.items[i].ID == id {
+		return sh.items[i], true
 	}
 	return textsim.Item{}, false
 }
@@ -935,14 +1061,20 @@ func (e *Engine) presentMembers(rep *reports.Report) []string {
 
 // indexReportForPackage inserts rep into the package's ReportsByPackage list
 // at its URL-sorted position, if absent — keeping every list in global URL
-// order whatever order reports and packages arrive in.
+// order whatever order reports and packages arrive in. The insert builds a
+// fresh slice instead of shifting in place: published views (Engine.View)
+// share these lists, so their backing arrays must never be rewritten.
 func (e *Engine) indexReportForPackage(id string, rep *reports.Report) {
 	lst := e.mg.ReportsByPackage[id]
 	i := sort.Search(len(lst), func(i int) bool { return lst[i].URL >= rep.URL })
 	if i < len(lst) && lst[i].URL == rep.URL {
 		return
 	}
-	e.mg.ReportsByPackage[id] = slices.Insert(lst, i, rep)
+	next := make([]*reports.Report, 0, len(lst)+1)
+	next = append(next, lst[:i]...)
+	next = append(next, rep)
+	next = append(next, lst[i:]...)
+	e.mg.ReportsByPackage[id] = next
 }
 
 // addPosting inserts url into the coordinate's URL-sorted posting list, if

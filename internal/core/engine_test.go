@@ -330,23 +330,26 @@ func TestEngineRestoreReclustersSamePartitions(t *testing.T) {
 	}
 
 	// The rebuilt LSH index must expose identical partitions per ecosystem.
-	for eco, idx := range live.lshByEco {
-		ridx := restored.lshByEco[eco]
-		if ridx == nil {
+	for eco, sh := range live.shards {
+		if sh.lsh == nil {
+			continue
+		}
+		rsh := restored.shards[eco]
+		if rsh == nil || rsh.lsh == nil {
 			t.Fatalf("%s: restored engine lost its LSH index", eco)
 		}
-		wantParts, gotParts := idx.Partitions(), ridx.Partitions()
+		wantParts, gotParts := sh.lsh.Partitions(), rsh.lsh.Partitions()
 		if !reflect.DeepEqual(gotParts, wantParts) {
 			t.Fatalf("%s: partitions differ: got %v want %v", eco, gotParts, wantParts)
 		}
 		for _, key := range wantParts {
-			if !reflect.DeepEqual(ridx.Members(key), idx.Members(key)) {
+			if !reflect.DeepEqual(rsh.lsh.Members(key), sh.lsh.Members(key)) {
 				t.Fatalf("%s: members of %s differ", eco, key)
 			}
 		}
-	}
-	if !reflect.DeepEqual(restored.clustersByPart, live.clustersByPart) {
-		t.Fatal("restored per-partition cluster cache differs")
+		if !reflect.DeepEqual(rsh.clustersByPart, sh.clustersByPart) {
+			t.Fatalf("%s: restored per-partition cluster cache differs", eco)
+		}
 	}
 
 	// The same delta must produce identical recluster scope and final state.

@@ -97,27 +97,34 @@ func (e *Engine) Snapshot(w io.Writer) error {
 		Dataset:    ds.Bytes(),
 		Reports:    e.mg.Reports,
 		Graph:      g.Bytes(),
-		Partitions: make(map[string]map[string][]textsim.Cluster, len(e.clustersByPart)),
-		Items:      make(map[string][]snapshotItem, len(e.itemsByEco)),
-		Imports:    e.importsOf,
+		Partitions: make(map[string]map[string][]textsim.Cluster, len(e.shards)),
+		Items:      make(map[string][]snapshotItem, len(e.shards)),
+		Imports:    make(map[string][]string),
 		Posting:    e.posting,
 		PairOwners: e.coexOwner,
 	}
-	// Empty per-ecosystem maps are carried too, so a restored engine's
+	// The wire format predates the shard split and stays unchanged: the
+	// per-shard import caches merge into one flat map (node IDs are globally
+	// unique), and each shard contributes its partition cache and item slice
+	// under its ecosystem name. Shards with items but no clusters still get
+	// their (possibly empty) partition map carried, so a restored engine's
 	// partition cache mirrors the live one exactly.
-	for eco, parts := range e.clustersByPart {
-		snap.Partitions[eco.String()] = parts
-	}
-	for eco, items := range e.itemsByEco {
-		out := make([]snapshotItem, 0, len(items))
-		for _, it := range items {
-			out = append(out, snapshotItem{
-				ID:     it.ID,
-				Vector: it.Vector,
-				Hash:   strconv.FormatUint(it.Hash, 16),
-			})
+	for eco, sh := range e.shards {
+		if len(sh.items) > 0 || len(sh.clustersByPart) > 0 {
+			snap.Partitions[eco.String()] = sh.clustersByPart
+			out := make([]snapshotItem, 0, len(sh.items))
+			for _, it := range sh.items {
+				out = append(out, snapshotItem{
+					ID:     it.ID,
+					Vector: it.Vector,
+					Hash:   strconv.FormatUint(it.Hash, 16),
+				})
+			}
+			snap.Items[eco.String()] = out
 		}
-		snap.Items[eco.String()] = out
+		for front, deps := range sh.importsOf {
+			snap.Imports[front] = deps
+		}
 	}
 	return json.NewEncoder(w).Encode(&snap)
 }
@@ -160,6 +167,7 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		if !ok {
 			return nil, fmt.Errorf("restore: unknown ecosystem %q in items", name)
 		}
+		sh := e.shard(eco)
 		// Headroom keeps the first post-restore inserts from recopying the
 		// whole ID-sorted slice (insertItem shifts in place within capacity).
 		restored := make([]textsim.Item, 0, len(items)+len(items)/8+16)
@@ -171,7 +179,7 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 			restored = append(restored, textsim.Item{ID: it.ID, Vector: it.Vector, Hash: hash})
 		}
 		sort.Slice(restored, func(i, j int) bool { return restored[i].ID < restored[j].ID })
-		e.itemsByEco[eco] = restored
+		sh.items = restored
 		// Rebuild the LSH partition index from the cached fingerprints —
 		// partition membership and canonical keys are content-derived, so
 		// this reproduces the snapshotted engine's index exactly.
@@ -184,42 +192,38 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		// post-restore ingest doesn't pay an O(corpus) stale-key sweep the
 		// uninterrupted engine never sees.
 		idx.DrainRetired()
-		e.lshByEco[eco] = idx
+		sh.lsh = idx
 	}
 	for name, parts := range snap.Partitions {
 		eco, ok := ecoByName[name]
 		if !ok {
 			return nil, fmt.Errorf("restore: unknown ecosystem %q in partitions", name)
 		}
-		idx := e.lshByEco[eco]
+		sh := e.shard(eco)
 		for key := range parts {
-			if idx == nil || idx.Members(key) == nil {
+			if sh.lsh == nil || sh.lsh.Members(key) == nil {
 				return nil, fmt.Errorf("restore: %s partition %q is not canonical in the rebuilt LSH index", name, key)
 			}
 		}
-		e.clustersByPart[eco] = parts
+		sh.clustersByPart = parts
 		e.mg.SimilarClusters[eco] = flattenClusters(parts)
 	}
 
 	// Rebuild the in-memory indexes from the merged dataset and caches.
 	for _, en := range ds.Entries {
-		eco, name := en.Coord.Ecosystem, en.Coord.Name
-		if e.byName[eco] == nil {
-			e.byName[eco] = make(map[string][]string)
-			e.corpus[eco] = make(map[string]bool)
-		}
+		sh := e.shard(en.Coord.Ecosystem)
+		name := en.Coord.Name
 		id := NodeID(en.Coord)
-		e.byName[eco][name] = append(e.byName[eco][name], id)
-		e.corpus[eco][name] = true
+		sh.byName[name] = append(sh.byName[name], id)
+		sh.corpus[name] = true
 		e.mg.entryByID[id] = en
 	}
-	if snap.Imports != nil {
-		e.importsOf = snap.Imports
-	}
-	// Reverse import index, rebuilt in sorted front order so future edge
-	// insertions stay deterministic.
-	fronts := make([]string, 0, len(e.importsOf))
-	for front := range e.importsOf {
+	// The wire format carries one flat import map; split it back into the
+	// per-ecosystem shards (node IDs resolve their ecosystem via the dataset)
+	// and rebuild each reverse import index in sorted front order so future
+	// edge insertions stay deterministic.
+	fronts := make([]string, 0, len(snap.Imports))
+	for front := range snap.Imports {
 		fronts = append(fronts, front)
 	}
 	sort.Strings(fronts)
@@ -228,12 +232,10 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		if !ok {
 			return nil, fmt.Errorf("restore: import cache references unknown node %s", front)
 		}
-		eco := en.Coord.Ecosystem
-		if e.importers[eco] == nil {
-			e.importers[eco] = make(map[string][]string)
-		}
-		for _, dep := range e.importsOf[front] {
-			e.importers[eco][dep] = append(e.importers[eco][dep], front)
+		sh := e.shard(en.Coord.Ecosystem)
+		sh.importsOf[front] = snap.Imports[front]
+		for _, dep := range snap.Imports[front] {
+			sh.importers[dep] = append(sh.importers[dep], front)
 		}
 	}
 	// Rebuild the per-package report index from the URL-sorted corpus (the

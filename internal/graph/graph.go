@@ -140,7 +140,10 @@ func (g *Graph) Node(id string) (Node, bool) {
 	return Node{ID: n.ID, Attrs: n.Attrs.clone()}, true
 }
 
-// SetAttr sets one attribute on an existing node.
+// SetAttr sets one attribute on an existing node. The attribute map is
+// replaced, not mutated in place (copy-on-write): a Clone taken before the
+// call shares the old map and keeps observing the old value, so read-only
+// views stay consistent without deep-copying every node's attributes.
 func (g *Graph) SetAttr(id, key, value string) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -148,10 +151,12 @@ func (g *Graph) SetAttr(id, key, value string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNodeNotFound, id)
 	}
-	if n.Attrs == nil {
-		n.Attrs = make(Attrs, 1)
+	next := make(Attrs, len(n.Attrs)+1)
+	for k, v := range n.Attrs {
+		next[k] = v
 	}
-	n.Attrs[key] = value
+	next[key] = value
+	n.Attrs = next
 	return nil
 }
 
@@ -554,6 +559,47 @@ func (g *Graph) ComponentsMin(minSize int, types ...EdgeType) [][]string {
 		}
 	}
 	return out
+}
+
+// Clone returns an independent copy of the graph — the immutable view the
+// epoch-publishing read path serves from. Containers (node map, adjacency
+// index, edge slice, dedup set) are copied so later mutations of the
+// original never reach the clone; immutable leaves are shared: node
+// attribute maps (SetAttr replaces rather than mutates — see SetAttr) and
+// edge attribute maps (copied once at AddEdge and never written again).
+// Cost is O(V+E) pointer-level copies, paid by the writer at publish time
+// so that readers pay nothing.
+func (g *Graph) Clone() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c := &Graph{
+		nodes:       make(map[string]*Node, len(g.nodes)),
+		adjacency:   make(map[EdgeType]map[string][]int, len(g.adjacency)),
+		edgeSeen:    make(map[string]bool, len(g.edgeSeen)),
+		countByType: make(map[EdgeType]int, len(g.countByType)),
+		dead:        g.dead,
+	}
+	for id, n := range g.nodes {
+		c.nodes[id] = &Node{ID: n.ID, Attrs: n.Attrs}
+	}
+	c.edges = make([]Edge, len(g.edges))
+	copy(c.edges, g.edges)
+	for t, adj := range g.adjacency {
+		m := make(map[string][]int, len(adj))
+		for id, lst := range adj {
+			cp := make([]int, len(lst))
+			copy(cp, lst)
+			m[id] = cp
+		}
+		c.adjacency[t] = m
+	}
+	for k := range g.edgeSeen {
+		c.edgeSeen[k] = true
+	}
+	for t, n := range g.countByType {
+		c.countByType[t] = n
+	}
+	return c
 }
 
 // persisted is the JSON wire format.

@@ -10,6 +10,15 @@
 #   BENCH_TIME             -benchtime value (default 3x; use 1x for CI smoke)
 #
 # Outputs:
+#   BENCH_serve.json        BenchmarkServe_ReadsDuringIngest (epoch read
+#                           p50/p99 idle vs under sustained ingest+restore
+#                           pressure, plus their p99 ratio — the lock-free
+#                           read contract; CI gates ratio ≤ 2× with a 2ms
+#                           absolute escape hatch) and
+#                           BenchmarkIngest_ShardedSpeedup (the same batch
+#                           sequence ingested at GOMAXPROCS=1 vs all cores;
+#                           CI gates the speedup ≥ 0.8, a floor single-core
+#                           runners still clear)
 #   BENCH_clustering.json   BenchmarkTable6_ClusteringStage (§III-B hot path)
 #   BENCH_pipeline.json     BenchmarkPipeline_EndToEnd (whole-corpus envelope)
 #   BENCH_incremental.json  BenchmarkIncremental_{Append,FullRebuild} plus the
@@ -51,6 +60,11 @@ STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 # fsync latency near its mean.
 PAIR_TIME="${BENCH_PAIR_TIME:-20x}"
 
+# The serve benches sample their own latency distributions (hundreds of
+# reads per iteration) and the speedup bench times two full ingests per
+# iteration, so one iteration is already a settled measurement.
+SERVE_TIME="${BENCH_SERVE_TIME:-1x}"
+
 {
   MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
       -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$|BenchmarkIncremental_FullRebuild$|BenchmarkIncremental_AppendGrowth$|BenchmarkIncremental_ReportAppendGrowth$' \
@@ -58,6 +72,9 @@ PAIR_TIME="${BENCH_PAIR_TIME:-20x}"
   MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
       -bench 'BenchmarkIncremental_Append$|BenchmarkIncremental_JournaledAppend$' \
       -benchmem -benchtime "$PAIR_TIME" .
+  MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
+      -bench 'BenchmarkServe_ReadsDuringIngest$|BenchmarkIngest_ShardedSpeedup$' \
+      -benchmem -benchtime "$SERVE_TIME" .
 } |
 awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
   function record(name,    line, metrics, i, val, unit) {
@@ -95,6 +112,18 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
     if (name == "BenchmarkIncremental_ReportAppendGrowth/size=1x")  { r1_ns = ns;  r1_rec = record(name) }
     if (name == "BenchmarkIncremental_ReportAppendGrowth/size=4x")  { r4_ns = ns;  r4_rec = record(name) }
     if (name == "BenchmarkIncremental_ReportAppendGrowth/size=10x") { r10_ns = ns; r10_rec = record(name) }
+    if (name == "BenchmarkServe_ReadsDuringIngest") {
+      serve_rec = record(name)
+      for (i = 3; i < NF; i += 2) {
+        if ($(i + 1) == "read_idle_p99_ns")   read_idle99 = $i
+        if ($(i + 1) == "read_ingest_p99_ns") read_busy99 = $i
+        if ($(i + 1) == "read_p99_ratio")     read_ratio = $i
+      }
+    }
+    if (name == "BenchmarkIngest_ShardedSpeedup") {
+      shard_rec = record(name)
+      for (i = 3; i < NF; i += 2) if ($(i + 1) == "sharded_speedup") shard_speedup = $i
+    }
     if (out == "") next
     line = record(name)
     print line > out
@@ -129,6 +158,14 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
                             (compute_ns + wal_min_ns) / compute_ns, wal_ns / compute_ns, wal_rec)
       }
       line = line "}"
+      print line > out
+      close(out)
+      print "wrote " out ": " line
+    }
+    if (serve_rec != "" && shard_rec != "") {
+      out = dir "/BENCH_serve.json"
+      line = sprintf("{\"generated_utc\":\"%s\",\"scale\":%s,\"read_idle_p99_ns\":%s,\"read_ingest_p99_ns\":%s,\"read_p99_ratio\":%s,\"sharded_speedup\":%s,\"reads_during_ingest\":%s,\"sharded_ingest\":%s}",
+                     stamp, scale, read_idle99, read_busy99, read_ratio, shard_speedup, serve_rec, shard_rec)
       print line > out
       close(out)
       print "wrote " out ": " line
