@@ -80,16 +80,16 @@ type Pipeline struct {
 	Engine  *core.Engine
 
 	mu   sync.Mutex
-	feed []core.Batch // pending ingest batches (streaming mode)
-	fed  int
+	feed []core.Batch // pending ingest batches (streaming mode); guarded by mu
+	fed  int          // guarded by mu
 	// epoch is the published read path: every mutator exits by storing a
 	// fresh immutable Epoch here (see epoch.go), and every reader loads it
 	// without touching mu. dirty accumulates the analysis blocks invalidated
 	// since the last publish; publishLocked folds it into the epoch's
 	// incremental-results chain and resets it.
 	epoch   atomic.Pointer[Epoch]
-	epochID uint64
-	dirty   dirtyBlocks
+	epochID uint64      // guarded by mu
+	dirty   dirtyBlocks // guarded by mu
 	// source retains the collected dataset and parsed report corpus the feed
 	// was cut from (with its recorded per-entry accounting), for callers that
 	// re-partition the world — the shuffle property tests and serve mode.
@@ -98,15 +98,15 @@ type Pipeline struct {
 	// view and resolver implement the external ingest path: raw
 	// observations POSTed by publishers are resolved against the engine's
 	// dataset through view (default: the in-process world fleet) before
-	// being appended. Lazily created on first AppendExternal.
+	// being appended. Lazily created on first AppendExternal. guarded by mu.
 	view     registry.View
-	resolver *collect.Resolver
+	resolver *collect.Resolver // guarded by mu
 	// journal, when attached, receives every accepted ingest (external
 	// observations/reports and feed batches) as an fsync'd WAL record
 	// before the engine applies it; lastSeq is the sequence of the last
-	// batch this pipeline's engine reflects. See durable.go.
+	// batch this pipeline's engine reflects. See durable.go. guarded by mu.
 	journal *wal.Log
-	lastSeq uint64
+	lastSeq uint64 // guarded by mu
 }
 
 // Source returns the full collected dataset and report corpus behind the

@@ -1,0 +1,94 @@
+// Command malgraphlint is MALGRAPH's repo-specific multichecker: it runs
+// the internal/analyzers passes — maprange, nondeterm, epochsafe,
+// lockguard — over the module and exits non-zero on any finding. The
+// determinism passes (maprange, nondeterm) are scoped to the deterministic
+// zone (see analyzers.DeterministicZone); the immutability and lock
+// passes run module-wide.
+//
+// Usage:
+//
+//	malgraphlint [-C dir] [packages ...]
+//
+// Packages default to ./... relative to the module containing dir (default:
+// the working directory). Findings print as file:line:col: analyzer:
+// message; exit status is 1 when findings exist, 2 on driver errors.
+//
+// CI runs this through scripts/lint.sh as a tier-1 gate: the tree must lint
+// clean — every finding fixed, or waived in the source with a reasoned
+// //malgraph:<kind>-ok directive (an unreasoned or stale waiver is itself a
+// finding).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"malgraph/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(out, errOut io.Writer, args []string) int {
+	fs := flag.NewFlagSet("malgraphlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	dir := fs.String("C", ".", "directory inside the module to lint")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	findings, err := Lint(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(errOut, "malgraphlint: %v\n", err)
+		return 2
+	}
+	for _, d := range findings {
+		fmt.Fprintln(out, d)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(out, "malgraphlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// Lint loads the module containing dir and runs the analyzer suite over the
+// given package patterns (default ./...), returning findings with paths
+// relative to the module root.
+func Lint(dir string, patterns ...string) ([]analyzers.Diagnostic, error) {
+	ld, err := analyzers.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := ld.ListPackages(patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []analyzers.Diagnostic
+	for _, path := range paths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		var suite []*analyzers.Analyzer
+		for _, a := range analyzers.All() {
+			if analyzers.ZoneOnly(a) && !analyzers.InDeterministicZone(ld.ModulePath, path) {
+				continue
+			}
+			suite = append(suite, a)
+		}
+		for _, d := range analyzers.CheckPackage(pkg, suite) {
+			if rel, err := filepath.Rel(ld.ModuleDir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+			findings = append(findings, d)
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the driver to lint.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goMod = "module tempmod\n\ngo 1.21\n"
+
+// TestInjectedWallClockIsCaught is the CI-gate regression test: introducing
+// a time.Now call into a deterministic-zone package must fail the lint.
+func TestInjectedWallClockIsCaught(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/core/core.go": `package core
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	findings, err := Lint(dir)
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	d := findings[0]
+	if d.Analyzer != "nondeterm" || !strings.Contains(d.Message, "time.Now") {
+		t.Errorf("unexpected finding: %v", d)
+	}
+	if d.Pos.Filename != filepath.Join("internal", "core", "core.go") {
+		t.Errorf("finding path not module-relative: %q", d.Pos.Filename)
+	}
+}
+
+// TestZoneScoping: the same wall-clock call outside the deterministic zone
+// is not a nondeterm finding, but lockguard still runs there.
+func TestZoneScoping(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/server/server.go": `package server
+
+import (
+	"sync"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+type Hub struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (h *Hub) Bad() int { return h.n }
+`,
+	})
+	findings, err := Lint(dir)
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (lockguard only): %v", len(findings), findings)
+	}
+	if findings[0].Analyzer != "lockguard" {
+		t.Errorf("want a lockguard finding outside the zone, got %v", findings[0])
+	}
+}
+
+// TestCleanModuleExitsZero drives run() end to end on a module with nothing
+// to report.
+func TestCleanModuleExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/core/core.go": `package core
+
+func Double(x int) int { return 2 * x }
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run(&out, &errOut, []string{"-C", dir}); code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// TestFindingsExitOne drives run() on a failing module and checks the
+// one-line-per-finding output contract.
+func TestFindingsExitOne(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/core/core.go": `package core
+
+import "os"
+
+func Debug() string { return os.Getenv("DEBUG") }
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run(&out, &errOut, []string{"-C", dir}); code != 1 {
+		t.Fatalf("run = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "nondeterm: use of os.Getenv") {
+		t.Errorf("missing finding line in output:\n%s", out.String())
+	}
+}

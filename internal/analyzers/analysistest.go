@@ -1,0 +1,136 @@
+package analyzers
+
+// analysistest.go — a fixture harness mirroring
+// golang.org/x/tools/go/analysis/analysistest: packages under
+// testdata/src/<name> annotate expected findings with `// want "regexp"`
+// comments on the offending line; the harness runs one analyzer (through
+// the same waiver-filtering entry point the real driver uses, so fixtures
+// exercise waivers too) and diffs findings against expectations.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// TB is the subset of *testing.T the harness needs (kept as an interface so
+// this file stays out of the non-test build's dependency graph decisions).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunFixture loads testdata/src/<fixture> with the given loader and checks
+// the analyzer's findings against the fixture's `// want` expectations.
+func RunFixture(t TB, l *Loader, a *Analyzer, fixture string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+	pkg, err := l.LoadDir(dir, "fix/"+fixture)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+	diags := CheckPackage(pkg, []*Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*wantExpectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, w := range parseWants(t, pos.String(), c.Text) {
+					k := key{file: pos.Filename, line: pos.Line}
+					wants[k] = append(wants[k], w)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{file: d.Pos.Filename, line: d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding:\n  %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none", filepath.Base(k.file), k.line, w.re)
+			}
+		}
+	}
+}
+
+type wantExpectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts the quoted regexps from a `// want "..." "..."`
+// comment (double-quoted Go strings or backquoted raw strings).
+func parseWants(t TB, at, comment string) []*wantExpectation {
+	m := wantRe.FindStringSubmatch(comment)
+	if m == nil {
+		return nil
+	}
+	var out []*wantExpectation
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				t.Fatalf("%s: unterminated want string: %s", at, rest)
+			}
+			var err error
+			lit, err = strconv.Unquote(rest[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", at, rest[:end+1], err)
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want raw string: %s", at, rest)
+			}
+			lit = rest[1 : end+1]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			t.Fatalf("%s: want expects quoted regexps, got: %s", at, rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", at, lit, err)
+		}
+		out = append(out, &wantExpectation{re: re})
+	}
+	return out
+}

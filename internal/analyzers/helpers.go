@@ -1,0 +1,198 @@
+package analyzers
+
+// helpers.go — small AST/type utilities shared by the passes.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// rootExpr peels selectors, indexes, parens, derefs and slice expressions
+// off an access chain and returns the base expression — the Ident or call
+// the chain is rooted at. `ep.graph.G` → `ep`; `e.View().G` → `e.View()`.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// identObj resolves an identifier to its object (use or definition).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// rootObj resolves an access chain's base to a variable, when it is one.
+func rootObj(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := rootExpr(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := identObj(info, id).(*types.Var)
+	return v
+}
+
+// usesObject reports whether expr mentions obj anywhere.
+func usesObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && identObj(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// namedType unwraps pointers and aliases down to the named type, if any.
+func namedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// funcFullName returns the package-qualified name of a called function
+// ("time.Now", "(*encoding/json.Encoder).Encode"), or "" when the callee
+// is not a declared function.
+func funcFullName(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := identObj(info, id).(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// selfAppend reports whether rhs is `append(lhs, ...)` — the self-append
+// form of the collect-then-sort idiom — for both `keys = append(keys, ...)`
+// and field targets like `p.Nodes = append(p.Nodes, ...)`.
+func selfAppend(info *types.Info, lhs, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := identObj(info, id).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return sameRef(info, lhs, call.Args[0])
+}
+
+// sameRef reports whether two expressions name the same variable or the same
+// field chain off the same variable (`p.Nodes` vs `p.Nodes`). Index
+// expressions are not compared — indexes may differ between occurrences.
+func sameRef(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := identObj(info, x)
+		return obj != nil && obj == identObj(info, y)
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		selObj := identObj(info, x.Sel)
+		return selObj != nil && selObj == identObj(info, y.Sel) && sameRef(info, x.X, y.X)
+	}
+	return false
+}
+
+// compositeLitVars returns the set of local variables in fn's body that hold
+// freshly constructed values no other goroutine can see yet: initialized
+// from a composite literal (`x := &T{...}` / `var x = T{...}`) or from a
+// New*-named constructor call (`e := NewEngine(cfg)`). The constructor
+// exemptions of epochsafe and lockguard apply to them.
+func compositeLitVars(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	fresh := make(map[*types.Var]bool)
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+		case *ast.UnaryExpr:
+			if _, ok := ast.Unparen(r.X).(*ast.CompositeLit); !ok {
+				return
+			}
+		case *ast.CallExpr:
+			callee := calleeIdent(r)
+			if callee == nil || !strings.HasPrefix(callee.Name, "New") {
+				return
+			}
+		default:
+			return
+		}
+		if v, ok := identObj(info, id).(*types.Var); ok {
+			fresh[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					mark(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == len(s.Values) {
+				for i := range s.Names {
+					mark(s.Names[i], s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}

@@ -1,0 +1,254 @@
+package analyzers
+
+// loader.go — the self-contained package loader behind the passes. The
+// build environment has no golang.org/x/tools (and no network), so instead
+// of go/packages the driver typechecks module packages from source with
+// go/parser + go/types and satisfies standard-library imports from the
+// toolchain's compiled export data, located once per run via
+// `go list -export`. The module has no third-party dependencies, so those
+// two sources cover every import.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, sorted by filename
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages for analysis. In-module import paths resolve to
+// source directories under ModuleDir; everything else is imported from the
+// toolchain's export data. Loaders are not safe for concurrent use.
+type Loader struct {
+	ModulePath string
+	ModuleDir  string
+	Fset       *token.FileSet
+
+	pkgs    map[string]*Package // loaded in-module packages, by import path
+	loading map[string]bool     // cycle guard
+	std     types.Importer      // gc export-data importer for the stdlib
+
+	exportsOnce sync.Once
+	exports     map[string]string // import path → export-data file
+	exportsErr  error
+}
+
+// NewLoader returns a loader rooted at the module containing dir (dir or an
+// ancestor must hold go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModulePath: modPath,
+		ModuleDir:  root,
+		Fset:       token.NewFileSet(),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	return l, nil
+}
+
+// findModule walks up from dir to the first go.mod and returns the module
+// root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analyzers: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analyzers: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ListPackages expands go-list patterns (default ./...) into the module's
+// import paths.
+func (l *Loader) ListPackages(patterns ...string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleDir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analyzers: go list %s: %v\n%s", strings.Join(patterns, " "), err, errBuf.String())
+	}
+	var paths []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			paths = append(paths, line)
+		}
+	}
+	return paths, nil
+}
+
+// Load typechecks the package at the given in-module import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	dir, ok := l.moduleDirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("analyzers: %s is not under module %s", path, l.ModulePath)
+	}
+	return l.LoadDir(dir, path)
+}
+
+func (l *Loader) moduleDirFor(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleDir, true
+	}
+	rel, ok := strings.CutPrefix(path, l.ModulePath+"/")
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel)), true
+}
+
+// LoadDir typechecks the single package in dir under the given import path.
+// The path does not have to live inside the module — the fixture runner
+// loads testdata packages this way — but its own imports must be stdlib or
+// in-module.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analyzers: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analyzers: typecheck %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: typecheck %s: %w", path, err)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module packages from source, the rest
+// from compiled export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.moduleDirFor(path); ok {
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// lookupExport feeds the gc importer: it maps an import path to the
+// toolchain's export-data file for it, priming the whole dependency set
+// with one `go list -deps -export ./...` and falling back to a targeted
+// `go list -export <path>` for packages (fixture-only imports) outside it.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	l.exportsOnce.Do(func() {
+		l.exports = make(map[string]string)
+		l.exportsErr = l.primeExports("./...")
+	})
+	if l.exportsErr != nil {
+		return nil, l.exportsErr
+	}
+	if l.exports[path] == "" {
+		if err := l.primeExports(path); err != nil {
+			return nil, err
+		}
+	}
+	file := l.exports[path]
+	if file == "" {
+		return nil, fmt.Errorf("analyzers: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+func (l *Loader) primeExports(pattern string) error {
+	cmd := exec.Command("go", "list", "-deps", "-export", "-e", "-f", "{{.ImportPath}}\t{{.Export}}", "--", pattern)
+	cmd.Dir = l.ModuleDir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errBuf
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("analyzers: go list -export %s: %v\n%s", pattern, err, errBuf.String())
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		ip, file, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if ok && ip != "" && file != "" {
+			l.exports[ip] = file
+		}
+	}
+	return nil
+}

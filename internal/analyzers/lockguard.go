@@ -1,0 +1,328 @@
+package analyzers
+
+// lockguard — annotated mutex discipline.
+//
+// Struct fields whose doc or line comment says `guarded by <mu>` (e.g. the
+// Engine ingest state, the Pipeline feed bookkeeping, the graph store's
+// internals) may only be touched with that mutex held. Flow analysis being
+// out of reach for a lint pass, the check enforces the repo's locking
+// conventions structurally, per package (guarded fields are unexported, so
+// every access site is local):
+//
+//   - a function that accesses a guarded field must acquire the owning
+//     struct's mutex itself (a `x.mu.Lock()` / `x.mu.RLock()` call anywhere
+//     in its body),
+//   - or carry the *Locked name suffix — the repo's "caller holds the
+//     lock" marker (graph.rebuildLocked, Pipeline.publishLocked, ...) —
+//     in which case every call site is checked instead,
+//   - or be called exclusively from functions that acquire the mutex (the
+//     one-level-deep known-locked-caller rule),
+//   - or be initializing a freshly constructed value (`e := &Engine{...}`)
+//     that no other goroutine can see yet.
+//
+// Calls to *Locked methods of a guarded struct are themselves findings when
+// the caller neither locks nor is *Locked. Reviewed exceptions carry
+// `//malgraph:lock-ok <reason>` — e.g. reads that are racy by documented
+// design, or publication via atomics.
+//
+// Limitations, by construction: the check is flow-insensitive (a Lock
+// anywhere in the body counts, early unlocks are not modeled), closures are
+// attributed to their enclosing declaration, and the known-locked-caller
+// rule chases exactly one level — deeper call chains must use the *Locked
+// suffix, which is the convention's point: the contract should be readable
+// in the name.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockguard reports guarded-field accesses outside the lock discipline.
+var Lockguard = &Analyzer{
+	Name:   "lockguard",
+	Doc:    "enforce `guarded by <mu>` field annotations: accessors must lock, be *Locked, or be called under the lock",
+	Waiver: "lock",
+	Run:    runLockguard,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// lockKey identifies one mutex: the struct that owns it and the field name.
+type lockKey struct {
+	owner *types.Named
+	mutex string
+}
+
+type guardInfo struct {
+	key       lockKey
+	fieldName string
+}
+
+type funcFacts struct {
+	decl       *ast.FuncDecl
+	obj        *types.Func
+	lockedName bool
+	locks      map[lockKey]bool
+	fresh      map[*types.Var]bool
+	accesses   []fieldAccess
+	calls      []*types.Func
+}
+
+type fieldAccess struct {
+	pos   token.Pos
+	field *types.Var
+	root  *types.Var // base of the access chain, when resolvable
+}
+
+func runLockguard(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	guardedOwners := make(map[*types.Named]string) // owner → mutex name
+	for _, g := range guards {
+		guardedOwners[g.key.owner] = g.key.mutex
+	}
+
+	var funcs []*funcFacts
+	callers := make(map[*types.Func][]*funcFacts)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := collectFuncFacts(pass, fd, guards)
+			funcs = append(funcs, fn)
+			for _, callee := range fn.calls {
+				callers[callee] = append(callers[callee], fn)
+			}
+		}
+	}
+
+	for _, fn := range funcs {
+		reported := make(map[*types.Var]bool) // one finding per field per function
+		for _, acc := range fn.accesses {
+			g := guards[acc.field]
+			if fn.locks[g.key] || fn.lockedName {
+				continue
+			}
+			if acc.root != nil && fn.fresh[acc.root] {
+				continue // initializing a value not yet shared
+			}
+			if calledOnlyUnderLock(fn, g.key, callers) {
+				continue
+			}
+			if reported[acc.field] {
+				continue
+			}
+			reported[acc.field] = true
+			pass.Reportf(acc.pos,
+				"%s.%s (guarded by %s) accessed in %s without holding %s — lock it, rename the function with the Locked suffix, or waive with //malgraph:lock-ok <reason>",
+				g.key.owner.Obj().Name(), g.fieldName, g.key.mutex, funcDisplayName(fn), g.key.mutex)
+		}
+
+		// A *Locked callee shifts the obligation to its callers: calling one
+		// without the lock (or without being *Locked yourself) is a finding.
+		checkLockedCalls(pass, fn, guardedOwners)
+	}
+}
+
+// collectGuards parses `guarded by <mu>` field annotations.
+func collectGuards(pass *Pass) map[*types.Var]guardInfo {
+	guards := make(map[*types.Var]guardInfo)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj := identObj(pass.Info, ts.Name)
+			if obj == nil {
+				return true
+			}
+			named, ok := types.Unalias(obj.Type()).(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := guardAnnotation(field)
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := identObj(pass.Info, name).(*types.Var); ok {
+						guards[v] = guardInfo{
+							key:       lockKey{owner: named, mutex: mutex},
+							fieldName: name.Name,
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func collectFuncFacts(pass *Pass, fd *ast.FuncDecl, guards map[*types.Var]guardInfo) *funcFacts {
+	obj, _ := identObj(pass.Info, fd.Name).(*types.Func)
+	fn := &funcFacts{
+		decl:       fd,
+		obj:        obj,
+		lockedName: strings.HasSuffix(fd.Name.Name, "Locked"),
+		locks:      make(map[lockKey]bool),
+		fresh:      compositeLitVars(pass.Info, fd.Body),
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if callee, ok := identObj(pass.Info, calleeIdent(x)).(*types.Func); ok && callee != nil {
+				fn.calls = append(fn.calls, callee)
+			}
+			recordLock(pass, fn, x)
+		case *ast.SelectorExpr:
+			if field, ok := identObj(pass.Info, x.Sel).(*types.Var); ok {
+				if _, guarded := guards[field]; guarded {
+					fn.accesses = append(fn.accesses, fieldAccess{
+						pos:   x.Pos(),
+						field: field,
+						root:  rootObj(pass.Info, x),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return fn
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// recordLock marks `x.mu.Lock()` / `x.mu.RLock()` acquisitions.
+func recordLock(pass *Pass, fn *funcFacts, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return
+	}
+	mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ownerType := namedType(typeOf(pass.Info, mutexSel.X))
+	if ownerType == nil {
+		return
+	}
+	fn.locks[lockKey{owner: ownerType, mutex: mutexSel.Sel.Name}] = true
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// calledOnlyUnderLock implements the one-level-deep rule: every intra-package
+// call site of fn sits in a function that holds the lock or is *Locked.
+func calledOnlyUnderLock(fn *funcFacts, key lockKey, callers map[*types.Func][]*funcFacts) bool {
+	if fn.obj == nil {
+		return false
+	}
+	sites := callers[fn.obj]
+	if len(sites) == 0 {
+		return false
+	}
+	for _, caller := range sites {
+		if caller == fn {
+			continue // direct recursion adds nothing either way
+		}
+		if !caller.locks[key] && !caller.lockedName {
+			return false
+		}
+	}
+	return true
+}
+
+// checkLockedCalls flags calls to *Locked methods of guarded structs from
+// functions that neither lock nor carry the suffix.
+func checkLockedCalls(pass *Pass, fn *funcFacts, guardedOwners map[*types.Named]string) {
+	if fn.lockedName {
+		return
+	}
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := identObj(pass.Info, calleeIdent(call)).(*types.Func)
+		if !ok || callee == nil || !strings.HasSuffix(callee.Name(), "Locked") {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		owner := namedType(sig.Recv().Type())
+		if owner == nil {
+			return true
+		}
+		mutex, guarded := guardedOwners[owner]
+		if !guarded {
+			return true
+		}
+		if fn.locks[lockKey{owner: owner, mutex: mutex}] {
+			return true
+		}
+		// Receiver freshly constructed in this function → not shared yet.
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			if root := rootObj(pass.Info, sel.X); root != nil && fn.fresh[root] {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"call to %s from %s, which neither holds %s.%s nor has the Locked suffix — the callee's name says the caller must hold the lock",
+			callee.Name(), funcDisplayName(fn), owner.Obj().Name(), mutex)
+		return true
+	})
+}
+
+func funcDisplayName(fn *funcFacts) string {
+	if fn.obj == nil {
+		return fn.decl.Name.Name
+	}
+	if sig, ok := fn.obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedType(sig.Recv().Type()); n != nil {
+			return fmt.Sprintf("%s.%s", n.Obj().Name(), fn.obj.Name())
+		}
+	}
+	return fn.obj.Name()
+}

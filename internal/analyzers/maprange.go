@@ -1,0 +1,558 @@
+package analyzers
+
+// maprange — deterministic-zone map iteration discipline.
+//
+// Go randomizes map iteration order, so inside the deterministic zone a
+// `for k := range m` whose body has loop-order-dependent effects silently
+// breaks the byte-identical-output contract. The pass flags effects that
+// escape a map-range body unless they are one of the sanctioned
+// order-independent idioms:
+//
+//   - collect-then-sort: `keys = append(keys, k)` where the slice is passed
+//     to sort.*/slices.* (or any sort-named helper) after the loop;
+//   - keyed transfer: writes `dst[k] = ...` / `delete(dst, k)` into another
+//     container indexed by the range key — each key is visited exactly once,
+//     so the final contents are order-independent;
+//   - keyed mutator calls: a mutator method that receives the range key as
+//     an argument (`g.SetAttr(id, k, v)`) mirrors `dst[k] = v`;
+//   - commutative accumulation: ++/-- and integer +=, -=, *=, |=, &=, ^=,
+//     &^= on outer scalars, boolean `ok = ok || ...` / `ok = ok && ...`
+//     folds, `x = max(x, ...)` / `x = min(x, ...)`, and idempotent constant
+//     assignments (`found = true`);
+//   - fail-fast error returns: `return ..., err` aborts the computation, and
+//     on the failure path the byte-identical-output contract is already
+//     forfeit — only non-error results derived from the iteration are
+//     flagged.
+//
+// Anything else — appends that are never sorted, writes through outer
+// struct fields, sends, statement-position calls on outer receivers, early
+// returns derived from the iteration — is reported. A reviewed exception
+// carries `//malgraph:nondeterm-ok <reason>` on the offending line (or on
+// the `for` line to waive the whole loop).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maprange reports loop-order-dependent effects escaping map ranges.
+var Maprange = &Analyzer{
+	Name:   "maprange",
+	Doc:    "flag map iteration with loop-order-dependent effects in the deterministic zone",
+	Waiver: "nondeterm",
+	Run:    runMaprange,
+}
+
+func runMaprange(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Info.Types[rng.X]
+				if !ok || !isMapType(tv.Type) {
+					return true
+				}
+				if pass.Waived(rng.Pos()) {
+					return true // the loop is waived; still visit nested ranges
+				}
+				check := &mapRangeCheck{pass: pass, fn: fd, rng: rng}
+				check.keyObj = rangeVarObj(pass.Info, rng.Key)
+				check.valObj = rangeVarObj(pass.Info, rng.Value)
+				check.run()
+				return true
+			})
+		}
+	}
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return identObj(info, id)
+}
+
+type mapRangeCheck struct {
+	pass     *Pass
+	fn       *ast.FuncDecl
+	rng      *ast.RangeStmt
+	keyObj   types.Object
+	valObj   types.Object
+	reported map[token.Pos]bool
+	foldOK   map[token.Pos]bool // assignments sanctioned as `if y > x { x = y }` folds
+}
+
+// inner reports whether the object is declared inside the range statement
+// (including the key/value variables) — effects confined to it cannot
+// escape an iteration.
+func (c *mapRangeCheck) inner(obj types.Object) bool {
+	if obj == nil {
+		return true // blank identifier
+	}
+	return obj.Pos() >= c.rng.Pos() && obj.Pos() < c.rng.End()
+}
+
+func (c *mapRangeCheck) usesLoopState(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := identObj(c.pass.Info, id); obj != nil {
+			if _, isVar := obj.(*types.Var); isVar && c.inner(obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *mapRangeCheck) run() {
+	// A `return` inside a func literal exits the closure, not the enclosing
+	// function — the early-return rule must not fire on it.
+	var litSpans [][2]token.Pos
+	ast.Inspect(c.rng.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			litSpans = append(litSpans, [2]token.Pos{lit.Pos(), lit.End()})
+		}
+		return true
+	})
+	inFuncLit := func(pos token.Pos) bool {
+		for _, sp := range litSpans {
+			if pos >= sp[0] && pos < sp[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(c.rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			c.markMinMaxFold(s)
+		case *ast.AssignStmt:
+			c.checkAssign(s)
+		case *ast.IncDecStmt:
+			// count++ / count-- accumulate commutatively whatever the order.
+		case *ast.SendStmt:
+			c.report(s.Pos(), "sends on a channel from inside a map range (receive order follows iteration order)")
+		case *ast.GoStmt:
+			c.report(s.Pos(), "spawns a goroutine per map element (scheduling follows iteration order)")
+		case *ast.DeferStmt:
+			c.report(s.Pos(), "defers a call per map element (defers run in iteration order)")
+		case *ast.ReturnStmt:
+			if inFuncLit(s.Pos()) {
+				return true
+			}
+			for _, res := range s.Results {
+				if c.usesLoopState(res) && !isErrorTyped(c.pass.Info, res) {
+					c.report(s.Pos(), "returns a value derived from map iteration (which element is found first depends on iteration order)")
+					break
+				}
+			}
+		case *ast.ExprStmt:
+			c.checkStmtCall(s)
+		case *ast.CallExpr:
+			c.checkExprCall(s)
+		}
+		return true
+	})
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorTyped reports whether the expression's type is (or implements)
+// error — fail-fast error propagation out of a map range is sanctioned.
+func isErrorTyped(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, errorIface)
+}
+
+func (c *mapRangeCheck) report(pos token.Pos, detail string) {
+	if c.reported == nil {
+		c.reported = make(map[token.Pos]bool)
+	}
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, "%s inside range over map — iterate sorted keys, or waive with //malgraph:nondeterm-ok <reason>", detail)
+}
+
+// markMinMaxFold sanctions the compare-and-assign spelling of max/min:
+// `if y > x { x = y }` (any of > < >= <=, either operand order). Max and min
+// are commutative and associative, so the fold's result is order-independent.
+// Only the compared assignment is sanctioned — an argmax side assignment in
+// the same body (`bestID = k`) still depends on tie-breaking order and is
+// flagged as usual.
+func (c *mapRangeCheck) markMinMaxFold(s *ast.IfStmt) {
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch cond.Op {
+	case token.GTR, token.LSS, token.GEQ, token.LEQ:
+	default:
+		return
+	}
+	for _, stmt := range s.Body.List {
+		asg, ok := stmt.(*ast.AssignStmt)
+		if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			continue
+		}
+		lhs, rhs := asg.Lhs[0], asg.Rhs[0]
+		straight := sameRef(c.pass.Info, cond.X, rhs) && sameRef(c.pass.Info, cond.Y, lhs)
+		flipped := sameRef(c.pass.Info, cond.X, lhs) && sameRef(c.pass.Info, cond.Y, rhs)
+		if straight || flipped {
+			if c.foldOK == nil {
+				c.foldOK = make(map[token.Pos]bool)
+			}
+			c.foldOK[asg.Pos()] = true
+		}
+	}
+}
+
+// checkAssign vets one assignment inside the loop body.
+func (c *mapRangeCheck) checkAssign(s *ast.AssignStmt) {
+	if s.Tok == token.DEFINE {
+		return // fresh inner variables; RHS calls are vetted separately
+	}
+	if c.foldOK[s.Pos()] {
+		return // sanctioned `if y > x { x = y }` max/min fold
+	}
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		c.checkAssignTarget(s, lhs, rhs)
+	}
+}
+
+var commutativeAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN:     true, // +=
+	token.SUB_ASSIGN:     true, // -=
+	token.MUL_ASSIGN:     true, // *=
+	token.OR_ASSIGN:      true, // |=
+	token.AND_ASSIGN:     true, // &=
+	token.XOR_ASSIGN:     true, // ^=
+	token.AND_NOT_ASSIGN: true, // &^=
+}
+
+func (c *mapRangeCheck) checkAssignTarget(s *ast.AssignStmt, lhs, rhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	root := rootObj(c.pass.Info, lhs)
+	if root == nil || c.inner(root) {
+		return // writes confined to the iteration (or rooted at a call) are fine
+	}
+
+	switch target := lhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if commutativeAssignOps[s.Tok] && isIntegerType(c.pass.Info.Types[lhs].Type) {
+			return // commutative integer accumulation (scalar or field)
+		}
+		if s.Tok == token.ASSIGN {
+			if c.isAllowedPlainAssign(root, rhs) {
+				return
+			}
+			if selfAppend(c.pass.Info, lhs, rhs) {
+				if c.sortedAfterLoop(root) {
+					return // sanctioned collect-then-sort
+				}
+				c.report(s.Pos(), "appends to "+targetName(lhs, root)+" in map order without sorting it afterwards")
+				return
+			}
+		}
+		c.report(s.Pos(), "assigns to "+targetName(lhs, root)+", declared outside the loop, in iteration order")
+	case *ast.IndexExpr:
+		if c.keyObj != nil && usesObject(c.pass.Info, target.Index, c.keyObj) {
+			return // dst[k] = ... — each key visited exactly once
+		}
+		if commutativeAssignOps[s.Tok] && isIntegerType(c.pass.Info.Types[target].Type) {
+			return // dst[fixed] += n — commutative integer accumulation
+		}
+		if s.Tok == token.ASSIGN && rhs != nil && isConstExpr(c.pass.Info, rhs) {
+			return // set[x] = true — every write stores the same constant, union semantics
+		}
+		c.report(s.Pos(), "writes through an index not derived from the range key (last writer depends on iteration order)")
+	default:
+		c.report(s.Pos(), "writes through "+root.Name()+", declared outside the loop, in iteration order")
+	}
+}
+
+// targetName renders an assignment target for a finding: the field chain when
+// it is one, otherwise the variable name.
+func targetName(lhs ast.Expr, root *types.Var) string {
+	if sel, ok := lhs.(*ast.SelectorExpr); ok {
+		return root.Name() + "." + sel.Sel.Name
+	}
+	return root.Name()
+}
+
+// isAllowedPlainAssign accepts the idempotent / commutative scalar forms:
+// constant stores, `x = x || p`, `x = x && p`, `x = max(x, ...)`.
+func (c *mapRangeCheck) isAllowedPlainAssign(obj types.Object, rhs ast.Expr) bool {
+	if rhs == nil {
+		return false
+	}
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return r.Name == "true" || r.Name == "false" || r.Name == "nil"
+	case *ast.BinaryExpr:
+		if r.Op == token.LOR || r.Op == token.LAND {
+			return usesObject(c.pass.Info, r.X, obj) || usesObject(c.pass.Info, r.Y, obj)
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && (id.Name == "max" || id.Name == "min") {
+			if _, isBuiltin := identObj(c.pass.Info, id).(*types.Builtin); isBuiltin {
+				for _, arg := range r.Args {
+					if usesObject(c.pass.Info, arg, obj) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkStmtCall vets a statement-position call — by definition executed for
+// its effect.
+func (c *mapRangeCheck) checkStmtCall(s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := identObj(c.pass.Info, id).(*types.Builtin); isBuiltin {
+			c.checkBuiltinStmt(id.Name, call)
+			return
+		}
+		// Call to a declared function in statement position: executed for
+		// effect; conversions and value-returning uses land in assignments.
+		c.report(call.Pos(), "calls "+id.Name+" for effect once per map element")
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if isPkgQualified(c.pass.Info, sel) {
+			// A package function mutates only what it is handed: judge by the
+			// arguments. sort.Strings(members) on a loop-local slice is fine;
+			// sort.Strings(outer) or fmt.Fprintf(w, ...) is an escaping effect.
+			if strings.Contains(sel.Sel.Name, "Print") {
+				c.report(call.Pos(), "calls "+sel.Sel.Name+" once per map element (output follows iteration order)")
+				return
+			}
+			for _, arg := range call.Args {
+				if root := rootObj(c.pass.Info, arg); root != nil && !c.inner(root) {
+					c.report(call.Pos(), "calls "+sel.Sel.Name+" with "+root.Name()+", declared outside the loop, once per map element")
+					return
+				}
+			}
+			return
+		}
+		root := rootObj(c.pass.Info, sel.X)
+		if root != nil && c.inner(root) {
+			return // method on an iteration-local value
+		}
+		if c.keyedCall(call) {
+			return // keyed mutator transfer — the method analog of dst[k] = v
+		}
+		c.report(call.Pos(), "calls "+sel.Sel.Name+" for effect on state declared outside the loop")
+	}
+}
+
+// keyedCall reports whether the call passes the range key as an argument —
+// each key is visited exactly once, so `dst.Set(k, v)`-shaped calls are
+// order-independent the same way `dst[k] = v` is.
+func (c *mapRangeCheck) keyedCall(call *ast.CallExpr) bool {
+	if c.keyObj == nil {
+		return false
+	}
+	for _, arg := range call.Args {
+		if usesObject(c.pass.Info, arg, c.keyObj) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgQualified reports whether sel is `pkg.Fn` rather than a method or
+// field chain.
+func isPkgQualified(info *types.Info, sel *ast.SelectorExpr) bool {
+	id, ok := rootExpr(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isPkg := identObj(info, id).(*types.PkgName)
+	return isPkg
+}
+
+func (c *mapRangeCheck) checkBuiltinStmt(name string, call *ast.CallExpr) {
+	switch name {
+	case "delete":
+		if len(call.Args) == 2 {
+			root := rootObj(c.pass.Info, call.Args[0])
+			if root == nil || c.inner(root) {
+				return
+			}
+			if c.keyObj != nil && usesObject(c.pass.Info, call.Args[1], c.keyObj) {
+				return // delete(dst, k) — keyed, order-independent
+			}
+			c.report(call.Pos(), "deletes a key not derived from the range key")
+		}
+	case "copy":
+		if len(call.Args) == 2 {
+			root := rootObj(c.pass.Info, call.Args[0])
+			if root != nil && !c.inner(root) {
+				c.report(call.Pos(), "copies into "+root.Name()+", declared outside the loop, in iteration order")
+			}
+		}
+	case "panic":
+		if len(call.Args) == 1 && c.usesLoopState(call.Args[0]) {
+			c.report(call.Pos(), "panics with a value derived from map iteration (which element trips first depends on iteration order)")
+		}
+	case "clear":
+		if len(call.Args) == 1 {
+			root := rootObj(c.pass.Info, call.Args[0])
+			if root != nil && !c.inner(root) {
+				c.report(call.Pos(), "clears "+root.Name()+", declared outside the loop, from inside the iteration")
+			}
+		}
+	}
+}
+
+// checkExprCall vets calls in expression position: reads are fine, but a
+// mutator-named method on an outer receiver is an escaping effect wherever
+// its result goes.
+func (c *mapRangeCheck) checkExprCall(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if selObj, found := c.pass.Info.Selections[sel]; !found || selObj.Kind() != types.MethodVal {
+		return // package-qualified call or field invocation
+	}
+	if !isMutatorName(sel.Sel.Name) {
+		return
+	}
+	root := rootObj(c.pass.Info, sel.X)
+	if root == nil || c.inner(root) {
+		return
+	}
+	if c.keyedCall(call) {
+		return // keyed mutator transfer — the method analog of dst[k] = v
+	}
+	c.report(call.Pos(), "calls mutator "+sel.Sel.Name+" on "+root.Name()+", declared outside the loop, in iteration order")
+}
+
+var mutatorPrefixes = []string{
+	"Add", "Set", "Remove", "Delete", "Insert", "Upsert", "Reset",
+	"Clear", "Merge", "Push", "Pop", "Append", "Store", "Ingest",
+	"Apply", "Join", "Attach", "Truncate", "Write",
+}
+
+func isMutatorName(name string) bool {
+	for _, p := range mutatorPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfterLoop reports whether, after the range statement, the enclosing
+// function passes the collected slice to a sorting call — sort.*/slices.*
+// or any helper whose name says it sorts.
+func (c *mapRangeCheck) sortedAfterLoop(slice types.Object) bool {
+	sorted := false
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rng.End() {
+			return true
+		}
+		if !isSortCall(c.pass.Info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(c.pass.Info, arg, slice) {
+				sorted = true
+				break
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && !sorted {
+			if usesObject(c.pass.Info, sel.X, slice) {
+				sorted = true // keys.Sort()-style method
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return containsSortWord(fun.Name)
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if pkg, ok := identObj(info, id).(*types.PkgName); ok {
+				path := pkg.Imported().Path()
+				if path == "sort" || path == "slices" {
+					return true
+				}
+			}
+		}
+		return containsSortWord(fun.Sel.Name)
+	}
+	return false
+}
+
+func containsSortWord(name string) bool {
+	return strings.Contains(strings.ToLower(name), "sort")
+}
+
+// isConstExpr reports whether the expression is a compile-time constant
+// (literal, true/false, or named constant) or nil.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	return tv.Value != nil || tv.IsNil()
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

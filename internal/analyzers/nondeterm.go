@@ -1,0 +1,105 @@
+package analyzers
+
+// nondeterm — ambient-nondeterminism sources in the deterministic zone.
+//
+// The zone's contract is byte-identical output for identical input, under
+// any GOMAXPROCS, batch partition, crash/replay or host. That rules out
+// consulting anything ambient:
+//
+//   - wall clocks: time.Now (and time.Since/time.Until, which read it) —
+//     timestamps must be injected by the caller;
+//   - global RNG state: importing math/rand or math/rand/v2 at all — all
+//     randomness routes through internal/xrand's seed-derived streams;
+//   - the process environment: os.Getenv/LookupEnv/Environ — configuration
+//     arrives through Config values, never ambient state;
+//   - JSON-marshaling a bare map value: encoding/json sorts the keys of
+//     the map itself, but the habit leaks into fmt-style formatting and
+//     hides the ordering contract — marshal a struct or an explicitly
+//     sorted slice instead.
+//
+// A reviewed exception carries `//malgraph:nondeterm-ok <reason>`.
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Nondeterm reports ambient-nondeterminism sources.
+var Nondeterm = &Analyzer{
+	Name:   "nondeterm",
+	Doc:    "forbid wall clocks, global RNG, environment reads and bare-map JSON marshaling in the deterministic zone",
+	Waiver: "nondeterm",
+	Run:    runNondeterm,
+}
+
+// forbiddenFuncs maps fully-qualified functions to the remedy named in the
+// finding.
+var forbiddenFuncs = map[string]string{
+	"time.Now":     "inject the timestamp through the caller (the deterministic zone has no wall clock)",
+	"time.Since":   "inject the timestamp through the caller (time.Since reads the wall clock)",
+	"time.Until":   "inject the timestamp through the caller (time.Until reads the wall clock)",
+	"os.Getenv":    "route configuration through Config values (the deterministic zone has no ambient environment)",
+	"os.LookupEnv": "route configuration through Config values (the deterministic zone has no ambient environment)",
+	"os.Environ":   "route configuration through Config values (the deterministic zone has no ambient environment)",
+}
+
+var forbiddenImports = map[string]string{
+	"math/rand":    "derive a stream from internal/xrand instead (global RNG state breaks replay equivalence)",
+	"math/rand/v2": "derive a stream from internal/xrand instead (global RNG state breaks replay equivalence)",
+}
+
+var jsonMarshalers = map[string]bool{
+	"encoding/json.Marshal":           true,
+	"encoding/json.MarshalIndent":     true,
+	"(*encoding/json.Encoder).Encode": true,
+}
+
+func runNondeterm(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if remedy, bad := forbiddenImports[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s in the deterministic zone — %s", path, remedy)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := identObj(pass.Info, x.Sel).(*types.Func)
+				if !ok {
+					return true
+				}
+				if remedy, bad := forbiddenFuncs[fn.FullName()]; bad {
+					pass.Reportf(x.Pos(), "use of %s in the deterministic zone — %s", fn.FullName(), remedy)
+				}
+			case *ast.CallExpr:
+				checkMapMarshal(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapMarshal flags JSON marshaling applied directly to a map value.
+func checkMapMarshal(pass *Pass, call *ast.CallExpr) {
+	name := funcFullName(pass.Info, call)
+	if !jsonMarshalers[name] || len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if isMapType(t) {
+		pass.Reportf(call.Pos(),
+			"JSON-marshals a bare map in the deterministic zone — marshal a struct or an explicitly sorted slice so the ordering contract is visible")
+	}
+}

@@ -1,0 +1,31 @@
+// Package epochsafe exercises the epochsafe pass. This file declares the
+// frozen types and their constructors, so its own writes are exempt — values
+// under construction are not yet published.
+package epochsafe
+
+type Epoch struct {
+	ID    uint64
+	Tags  map[string]string
+	Items []int
+}
+
+type Results struct {
+	Total int
+}
+
+type view struct {
+	Members map[string][]string
+}
+
+type engine struct{}
+
+func (engine) View() *view { return &view{Members: map[string][]string{}} }
+
+// NewEpoch builds and fills an epoch before publication — constructor-file
+// writes are exempt.
+func NewEpoch(id uint64) *Epoch {
+	ep := &Epoch{ID: id, Tags: make(map[string]string)}
+	ep.Tags["seq"] = "0"
+	ep.Items = append(ep.Items, 1)
+	return ep
+}

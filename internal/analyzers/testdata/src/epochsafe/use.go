@@ -1,0 +1,73 @@
+package epochsafe
+
+// This file neither declares the frozen types nor constructs them, so every
+// write through a published value is a finding.
+
+func badFieldWrite(ep *Epoch) {
+	ep.ID = 2 // want `writes to a field of a published Epoch`
+}
+
+func badMapWrite(ep *Epoch) {
+	ep.Tags["k"] = "v" // want `writes to a map/slice element of a published Epoch`
+}
+
+func badDelete(ep *Epoch) {
+	delete(ep.Tags, "k") // want `deletes from a container reachable from a published Epoch`
+}
+
+func badAliasAppend(ep *Epoch) []int {
+	items := ep.Items
+	return append(items, 9) // want `appends to a slice reachable from a published Epoch`
+}
+
+func badRangeElementWrite(ep *Epoch) {
+	for i := range ep.Items {
+		ep.Items[i] = 0 // want `writes to a map/slice element of a published Epoch`
+	}
+}
+
+func badResultsWrite(r *Results) {
+	r.Total++ // want `increments a value reachable from a published Results`
+}
+
+func badViewWrite(e engine) {
+	v := e.View()
+	v.Members["pkg"] = nil // want `writes to a map/slice element of a View\(\) snapshot`
+}
+
+func badDirectViewWrite(e engine) {
+	e.View().Members["pkg"] = nil // want `writes to a map/slice element of a View\(\) snapshot`
+}
+
+// goodFresh builds a value locally — it is not published until it escapes,
+// so filling it in is fine even outside the constructor file.
+func goodFresh() uint64 {
+	ep := &Epoch{Tags: make(map[string]string)}
+	ep.ID = 7
+	ep.Tags["local"] = "y"
+	return ep.ID
+}
+
+// goodRead only reads published state.
+func goodRead(ep *Epoch) int {
+	n := 0
+	for _, v := range ep.Items {
+		n += v
+	}
+	return n + len(ep.Tags)
+}
+
+// goodRebuild derives a new container instead of mutating the frozen one.
+func goodRebuild(ep *Epoch) map[string]string {
+	next := make(map[string]string, len(ep.Tags)+1)
+	for k, v := range ep.Tags {
+		next[k] = v
+	}
+	next["extra"] = "1"
+	return next
+}
+
+func waivedWrite(ep *Epoch) {
+	//malgraph:epoch-ok test fixture mutates a private copy that is never published
+	ep.ID = 3
+}

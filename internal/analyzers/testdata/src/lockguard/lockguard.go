@@ -1,0 +1,74 @@
+// Package lockguard exercises the lockguard pass: `guarded by mu` field
+// annotations, the *Locked naming convention, the one-level-deep
+// known-locked-caller rule, constructor freshness and the waiver form.
+package lockguard
+
+import "sync"
+
+type Store struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	hits  int            // guarded by mu
+}
+
+// NewStore initializes a value no other goroutine can see yet.
+func NewStore() *Store {
+	s := &Store{items: make(map[string]int)}
+	s.items["boot"] = 1
+	return s
+}
+
+// Get locks the mutex itself.
+func (s *Store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return s.items[k]
+}
+
+// badGet touches guarded state with no lock, no suffix, no locked caller.
+func (s *Store) badGet(k string) int {
+	return s.items[k] // want `Store.items \(guarded by mu\) accessed in Store.badGet without holding mu`
+}
+
+// sizeLocked carries the convention suffix: the caller must hold the lock.
+func (s *Store) sizeLocked() int {
+	return len(s.items)
+}
+
+// Size calls the *Locked helper under the lock.
+func (s *Store) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sizeLocked()
+}
+
+// badSize calls a *Locked helper without holding the lock.
+func (s *Store) badSize() int {
+	return s.sizeLocked() // want `call to sizeLocked from Store.badSize, which neither holds Store.mu nor has the Locked suffix`
+}
+
+// bump touches guarded state but is only ever called by Touch, which locks —
+// the one-level-deep rule covers it.
+func (s *Store) bump() {
+	s.hits++
+}
+
+// Touch is bump's only caller and acquires the mutex.
+func (s *Store) Touch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump()
+}
+
+// Fresh values may call *Locked helpers: nothing else can see them yet.
+func freshUse() int {
+	s := &Store{items: make(map[string]int)}
+	return s.sizeLocked()
+}
+
+// Peek documents its racy read instead of locking.
+func (s *Store) Peek() int {
+	//malgraph:lock-ok approximate metrics read, torn values are acceptable
+	return s.hits
+}

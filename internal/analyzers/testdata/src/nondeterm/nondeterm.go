@@ -1,0 +1,46 @@
+// Package nondeterm exercises the nondeterm pass: each forbidden ambient
+// source, its sanctioned alternative, and the waiver form.
+package nondeterm
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+func badClock() time.Time {
+	return time.Now() // want `use of time.Now in the deterministic zone`
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `use of time.Since in the deterministic zone`
+}
+
+func goodInjectedTime(now time.Time, start time.Time) time.Duration {
+	return now.Sub(start) // arithmetic on injected values is fine
+}
+
+func badEnv() string {
+	return os.Getenv("MALGRAPH_DEBUG") // want `use of os.Getenv in the deterministic zone`
+}
+
+func goodConfig(debug string) string {
+	return debug
+}
+
+func badMapMarshal(counts map[string]int) ([]byte, error) {
+	return json.Marshal(counts) // want `JSON-marshals a bare map in the deterministic zone`
+}
+
+type summary struct {
+	Counts []int `json:"counts"`
+}
+
+func goodStructMarshal(s summary) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+func waivedClock() time.Time {
+	//malgraph:nondeterm-ok diagnostics-only timestamp, never reaches analysis output
+	return time.Now()
+}

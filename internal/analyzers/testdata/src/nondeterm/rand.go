@@ -1,0 +1,7 @@
+package nondeterm
+
+import "math/rand" // want `import of math/rand in the deterministic zone`
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,22 @@
+// Package waiver exercises the directive syntax itself (run with the
+// nondeterm analyzer): a waiver without a reason is a lint error, a waiver
+// that suppresses nothing is a lint error, and a reasoned waiver that covers
+// a finding is silent.
+package waiver
+
+import "time"
+
+func missingReason() time.Time {
+	//malgraph:nondeterm-ok // want `waiver //malgraph:nondeterm-ok is missing a reason`
+	return time.Now() // want `use of time.Now in the deterministic zone`
+}
+
+func staleWaiver() int {
+	//malgraph:nondeterm-ok nothing on the next line needs suppressing // want `waiver //malgraph:nondeterm-ok suppresses nothing`
+	return 1
+}
+
+func properWaiver() time.Time {
+	//malgraph:nondeterm-ok boot banner timestamp, not part of analysis output
+	return time.Now()
+}

@@ -88,7 +88,7 @@ func TestResolveLateArtifactUpgradesEntry(t *testing.T) {
 	at := day(30)
 	a := art("pkg-a") // removed day(2); accumulate mirror synced day(2) while live
 	obs := []Observation{
-		{Source: sources.Snyk, Coord: a.Coord, ObservedAt: day(3)},               // batch 1: names-only
+		{Source: sources.Snyk, Coord: a.Coord, ObservedAt: day(3)},                     // batch 1: names-only
 		{Source: sources.Backstabber, Coord: a.Coord, ObservedAt: day(2), Artifact: a}, // batch 2: carries
 	}
 	_ = set

@@ -195,6 +195,7 @@ type Engine struct {
 
 	// shards holds the per-ecosystem state (corpus dictionaries, import
 	// indexes, clustering caches); see ecoShard. Created on first use.
+	// guarded by mu.
 	shards map[ecosys.Ecosystem]*ecoShard
 	// clusterScratch pools the clustering kernels' buffers across ingests,
 	// one Scratch per re-clustering worker.
@@ -210,21 +211,22 @@ type Engine struct {
 	// covering the pair, i.e. the first writer of a one-shot build's
 	// URL-ordered join. All three are persisted in snapshots (v3), so a
 	// restored engine's first wanted-package ingest is scoped too.
-	reportByURL map[string]*reports.Report
-	posting     map[string][]string
-	coexOwner   map[string]string
+	reportByURL map[string]*reports.Report // guarded by mu
+	posting     map[string][]string        // guarded by mu
+	coexOwner   map[string]string          // guarded by mu
 
 	// appliedSeq is the durable ingest sequence stamp: the WAL sequence of
 	// the last journaled batch applied to this engine. Snapshots carry it
 	// (v4) so recovery replays only the journal suffix the checkpoint does
 	// not already contain. The engine itself never bumps it — the pipeline
 	// that owns the journal does, via SetAppliedSeq before Snapshot.
+	// guarded by mu.
 	appliedSeq uint64
 	// feedPos is the companion stamp for the simulated feed: how many feed
 	// batches the pipeline had ingested when the snapshot was taken. Without
 	// it, a checkpoint that truncates the journal would lose the feed cursor
 	// (feed records only live in the journal) and a restarted server would
-	// re-report every batch as pending.
+	// re-report every batch as pending. guarded by mu.
 	feedPos int
 }
 
@@ -286,7 +288,7 @@ func NewEngine(cfg Config) *Engine {
 }
 
 // shard returns the ecosystem's shard, creating it on first use.
-func (e *Engine) shard(eco ecosys.Ecosystem) *ecoShard {
+func (e *Engine) shardLocked(eco ecosys.Ecosystem) *ecoShard {
 	sh := e.shards[eco]
 	if sh == nil {
 		sh = newEcoShard()
@@ -395,10 +397,10 @@ func (e *Engine) Ingest(b Batch) (IngestStats, error) {
 	// applies every plan serially in sorted-ecosystem order, so the edge
 	// insertion sequence — and the serialized graph — is identical under any
 	// GOMAXPROCS.
-	if err := e.applyShards(changes, &st); err != nil {
+	if err := e.applyShardsLocked(changes, &st); err != nil {
 		return st, err
 	}
-	if err := e.applyCoexisting(b.Reports, changes, &st); err != nil {
+	if err := e.applyCoexistingLocked(b.Reports, changes, &st); err != nil {
 		return st, fmt.Errorf("core ingest coexisting: %w", err)
 	}
 	return st, nil
@@ -569,7 +571,7 @@ type shardPlan struct {
 
 // applyShards runs the batch's per-ecosystem slices through the parallel
 // shard phase and commits the resulting plans serially.
-func (e *Engine) applyShards(changes []entryChange, st *IngestStats) error {
+func (e *Engine) applyShardsLocked(changes []entryChange, st *IngestStats) error {
 	byEco := make(map[ecosys.Ecosystem][]entryChange)
 	for _, ch := range changes {
 		eco := ch.entry.Coord.Ecosystem
@@ -581,14 +583,21 @@ func (e *Engine) applyShards(changes []entryChange, st *IngestStats) error {
 	}
 	sort.Slice(ecos, func(i, j int) bool { return ecos[i] < ecos[j] })
 
+	// Materialize every shard before the fan-out: shardLocked writes the
+	// shared shards map on first use, which must not happen from inside
+	// the parallel phase.
+	for _, eco := range ecos {
+		e.shardLocked(eco)
+	}
+
 	// Shard phase: each ecosystem's slice plans in parallel. A shard only
-	// touches its own ecoShard state (no two goroutines share one) and the
-	// read-only scanner/embedder, so the fan-out is race-free; per-shard
-	// work is itself deterministic (order-preserving inner maps, sorted
-	// partition keys, content-derived RNG streams), so the plans are
-	// byte-identical under any worker count.
+	// touches its own ecoShard state (no two goroutines share one), the
+	// now-read-only shards map and the read-only scanner/embedder, so the
+	// fan-out is race-free; per-shard work is itself deterministic
+	// (order-preserving inner maps, sorted partition keys, content-derived
+	// RNG streams), so the plans are byte-identical under any worker count.
 	plans := parallel.Map(len(ecos), func(i int) *shardPlan {
-		return e.planShard(ecos[i], byEco[ecos[i]])
+		return e.planShardLocked(ecos[i], byEco[ecos[i]])
 	})
 
 	// Commit phase: serial, sorted-ecosystem order.
@@ -630,8 +639,8 @@ func (e *Engine) applyShards(changes []entryChange, st *IngestStats) error {
 // scan and link dependencies (§III-C), embed and re-cluster the dirty LSH
 // partitions (§III-B) — mutating only the shard's own indexes and returning
 // the graph operations for the serial commit.
-func (e *Engine) planShard(eco ecosys.Ecosystem, changes []entryChange) *shardPlan {
-	sh := e.shard(eco)
+func (e *Engine) planShardLocked(eco ecosys.Ecosystem, changes []entryChange) *shardPlan {
+	sh := e.shardLocked(eco)
 	plan := &shardPlan{eco: eco}
 
 	// Dependency 1: grow the corpus dictionary with every new entry
@@ -878,7 +887,7 @@ const fullRejoinThreshold = 64
 // would cover more than half of a non-trivial corpus (> fullRejoinThreshold
 // reports) — one pass is cheaper than surgical replacement at that point —
 // and is reported via IngestStats.CoexistingRebuilt.
-func (e *Engine) applyCoexisting(newReports []*reports.Report, changes []entryChange, st *IngestStats) error {
+func (e *Engine) applyCoexistingLocked(newReports []*reports.Report, changes []entryChange, st *IngestStats) error {
 	before := e.mg.G.EdgeCount(graph.Coexisting)
 
 	// Wanted-package trigger: previously joined reports whose member set
@@ -920,7 +929,7 @@ func (e *Engine) applyCoexisting(newReports []*reports.Report, changes []entryCh
 		e.reportByURL[rep.URL] = rep
 		fresh[rep.URL] = true
 		for _, coord := range rep.Packages {
-			e.addPosting(coord.Key(), rep.URL)
+			e.addPostingLocked(coord.Key(), rep.URL)
 		}
 		if rep.URL <= maxURL {
 			late = append(late, rep)
@@ -980,7 +989,7 @@ func (e *Engine) applyCoexisting(newReports []*reports.Report, changes []entryCh
 		e.mg.ReportsByPackage = make(map[string][]*reports.Report, len(e.mg.ReportsByPackage))
 		e.coexOwner = make(map[string]string, len(e.coexOwner))
 		for _, rep := range e.mg.Reports {
-			if err := e.joinReport(rep, nil, st); err != nil {
+			if err := e.joinReportLocked(rep, nil, st); err != nil {
 				return err
 			}
 		}
@@ -1000,7 +1009,7 @@ func (e *Engine) applyCoexisting(newReports []*reports.Report, changes []entryCh
 		st.CoexistingEdgesReplaced += e.mg.G.RemoveEdgesIncident(graph.Coexisting, hubMembers)
 	}
 	for _, rep := range joinList {
-		if err := e.joinReport(rep, membersOf[rep.URL], st); err != nil {
+		if err := e.joinReportLocked(rep, membersOf[rep.URL], st); err != nil {
 			return err
 		}
 	}
@@ -1017,7 +1026,7 @@ func (e *Engine) applyCoexisting(newReports []*reports.Report, changes []entryCh
 // already joined report is a no-op beyond the pairs its grown member set
 // added. members may carry a pre-resolved presentMembers result (nil
 // resolves it here).
-func (e *Engine) joinReport(rep *reports.Report, members []string, st *IngestStats) error {
+func (e *Engine) joinReportLocked(rep *reports.Report, members []string, st *IngestStats) error {
 	if members == nil {
 		members = e.presentMembers(rep)
 	}
@@ -1080,7 +1089,7 @@ func (e *Engine) indexReportForPackage(id string, rep *reports.Report) {
 // addPosting inserts url into the coordinate's URL-sorted posting list, if
 // absent. Coordinates never observed yet get lists too — that is the whole
 // point: the list is what a later wanted-package arrival re-joins.
-func (e *Engine) addPosting(key, url string) {
+func (e *Engine) addPostingLocked(key, url string) {
 	lst := e.posting[key]
 	i, found := slices.BinarySearch(lst, url)
 	if found {

@@ -123,6 +123,7 @@ func (e *Engine) Snapshot(w io.Writer) error {
 			snap.Items[eco.String()] = out
 		}
 		for front, deps := range sh.importsOf {
+			//malgraph:nondeterm-ok shard import maps are disjoint (node IDs embed the ecosystem), so merge order cannot collide
 			snap.Imports[front] = deps
 		}
 	}
@@ -167,7 +168,7 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		if !ok {
 			return nil, fmt.Errorf("restore: unknown ecosystem %q in items", name)
 		}
-		sh := e.shard(eco)
+		sh := e.shardLocked(eco)
 		// Headroom keeps the first post-restore inserts from recopying the
 		// whole ID-sorted slice (insertItem shifts in place within capacity).
 		restored := make([]textsim.Item, 0, len(items)+len(items)/8+16)
@@ -199,19 +200,20 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		if !ok {
 			return nil, fmt.Errorf("restore: unknown ecosystem %q in partitions", name)
 		}
-		sh := e.shard(eco)
+		sh := e.shardLocked(eco)
 		for key := range parts {
 			if sh.lsh == nil || sh.lsh.Members(key) == nil {
 				return nil, fmt.Errorf("restore: %s partition %q is not canonical in the rebuilt LSH index", name, key)
 			}
 		}
 		sh.clustersByPart = parts
+		//malgraph:nondeterm-ok eco is a bijective rename of the range key, so this writes each ecosystem exactly once
 		e.mg.SimilarClusters[eco] = flattenClusters(parts)
 	}
 
 	// Rebuild the in-memory indexes from the merged dataset and caches.
 	for _, en := range ds.Entries {
-		sh := e.shard(en.Coord.Ecosystem)
+		sh := e.shardLocked(en.Coord.Ecosystem)
 		name := en.Coord.Name
 		id := NodeID(en.Coord)
 		sh.byName[name] = append(sh.byName[name], id)
@@ -232,7 +234,7 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 		if !ok {
 			return nil, fmt.Errorf("restore: import cache references unknown node %s", front)
 		}
-		sh := e.shard(en.Coord.Ecosystem)
+		sh := e.shardLocked(en.Coord.Ecosystem)
 		sh.importsOf[front] = snap.Imports[front]
 		for _, dep := range snap.Imports[front] {
 			sh.importers[dep] = append(sh.importers[dep], front)

@@ -88,19 +88,19 @@ var ErrDuplicateNode = errors.New("graph: duplicate node id")
 // Graph is a concurrent-safe labelled property graph.
 type Graph struct {
 	mu    sync.RWMutex
-	nodes map[string]*Node
-	// adjacency[type][nodeID] = edge indexes into edges
+	nodes map[string]*Node // guarded by mu
+	// adjacency[type][nodeID] = edge indexes into edges; guarded by mu
 	adjacency map[EdgeType]map[string][]int
-	edges     []Edge
-	edgeSeen  map[string]bool // dedup key type|min|max (undirected) or type|from|to (directed)
+	edges     []Edge          // guarded by mu
+	edgeSeen  map[string]bool // dedup key type|min|max (undirected) or type|from|to (directed); guarded by mu
 	// countByType is maintained on insert so EdgeCount stays O(1) — the
 	// analyses poll per-type counts concurrently and must not scan the
-	// edge list under the read lock each time.
+	// edge list under the read lock each time. guarded by mu.
 	countByType map[EdgeType]int
 	// dead counts tombstoned slots in edges (Type == 0) left behind by
 	// RemoveEdgesIncident, which surgically unlinks edges without the O(E)
 	// adjacency rebuild a compaction costs. Tombstones are reclaimed by the
-	// next RemoveEdgesWhere or when they exceed half the slice.
+	// next RemoveEdgesWhere or when they exceed half the slice. guarded by mu.
 	dead int
 }
 
@@ -301,6 +301,7 @@ func (g *Graph) RemoveEdgesIncident(t EdgeType, nodes []string) int {
 	for id := range touched {
 		ids = append(ids, id)
 	}
+	sort.Strings(ids)
 	g.filterAdjacencyLocked(t, ids)
 	g.maybeCompactLocked()
 	return removed
@@ -529,6 +530,7 @@ func (g *Graph) Components(types ...EdgeType) [][]string {
 			for _, idx := range idxs {
 				e := g.edges[idx]
 				if e.From == nodeID { // visit each edge once
+					//malgraph:nondeterm-ok union-find parent choice varies with merge order; components are canonicalised by the sorts below
 					union(e.From, e.To)
 				}
 			}
@@ -537,6 +539,7 @@ func (g *Graph) Components(types ...EdgeType) [][]string {
 	groups := make(map[string][]string)
 	for id := range g.nodes {
 		root := find(id)
+		//malgraph:nondeterm-ok each node lands in exactly one component; member order is canonicalised by sort.Strings below
 		groups[root] = append(groups[root], id)
 	}
 	out := make([][]string, 0, len(groups))

@@ -15,8 +15,8 @@ func lshFixture() []Item {
 	same := []float64{1, 0}
 	return []Item{
 		{ID: "a1", Hash: 0x1111111111111111, Vector: same},
-		{ID: "a2", Hash: 0x1111111111111111, Vector: same},     // same partition as a1
-		{ID: "b1", Hash: 0x2222222222222222, Vector: same},     // no shared band with a*
+		{ID: "a2", Hash: 0x1111111111111111, Vector: same}, // same partition as a1
+		{ID: "b1", Hash: 0x2222222222222222, Vector: same}, // no shared band with a*
 		{ID: "c1", Hash: 0xF0F0F0F0F0F0F0F0, Vector: []float64{0, 1}},
 		{ID: "bridge", Hash: 0x2222222211111111, Vector: same}, // low bands hit a*, high bands hit b1
 	}
