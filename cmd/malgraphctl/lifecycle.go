@@ -1,0 +1,124 @@
+package main
+
+// Graceful lifecycle for serve: the process must be able to die mid-ingest
+// without losing an acknowledged byte. SIGTERM/SIGINT cancel the run
+// context; the lifecycle then stops accepting connections, drains in-flight
+// requests (bounded by -drain-timeout), takes a final crash-safe
+// checkpoint so the journal suffix folds into the snapshot, and closes the
+// WAL. The pprof side listener shares the same shutdown path — it can no
+// longer outlive the API server.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+)
+
+// lifecycle owns serve's listeners and its drain-and-checkpoint shutdown.
+type lifecycle struct {
+	srv  *server
+	main *http.Server
+	// pprofSrv is the optional -pprof side listener; it gets its own mux
+	// (never http.DefaultServeMux, which any imported package can extend)
+	// and is shut down together with the main server.
+	pprofSrv     *http.Server
+	drainTimeout time.Duration
+	out          io.Writer
+}
+
+// newPprofServer builds the -pprof side listener on a dedicated mux with
+// exactly the net/http/pprof handlers — profiling stays off the public API
+// surface and no side-effect DefaultServeMux registrations leak in.
+func newPprofServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+}
+
+// Run serves ln until ctx is cancelled (SIGTERM/SIGINT in production), then
+// executes the graceful sequence: mark draining (readiness fails, late
+// writes shed), stop accepting, drain in-flight requests within
+// drainTimeout, final checkpoint, close the journal. A listener error on
+// the main server is fatal; a pprof listener error is logged and serving
+// continues — profiling must never take the API down.
+func (lc *lifecycle) Run(ctx context.Context, ln net.Listener) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- lc.main.Serve(ln) }()
+	var pprofErr chan error // nil channel: select case blocks forever
+	if lc.pprofSrv != nil {
+		pprofErr = make(chan error, 1)
+		go func() { pprofErr <- lc.pprofSrv.ListenAndServe() }()
+	}
+	for {
+		select {
+		case err := <-serveErr:
+			if err == http.ErrServerClosed {
+				return nil
+			}
+			return err
+		case err := <-pprofErr:
+			if err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "pprof listener %s: %v\n", lc.pprofSrv.Addr, err)
+			}
+			pprofErr = nil
+		case <-ctx.Done():
+			return lc.shutdown()
+		}
+	}
+}
+
+// shutdown drains and persists. Order matters: draining first so kept-alive
+// connections stop being fed new writes, then the HTTP drain (in-flight
+// ingests finish and are journaled), then the final checkpoint (folds the
+// journal into the snapshot — a clean shutdown restarts without replay),
+// then the WAL close. A poisoned engine skips the checkpoint: its in-memory
+// state is suspect, and recovery-by-restart from the last good snapshot +
+// journal is the sound path.
+func (lc *lifecycle) shutdown() error {
+	fmt.Fprintf(lc.out, "shutdown: draining in-flight requests (up to %v)\n", lc.drainTimeout)
+	lc.srv.draining.Store(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), lc.drainTimeout)
+	defer cancel()
+	var firstErr error
+	if err := lc.main.Shutdown(drainCtx); err != nil {
+		firstErr = fmt.Errorf("drain: %w", err)
+		lc.main.Close() // cut stragglers; their work is journaled or unacked
+	}
+	if lc.pprofSrv != nil {
+		_ = lc.pprofSrv.Shutdown(drainCtx)
+	}
+	if lc.srv.snapshotPath != "" && lc.srv.poisonedReason() == "" {
+		lc.srv.checkpointMu.Lock()
+		seq, err := lc.srv.checkpoint()
+		lc.srv.checkpointMu.Unlock()
+		if err != nil {
+			// Non-fatal: every acknowledged ingest is already durable in the
+			// journal; the next start replays it.
+			fmt.Fprintf(os.Stderr, "shutdown checkpoint failed (journal still authoritative): %v\n", err)
+		} else {
+			fmt.Fprintf(lc.out, "shutdown: final checkpoint at %s (seq %d)\n", lc.srv.snapshotPath, seq)
+		}
+	}
+	if lc.srv.wal != nil {
+		if err := lc.srv.wal.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("close journal: %w", err)
+		}
+	}
+	if firstErr == nil {
+		fmt.Fprintln(lc.out, "shutdown: complete")
+	}
+	if errors.Is(firstErr, context.DeadlineExceeded) {
+		return fmt.Errorf("shutdown: drain timed out after %v", lc.drainTimeout)
+	}
+	return firstErr
+}

@@ -9,6 +9,9 @@
 //	malgraphctl serve   [-scale 0.05] [-seed N] [-addr :8080] [-batches 10] [-snapshot state.json]
 //	                    [-wal dir] [-checkpoint-bytes N] [-pprof localhost:6060]
 //	                    [-remote-root URL[,URL...]] [-remote-mirror URL[,URL...]]
+//	                    [-max-inflight 64] [-admission-wait 1s] [-max-body-bytes N]
+//	                    [-mem-watermark-bytes N] [-drain-timeout 30s]
+//	                    [-handler-timeout 2m] [-io-timeout 2m]
 //	malgraphctl push    [-scale 0.05] [-seed N] [-server http://localhost:8080] [-file obs.json] [-batches 10] [-from K]
 //	malgraphctl dataset [-scale 0.05] [-seed N] [-out data.json] [-full]
 //
@@ -30,13 +33,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // -pprof side listener (serve only)
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"malgraph"
+	"malgraph/internal/admission"
 	"malgraph/internal/collect"
 	"malgraph/internal/registry"
 	"malgraph/internal/wal"
@@ -73,6 +79,13 @@ func run(args []string) error {
 	pprofAddr := fs.String("pprof", "", "side listener address for net/http/pprof, e.g. localhost:6060 (serve only; off by default)")
 	server := fs.String("server", "http://localhost:8080", "serve instance to push to (push only)")
 	file := fs.String("file", "", "observations JSON file to push; default: generate from the simulated world (push only)")
+	maxInflight := fs.Int("max-inflight", 64, "concurrent mutating requests admitted; excess waits then gets 429 (serve only)")
+	admissionWait := fs.Duration("admission-wait", time.Second, "how long a mutating request may queue for an admission slot before 429 (serve only; 0 = shed immediately)")
+	maxBodyBytes := fs.Int64("max-body-bytes", 32<<20, "per-request body cap on mutating endpoints; larger bodies get 413 (serve only; 0 disables)")
+	memWatermark := fs.Int64("mem-watermark-bytes", 0, "heap watermark above which mutating requests are shed with 429 while reads keep serving (serve only; 0 disables)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight requests at shutdown before connections are cut (serve only)")
+	handlerTimeout := fs.Duration("handler-timeout", 2*time.Minute, "per-request context deadline on mutating handlers (serve only; 0 disables)")
+	ioTimeout := fs.Duration("io-timeout", 2*time.Minute, "server read/write timeout per request — bounds slow-loris clients (serve only; 0 disables)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -89,8 +102,15 @@ func run(args []string) error {
 	case "crawl":
 		return cmdCrawl(cfg)
 	case "serve":
-		return cmdServe(cfg, *addr, *batches, *snapshot, *walDir, *checkpointBytes,
-			splitList(*remoteRoots), splitList(*remoteMirrors), *pprofAddr)
+		return cmdServe(cfg, serveFlags{
+			addr: *addr, batches: *batches, snapshotPath: *snapshot, walDir: *walDir,
+			checkpointBytes: *checkpointBytes,
+			remoteRoots:     splitList(*remoteRoots), remoteMirrors: splitList(*remoteMirrors),
+			pprofAddr:   *pprofAddr,
+			maxInflight: *maxInflight, admissionWait: *admissionWait,
+			maxBodyBytes: *maxBodyBytes, memWatermark: *memWatermark,
+			drainTimeout: *drainTimeout, handlerTimeout: *handlerTimeout, ioTimeout: *ioTimeout,
+		})
 	case "push":
 		return cmdPush(cfg, *server, *file, *batches, *from)
 	case "dataset":
@@ -187,6 +207,25 @@ func splitList(raw string) []string {
 	return out
 }
 
+// serveFlags bundles serve's command-line knobs.
+type serveFlags struct {
+	addr            string
+	batches         int
+	snapshotPath    string
+	walDir          string
+	checkpointBytes int64
+	remoteRoots     []string
+	remoteMirrors   []string
+	pprofAddr       string
+	maxInflight     int
+	admissionWait   time.Duration
+	maxBodyBytes    int64
+	memWatermark    int64
+	drainTimeout    time.Duration
+	handlerTimeout  time.Duration
+	ioTimeout       time.Duration
+}
+
 // cmdServe runs the streaming MALGRAPH service: the world's timeline cut
 // into ingest batches, with ingest/query/results over HTTP (see serve.go),
 // the external observations/reports inlet, plus the simulated PyPI registry
@@ -201,31 +240,29 @@ func splitList(raw string) []string {
 // the in-process fleet. With -pprof, net/http/pprof is exposed on a side
 // listener (never on the main API address) so lock contention and
 // allocation profiles stay observable in production.
-func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath, walDir string, checkpointBytes int64, remoteRoots, remoteMirrors []string, pprofAddr string) error {
-	p, err := malgraph.NewStreamingPipeline(context.Background(), cfg, batches)
+//
+// Overload and lifecycle (PR 9): mutating requests pass a bounded admission
+// gate (-max-inflight / -admission-wait; saturation answers 429 with a
+// computed Retry-After), bodies are capped (-max-body-bytes), and an
+// optional heap watermark (-mem-watermark-bytes) sheds writes under memory
+// pressure while reads keep serving from the published epoch. SIGTERM and
+// SIGINT trigger a graceful drain (-drain-timeout), a final checkpoint and
+// a clean journal close; /readyz is the orchestrator's readiness probe
+// (fails while poisoned, draining, or on a broken journal) next to the
+// /healthz liveness probe.
+func cmdServe(cfg malgraph.Config, sf serveFlags) error {
+	p, err := malgraph.NewStreamingPipeline(context.Background(), cfg, sf.batches)
 	if err != nil {
 		return err
 	}
-	if pprofAddr != "" {
-		// The pprof mux is the package's side-effect DefaultServeMux
-		// registration; serving it from a dedicated listener keeps profiling
-		// endpoints off the public API surface.
-		go func() {
-			pprofSrv := &http.Server{Addr: pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
-			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "pprof listener %s: %v\n", pprofAddr, err)
-			}
-		}()
-		fmt.Printf("pprof side listener at http://%s/debug/pprof/\n", pprofAddr)
-	}
-	if len(remoteRoots)+len(remoteMirrors) > 0 {
+	if len(sf.remoteRoots)+len(sf.remoteMirrors) > 0 {
 		rf := registry.NewRemoteFleet(nil)
-		for _, u := range remoteRoots {
+		for _, u := range sf.remoteRoots {
 			if err := rf.AddRoot(u); err != nil {
 				return fmt.Errorf("serve -remote-root %s: %w", u, err)
 			}
 		}
-		for _, u := range remoteMirrors {
+		for _, u := range sf.remoteMirrors {
 			if err := rf.AddMirror(u); err != nil {
 				return fmt.Errorf("serve -remote-mirror %s: %w", u, err)
 			}
@@ -233,26 +270,26 @@ func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath, walDi
 		p.SetExternalView(rf)
 		fmt.Printf("external-observation recovery via remote fleet: %v\n", rf.Endpoints())
 	}
-	if snapshotPath != "" {
-		f, err := os.Open(snapshotPath)
+	if sf.snapshotPath != "" {
+		f, err := os.Open(sf.snapshotPath)
 		switch {
 		case err == nil:
 			restoreErr := p.RestoreEngine(f)
 			f.Close()
 			if restoreErr != nil {
-				return fmt.Errorf("warm restart from %s: %w", snapshotPath, restoreErr)
+				return fmt.Errorf("warm restart from %s: %w", sf.snapshotPath, restoreErr)
 			}
 			fmt.Printf("warm restart: %d packages, %d edges from %s (seq %d)\n",
-				len(p.Dataset.Entries), p.Graph.G.EdgeCount(), snapshotPath, p.LastSeq())
+				len(p.Dataset.Entries), p.Graph.G.EdgeCount(), sf.snapshotPath, p.LastSeq())
 		case os.IsNotExist(err):
-			fmt.Printf("cold start: no snapshot at %s yet\n", snapshotPath)
+			fmt.Printf("cold start: no snapshot at %s yet\n", sf.snapshotPath)
 		default:
-			return fmt.Errorf("warm restart from %s: %w", snapshotPath, err)
+			return fmt.Errorf("warm restart from %s: %w", sf.snapshotPath, err)
 		}
 	}
 	var journal *wal.Log
-	if walDir != "" {
-		journal, err = wal.Open(walDir, nil)
+	if sf.walDir != "" {
+		journal, err = wal.Open(sf.walDir, nil)
 		if err != nil {
 			return fmt.Errorf("serve -wal: %w", err)
 		}
@@ -262,14 +299,40 @@ func cmdServe(cfg malgraph.Config, addr string, batches int, snapshotPath, walDi
 		}
 		p.AttachJournal(journal)
 		fmt.Printf("journal at %s: replayed %d record(s) past the snapshot (seq %d)\n",
-			walDir, replayed, p.LastSeq())
+			sf.walDir, replayed, p.LastSeq())
 	}
-	srv := newServer(p, snapshotPath)
+	srv := newServer(p, sf.snapshotPath)
 	srv.wal = journal
-	srv.checkpointBytes = checkpointBytes
+	srv.checkpointBytes = sf.checkpointBytes
+	srv.adm = admission.New(admission.Config{
+		MaxInflight:       sf.maxInflight,
+		MaxWait:           sf.admissionWait,
+		MemWatermarkBytes: uint64(max(sf.memWatermark, 0)),
+	})
+	srv.maxBodyBytes = sf.maxBodyBytes
+	srv.handlerTimeout = sf.handlerTimeout
+
+	main := &http.Server{
+		Addr:              sf.addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       sf.ioTimeout,
+		WriteTimeout:      sf.ioTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	lc := &lifecycle{srv: srv, main: main, drainTimeout: sf.drainTimeout, out: os.Stdout}
+	if sf.pprofAddr != "" {
+		lc.pprofSrv = newPprofServer(sf.pprofAddr)
+		fmt.Printf("pprof side listener at http://%s/debug/pprof/\n", sf.pprofAddr)
+	}
+	ln, err := net.Listen("tcp", sf.addr)
+	if err != nil {
+		return fmt.Errorf("serve -addr %s: %w", sf.addr, err)
+	}
 	fmt.Printf("serving MALGRAPH at %s: POST /api/v1/{ingest,observations,reports} (%d batches pending), "+
-		"GET /api/v1/{results,stats,node,snapshot}, /healthz, PyPI registry at /root/ and /mirror/<name>/\n",
-		addr, p.PendingBatches())
-	server := &http.Server{Addr: addr, Handler: srv.handler(), ReadHeaderTimeout: 5 * time.Second}
-	return server.ListenAndServe()
+		"GET /api/v1/{results,stats,node,snapshot}, /healthz, /readyz, PyPI registry at /root/ and /mirror/<name>/\n",
+		sf.addr, p.PendingBatches())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return lc.Run(ctx, ln)
 }

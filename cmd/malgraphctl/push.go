@@ -138,7 +138,10 @@ func pushAll(hc *http.Client, base string, obs []collect.Observation, reps []*re
 // postJSONBody POSTs body as JSON and decodes the response into v (when
 // non-nil). Transport errors and 5xx statuses — including the serve API's
 // 502 for a registry blip, which ingests nothing — retry under pushRetry;
-// other non-2xx statuses are definitive and surface the server's error
+// a 429 admission shed is the server working as designed, so it burns the
+// separate throttle budget instead of the failure budget; both honour the
+// server's Retry-After hint (capped at the policy's MaxDelay ceiling).
+// Other non-2xx statuses are definitive and surface the server's error
 // message immediately.
 func postJSONBody(hc *http.Client, url string, body, v any) error {
 	payload, err := json.Marshal(body)
@@ -162,8 +165,12 @@ func postJSONBody(hc *http.Client, url string, body, v any) error {
 			}
 			_ = json.NewDecoder(resp.Body).Decode(&e)
 			serr := fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, e.Error)
-			if resp.StatusCode >= 500 {
-				return retry.Mark(serr)
+			hint, _ := retry.ParseRetryAfter(resp.Header.Get("Retry-After"))
+			switch {
+			case resp.StatusCode == http.StatusTooManyRequests:
+				return retry.MarkThrottled(serr, hint)
+			case resp.StatusCode >= 500:
+				return retry.MarkAfter(serr, hint)
 			}
 			return serr
 		}

@@ -11,21 +11,27 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"malgraph"
+	"malgraph/internal/admission"
 	"malgraph/internal/collect"
 	"malgraph/internal/core"
 	"malgraph/internal/ecosys"
+	"malgraph/internal/faultinject"
 	"malgraph/internal/graph"
 	"malgraph/internal/registry"
 	"malgraph/internal/reports"
@@ -48,12 +54,141 @@ type server struct {
 	wal             *wal.Log
 	checkpointBytes int64
 	checkpointMu    sync.Mutex
+
+	// adm gates every mutating (POST) request: a bounded in-flight
+	// semaphore plus a memory-watermark shedder. Saturation answers 429
+	// with a computed Retry-After; reads are never gated (they serve from
+	// the published epoch, lock-free). nil disables the gate.
+	adm *admission.Controller
+	// maxBodyBytes caps every mutating request body via http.MaxBytesReader
+	// — an unbounded json.Decode of an adversarial body is an OOM vector.
+	// 0 disables the cap.
+	maxBodyBytes int64
+	// handlerTimeout bounds each mutating handler's context: a wedged
+	// registry recovery or a stalled resolve cannot hold an admission slot
+	// forever. 0 disables the per-handler deadline.
+	handlerTimeout time.Duration
+
+	// poisoned carries the first mutator panic's description. A panic that
+	// escapes from inside a mutating handler may have left the engine
+	// half-mutated; journal-before-apply makes recovery-by-restart sound,
+	// so the server stops accepting writes (503), fails readiness, and
+	// waits for the orchestrator to restart it — readers keep being served
+	// from the last published (consistent) epoch.
+	poisoned atomic.Pointer[string]
+	// draining is set when graceful shutdown begins: readiness fails and
+	// late writes on kept-alive connections are refused while in-flight
+	// requests finish.
+	draining atomic.Bool
 }
 
 func newServer(p *malgraph.Pipeline, snapshotPath string) *server {
 	// GET /api/v1/snapshot serves through the epoch cache: the first GET
 	// per epoch snapshots the engine, later GETs reuse the bytes lock-free.
-	return &server{p: p, snapshotPath: snapshotPath, snapshot: p.SnapshotCached}
+	// The default admission gate and body cap mirror production serve
+	// defaults so every test runs with the armor on.
+	return &server{
+		p: p, snapshotPath: snapshotPath, snapshot: p.SnapshotCached,
+		adm:          admission.New(admission.Config{MaxInflight: 64, MaxWait: time.Second}),
+		maxBodyBytes: 32 << 20,
+	}
+}
+
+// poison records the first mutator panic and flips readiness; later
+// panics keep the original diagnosis.
+func (s *server) poison(reason string) {
+	if s.poisoned.CompareAndSwap(nil, &reason) {
+		fmt.Fprintf(os.Stderr, "pipeline poisoned: %s\n", reason)
+	}
+}
+
+// poisonedReason returns the first mutator panic's description, "" when
+// healthy.
+func (s *server) poisonedReason() string {
+	if r := s.poisoned.Load(); r != nil {
+		return *r
+	}
+	return ""
+}
+
+// guard is the request armor around every handler: panics are contained
+// per request (500, never a dead loader), and mutating POSTs additionally
+// pass the poison/drain refusals, the admission gate (429 + Retry-After
+// when shed), the body-size cap and the per-handler deadline. Reads take
+// none of those branches — the read path stays a recover-only wrapper.
+func (s *server) guard(mutating bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// Method filtering happens inside handlers; only actual mutations
+		// (POSTs on mutating routes — GET /api/v1/snapshot is a read) are
+		// gated and can poison the pipeline.
+		mutates := mutating && r.Method == http.MethodPost
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec) // the handler aborted deliberately; not ours
+			}
+			if mutates {
+				s.poison(fmt.Sprintf("panic in %s %s: %v", r.Method, r.URL.Path, rec))
+			}
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", rec))
+		}()
+		if !mutates {
+			h(w, r)
+			return
+		}
+		if reason := s.poisonedReason(); reason != "" {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("pipeline poisoned (%s); awaiting restart", reason))
+			return
+		}
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, errors.New("server draining for shutdown"))
+			return
+		}
+		if s.adm != nil {
+			release, err := s.adm.Acquire(r.Context())
+			if err != nil {
+				s.writeShed(w, err)
+				return
+			}
+			defer release()
+		}
+		if s.maxBodyBytes > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+		}
+		if s.handlerTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.handlerTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// writeShed answers a shed mutating request: 429 with the admission
+// controller's computed Retry-After for deliberate sheds, 503 when the
+// client's own context expired while queueing.
+func (s *server) writeShed(w http.ResponseWriter, err error) {
+	if errors.Is(err, admission.ErrSaturated) || errors.Is(err, admission.ErrMemoryPressure) {
+		secs := int(math.Ceil(s.adm.RetryAfter().Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// decodeStatus maps a request-body decode failure to its HTTP status: a
+// body over the -max-body-bytes cap is 413, anything else malformed is 400.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // writeFileAtomic durably replaces path with the bytes write produces:
@@ -130,17 +265,20 @@ func (s *server) maybeCheckpoint() {
 		grown, s.snapshotPath, seq)
 }
 
-// handler builds the full route table.
+// handler builds the full route table. Every route passes through guard:
+// reads get panic containment only, mutating routes additionally get the
+// poison/drain refusals, admission gate, body cap and handler deadline.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/api/v1/ingest", s.handleIngest)
-	mux.HandleFunc("/api/v1/observations", s.handleObservations)
-	mux.HandleFunc("/api/v1/reports", s.handleReports)
-	mux.HandleFunc("/api/v1/results", s.handleResults)
-	mux.HandleFunc("/api/v1/stats", s.handleStats)
-	mux.HandleFunc("/api/v1/node", s.handleNode)
-	mux.HandleFunc("/api/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/healthz", s.guard(false, s.handleHealth))
+	mux.HandleFunc("/readyz", s.guard(false, s.handleReady))
+	mux.HandleFunc("/api/v1/ingest", s.guard(true, s.handleIngest))
+	mux.HandleFunc("/api/v1/observations", s.guard(true, s.handleObservations))
+	mux.HandleFunc("/api/v1/reports", s.guard(true, s.handleReports))
+	mux.HandleFunc("/api/v1/results", s.guard(false, s.handleResults))
+	mux.HandleFunc("/api/v1/stats", s.guard(false, s.handleStats))
+	mux.HandleFunc("/api/v1/node", s.guard(false, s.handleNode))
+	mux.HandleFunc("/api/v1/snapshot", s.guard(true, s.handleSnapshot))
 
 	// The §II-B recovery setup over real HTTP: simulated PyPI root registry
 	// and its mirror fleet.
@@ -169,6 +307,41 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"status":  "ok",
 		"pending": s.p.PendingBatches(),
 	})
+}
+
+// handleReady is the orchestrator's readiness probe, distinct from
+// /healthz (liveness): the process can be alive but unfit for traffic.
+// Readiness fails while poisoned (a mutator panic may have left the engine
+// half-mutated — restart and recover from snapshot + journal), while
+// draining for shutdown, and when the journal's tail state became unknown
+// (sticky wal error). The 200 body carries the durable sequence, pending
+// batches and admission stats for operators.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if reason := s.poisonedReason(); reason != "" {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "poisoned", "reason": reason})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	if s.wal != nil {
+		if err := s.wal.Err(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"status": "journal-broken", "reason": err.Error()})
+			return
+		}
+	}
+	out := map[string]any{
+		"status":  "ready",
+		"pending": s.p.PendingBatches(),
+		"seq":     s.p.LastSeq(),
+	}
+	if s.adm != nil {
+		out["admission"] = s.adm.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // batchOut is the JSON rendering of one batch's core.IngestStats.
@@ -259,6 +432,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		n, exact = v, true
 	}
+	faultinject.Fire("serve.ingest.preApply")
 	// AppendPending claims the batches atomically, so an explicit ?n=K
 	// either ingests exactly K or conflicts — even against concurrent
 	// ingesters. seq is the last applied batch's own durable sequence,
@@ -310,9 +484,10 @@ func (s *server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		Observations []collect.Observation `json:"observations"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode observations: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("decode observations: %w", err))
 		return
 	}
+	faultinject.Fire("serve.observations.preApply")
 	st, seq, err := s.p.AppendExternal(req.Observations, nil)
 	if err != nil {
 		switch {
@@ -349,9 +524,10 @@ func (s *server) handleReports(w http.ResponseWriter, r *http.Request) {
 		Reports []*reports.Report `json:"reports"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode reports: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("decode reports: %w", err))
 		return
 	}
+	faultinject.Fire("serve.reports.preApply")
 	accepted := make([]*reports.Report, 0, len(req.Reports))
 	skipped := 0
 	for _, rep := range req.Reports {

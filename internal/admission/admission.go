@@ -1,0 +1,238 @@
+// Package admission implements overload protection for the serve API's
+// mutating endpoints: a bounded in-flight gate (semaphore with a bounded
+// queue wait) and a memory-watermark shedder. Real malicious-package feeds
+// are bursty — report floods and registry scan storms arrive in campaign
+// spikes — so the loader must shed load predictably instead of queueing
+// without bound until memory or latency collapses.
+//
+// The degradation order is deliberate: reads are never gated (they serve
+// from the published epoch, lock-free, at microsecond cost) while writes
+// shed first — a saturated or memory-pressured loader keeps answering
+// queries from the last consistent epoch and tells publishers exactly when
+// to come back via a computed Retry-After.
+package admission
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Shed errors. Both map to HTTP 429 at the serve layer; they are distinct
+// so operators (and tests) can tell queue saturation from memory pressure.
+var (
+	// ErrSaturated means the in-flight gate stayed full past the bounded
+	// wait: the loader is ingesting as fast as it can and the caller should
+	// retry after the hint.
+	ErrSaturated = errors.New("admission: ingest capacity saturated")
+	// ErrMemoryPressure means the live heap is over the configured
+	// watermark: writes shed immediately (no queueing — queued bodies are
+	// themselves memory) until the heap drops back under.
+	ErrMemoryPressure = errors.New("admission: memory watermark exceeded, shedding writes")
+)
+
+// Config bounds one Controller.
+type Config struct {
+	// MaxInflight is the number of concurrently admitted operations
+	// (minimum 1). The engine serializes batch application behind its
+	// ingest mutex anyway; this gate bounds how many decoded request
+	// bodies and resolver runs can pile up in front of that mutex.
+	MaxInflight int
+	// MaxWait bounds how long an arriving operation may queue for a slot
+	// before being shed with ErrSaturated. 0 sheds immediately when full.
+	MaxWait time.Duration
+	// MemWatermarkBytes sheds writes while the live heap exceeds it.
+	// 0 disables the memory shedder.
+	MemWatermarkBytes uint64
+	// MemCheckEvery bounds how often the heap probe runs (ReadMemStats
+	// stops the world briefly; probing per request would be its own
+	// overload). Default 250ms.
+	MemCheckEvery time.Duration
+	// MaxRetryAfter caps the computed Retry-After hint. Default 30s.
+	MaxRetryAfter time.Duration
+	// ReadMem overrides the live-heap probe, for tests. Default:
+	// runtime.ReadMemStats HeapAlloc.
+	ReadMem func() uint64
+}
+
+// Stats is a point-in-time observability snapshot of a Controller.
+type Stats struct {
+	Inflight      int    `json:"inflight"`
+	Waiters       int    `json:"waiters"`
+	MaxInflight   int    `json:"maxInflight"`
+	Admitted      uint64 `json:"admitted"`
+	ShedSaturated uint64 `json:"shedSaturated"`
+	ShedMemory    uint64 `json:"shedMemory"`
+	MemShedding   bool   `json:"memShedding"`
+}
+
+// Controller is the admission gate. All methods are safe for concurrent
+// use. The zero value is not usable; construct with New.
+type Controller struct {
+	cfg Config
+	// sem holds one token per admitted in-flight operation; its capacity
+	// is MaxInflight. Channel semantics make the fast path lock-free.
+	sem chan struct{}
+
+	mu       sync.Mutex
+	waiters  int           // operations queued for a slot; guarded by mu
+	admitted uint64        // operations admitted so far; guarded by mu
+	ewmaHold time.Duration // smoothed per-operation hold time; guarded by mu
+	shedSat  uint64        // sheds due to saturation; guarded by mu
+	shedMem  uint64        // sheds due to memory pressure; guarded by mu
+	memAt    time.Time     // last watermark probe instant; guarded by mu
+	memHigh  bool          // last watermark probe verdict; guarded by mu
+}
+
+// New builds a Controller from cfg, applying defaults.
+func New(cfg Config) *Controller {
+	if cfg.MaxInflight < 1 {
+		cfg.MaxInflight = 1
+	}
+	if cfg.MemCheckEvery <= 0 {
+		cfg.MemCheckEvery = 250 * time.Millisecond
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 30 * time.Second
+	}
+	return &Controller{cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
+}
+
+// Acquire admits one operation or sheds it. On success the returned
+// release function MUST be called exactly once when the operation
+// finishes (idempotent: extra calls are no-ops). On shed the error is
+// ErrMemoryPressure, ErrSaturated, or the context's own error when the
+// caller's deadline fired first.
+func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
+	if c.overWatermark() {
+		c.mu.Lock()
+		c.shedMem++
+		c.mu.Unlock()
+		return nil, ErrMemoryPressure
+	}
+	// Fast path: a slot is free right now.
+	select {
+	case c.sem <- struct{}{}:
+		return c.admit(), nil
+	default:
+	}
+	if c.cfg.MaxWait <= 0 {
+		c.mu.Lock()
+		c.shedSat++
+		c.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	// Bounded queue: wait for a slot, the wait budget, or the caller's
+	// context — whichever resolves first.
+	c.mu.Lock()
+	c.waiters++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.waiters--
+		c.mu.Unlock()
+	}()
+	timer := time.NewTimer(c.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case c.sem <- struct{}{}:
+		return c.admit(), nil
+	case <-timer.C:
+		c.mu.Lock()
+		c.shedSat++
+		c.mu.Unlock()
+		return nil, ErrSaturated
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// admit records the admission and returns the idempotent release func,
+// which frees the slot and folds the hold duration into the EWMA the
+// Retry-After hint is computed from.
+func (c *Controller) admit() func() {
+	c.mu.Lock()
+	c.admitted++
+	c.mu.Unlock()
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			hold := time.Since(start)
+			<-c.sem
+			c.mu.Lock()
+			if c.ewmaHold == 0 {
+				c.ewmaHold = hold
+			} else {
+				c.ewmaHold = (3*c.ewmaHold + hold) / 4
+			}
+			c.mu.Unlock()
+		})
+	}
+}
+
+// RetryAfter estimates when a shed writer should come back: long enough
+// for the line ahead of it (in-flight plus queued operations) to drain at
+// the smoothed per-operation hold time. Never under a second — sub-second
+// client retry loops would recreate the stampede the gate exists to stop —
+// and capped at MaxRetryAfter so a long EWMA outlier cannot park
+// publishers for minutes.
+func (c *Controller) RetryAfter() time.Duration {
+	c.mu.Lock()
+	ewma, waiters := c.ewmaHold, c.waiters
+	c.mu.Unlock()
+	if ewma <= 0 {
+		ewma = 100 * time.Millisecond // no history yet: assume cheap ops
+	}
+	line := len(c.sem) + waiters + 1
+	d := ewma * time.Duration(line) / time.Duration(c.cfg.MaxInflight)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > c.cfg.MaxRetryAfter {
+		d = c.cfg.MaxRetryAfter
+	}
+	return d
+}
+
+// Snapshot reports the gate's current shape for health/debug endpoints.
+func (c *Controller) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Inflight:      len(c.sem),
+		Waiters:       c.waiters,
+		MaxInflight:   c.cfg.MaxInflight,
+		Admitted:      c.admitted,
+		ShedSaturated: c.shedSat,
+		ShedMemory:    c.shedMem,
+		MemShedding:   c.memHigh,
+	}
+}
+
+// overWatermark reports whether the live heap is above the configured
+// watermark, probing at most once per MemCheckEvery and serving the cached
+// verdict in between.
+func (c *Controller) overWatermark() bool {
+	if c.cfg.MemWatermarkBytes == 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.memAt) >= c.cfg.MemCheckEvery {
+		c.memAt = now
+		c.memHigh = c.readMem() >= c.cfg.MemWatermarkBytes
+	}
+	return c.memHigh
+}
+
+func (c *Controller) readMem() uint64 {
+	if c.cfg.ReadMem != nil {
+		return c.cfg.ReadMem()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

@@ -1,0 +1,173 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAcquireBoundsInflight(t *testing.T) {
+	c := New(Config{MaxInflight: 2, MaxWait: 10 * time.Millisecond})
+	r1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third acquire: the gate is full and stays full past MaxWait.
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third acquire err = %v, want ErrSaturated", err)
+	}
+	st := c.Snapshot()
+	if st.Inflight != 2 || st.ShedSaturated != 1 || st.Admitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	r1()
+	r1() // release is idempotent
+	if _, err := c.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+}
+
+func TestAcquireWaitsForSlot(t *testing.T) {
+	c := New(Config{MaxInflight: 1, MaxWait: 5 * time.Second})
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+			return
+		}
+		admitted.Store(true)
+		r()
+	}()
+	// The queued acquire must not be admitted while the slot is held…
+	time.Sleep(20 * time.Millisecond)
+	if admitted.Load() {
+		t.Fatal("queued acquire admitted while the gate was full")
+	}
+	// …and must be admitted promptly once it frees.
+	release()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued acquire never admitted after release")
+	}
+}
+
+func TestAcquireHonorsContext(t *testing.T) {
+	c := New(Config{MaxInflight: 1, MaxWait: time.Minute})
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMemoryWatermarkShedsWrites(t *testing.T) {
+	var heap atomic.Uint64
+	heap.Store(100)
+	c := New(Config{
+		MaxInflight:       4,
+		MemWatermarkBytes: 1000,
+		MemCheckEvery:     time.Nanosecond, // re-probe on every call
+		ReadMem:           heap.Load,
+	})
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("under watermark: %v", err)
+	}
+	release()
+	heap.Store(2000)
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrMemoryPressure) {
+		t.Fatalf("over watermark err = %v, want ErrMemoryPressure", err)
+	}
+	if st := c.Snapshot(); st.ShedMemory != 1 || !st.MemShedding {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Pressure relieved: writes admitted again.
+	heap.Store(100)
+	release, err = c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("after pressure relieved: %v", err)
+	}
+	release()
+}
+
+func TestRetryAfterBounds(t *testing.T) {
+	c := New(Config{MaxInflight: 2, MaxRetryAfter: 5 * time.Second})
+	// No history: the floor applies.
+	if d := c.RetryAfter(); d != time.Second {
+		t.Fatalf("cold RetryAfter = %v, want 1s", d)
+	}
+	// Fake a long hold history: the hint scales but stays capped.
+	c.mu.Lock()
+	c.ewmaHold = time.Minute
+	c.waiters = 10
+	c.mu.Unlock()
+	if d := c.RetryAfter(); d != 5*time.Second {
+		t.Fatalf("saturated RetryAfter = %v, want the 5s cap", d)
+	}
+}
+
+// TestConcurrentAcquireRelease hammers the gate from many goroutines; run
+// under -race this pins the lock discipline, and the final snapshot must
+// balance (nothing in flight, everything admitted or shed).
+func TestConcurrentAcquireRelease(t *testing.T) {
+	c := New(Config{MaxInflight: 3, MaxWait: time.Second})
+	var wg sync.WaitGroup
+	var peak atomic.Int64
+	var cur atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				release, err := c.Acquire(context.Background())
+				if err != nil {
+					continue // shed under load is fine; imbalance is not
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent admissions, cap is 3", p)
+	}
+	st := c.Snapshot()
+	if st.Inflight != 0 || st.Waiters != 0 {
+		t.Fatalf("gate not drained: %+v", st)
+	}
+	if st.Admitted+st.ShedSaturated != 16*20 {
+		t.Fatalf("admitted %d + shed %d != %d ops", st.Admitted, st.ShedSaturated, 16*20)
+	}
+}

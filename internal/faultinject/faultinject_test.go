@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"time"
 	"testing"
 
 	"malgraph/internal/wal"
@@ -145,5 +147,54 @@ func TestTransportStatusInjection(t *testing.T) {
 	}
 	if tr.Attempts() != 2 {
 		t.Fatalf("matched attempts = %d, want 2", tr.Attempts())
+	}
+}
+
+// TestHooksFireAndClear pins the named-hook contract: unset hooks are
+// no-ops, a registered hook runs on every Fire, panics propagate, and nil
+// unregisters.
+func TestHooksFireAndClear(t *testing.T) {
+	Fire("chaos.test.unset") // must not panic
+
+	calls := 0
+	SetHook("chaos.test.count", func() { calls++ })
+	Fire("chaos.test.count")
+	Fire("chaos.test.count")
+	if calls != 2 {
+		t.Fatalf("hook ran %d times, want 2", calls)
+	}
+	SetHook("chaos.test.count", nil)
+	Fire("chaos.test.count")
+	if calls != 2 {
+		t.Fatalf("cleared hook still ran (%d calls)", calls)
+	}
+
+	SetHook("chaos.test.panic", func() { panic("boom") })
+	defer SetHook("chaos.test.panic", nil)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the hook's panic", r)
+		}
+	}()
+	Fire("chaos.test.panic")
+	t.Fatal("hook panic did not propagate")
+}
+
+// TestSlowReaderPacesDelivery verifies the slow-loris body model: content
+// arrives complete but in delayed chunk-sized pieces.
+func TestSlowReaderPacesDelivery(t *testing.T) {
+	const body = "0123456789"
+	r := SlowReader(strings.NewReader(body), 3, time.Millisecond)
+	start := time.Now()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != body {
+		t.Fatalf("read %q, want %q", got, body)
+	}
+	// 10 bytes at ≤3/read is ≥4 reads, each sleeping ≥1ms.
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("delivery took %v, want the per-chunk delays to add up", elapsed)
 	}
 }

@@ -200,10 +200,19 @@ func (c *Client) getJSON(path string, q url.Values, v any) (int, error) {
 			return retry.Mark(err)
 		}
 		defer resp.Body.Close()
-		if resp.StatusCode >= 500 {
-			// Transient server-side failure: drain and retry.
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			// Transient server-side failure or deliberate shed: drain and
+			// retry, honouring the server's Retry-After hint when present
+			// (capped at the policy's MaxDelay). A 429 burns the throttle
+			// budget, not the failure budget — a shedding registry is
+			// healthy, just busy.
 			_, _ = io.Copy(io.Discard, resp.Body)
-			return retry.Mark(fmt.Errorf("status %d", resp.StatusCode))
+			hint, _ := retry.ParseRetryAfter(resp.Header.Get("Retry-After"))
+			serr := fmt.Errorf("status %d", resp.StatusCode)
+			if resp.StatusCode == http.StatusTooManyRequests {
+				return retry.MarkThrottled(serr, hint)
+			}
+			return retry.MarkAfter(serr, hint)
 		}
 		status = resp.StatusCode
 		if status == http.StatusOK && v != nil {

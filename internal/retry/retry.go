@@ -3,12 +3,22 @@
 // errors explicitly marked retryable — transport failures and 5xx answers —
 // are retried; definitive answers (404 takedowns, 4xx rejections) must pass
 // through untouched so the PR 3 ErrNotFound/ErrUnresolved contract survives.
+//
+// Servers that shed load deliberately (429 Too Many Requests, 503 with a
+// Retry-After header) get two extra behaviours: MarkAfter carries the
+// server's own back-off hint into the sleep (never past the policy's
+// MaxDelay ceiling), and MarkThrottled additionally makes the answer
+// budget-exempt — an admission-control shed is the server working as
+// designed, not failing, so it burns a separate (larger) throttle budget
+// instead of the failure budget.
 package retry
 
 import (
 	"context"
 	"errors"
 	"math/rand"
+	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -31,6 +41,10 @@ type Policy struct {
 	Sleep func(ctx context.Context, d time.Duration) error
 	// Rand supplies jitter randomness; nil uses math/rand's global source.
 	Rand *rand.Rand
+	// ThrottleAttempts bounds how many throttled answers (MarkThrottled —
+	// deliberate 429-style sheds that do not consume the failure budget)
+	// are waited out before giving up. 0 defaults to 4× Attempts.
+	ThrottleAttempts int
 }
 
 // Default is the policy used by the registry client and push paths: three
@@ -42,23 +56,56 @@ func Default() Policy {
 // Do runs op until it succeeds, returns a non-retryable error, or the
 // attempt budget is spent. The last error is returned verbatim (minus the
 // retryable marker), so errors.Is checks against the underlying cause work.
+//
+// Throttled errors (MarkThrottled) consume the separate ThrottleAttempts
+// budget instead of Attempts: a server shedding load on purpose should not
+// exhaust the failure budget reserved for genuine outages. Either kind of
+// error may carry a server-provided Retry-After hint (MarkAfter /
+// MarkThrottled); the sleep before the next try is the larger of the
+// backoff schedule and that hint, with the hint capped at MaxDelay so a
+// hostile or confused server cannot park the client for hours.
 func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
 	if p.Attempts < 1 {
 		p.Attempts = 1
 	}
-	var err error
-	for attempt := 0; attempt < p.Attempts; attempt++ {
-		if attempt > 0 {
-			if serr := p.sleep(ctx, p.delay(attempt-1)); serr != nil {
-				return serr
-			}
-		}
-		err = op(ctx)
+	throttleBudget := p.ThrottleAttempts
+	if throttleBudget <= 0 {
+		throttleBudget = 4 * p.Attempts
+	}
+	failures, throttles := 0, 0
+	for {
+		err := op(ctx)
 		if err == nil || !IsRetryable(err) {
 			return err
 		}
+		var backoff time.Duration
+		if IsThrottled(err) {
+			throttles++
+			if throttles >= throttleBudget {
+				return err
+			}
+			// A throttle is not a failure: the backoff restarts from base
+			// each time and the server's hint (below) dominates.
+			backoff = p.delay(0)
+		} else {
+			failures++
+			if failures >= p.Attempts {
+				return err
+			}
+			backoff = p.delay(failures - 1)
+		}
+		if hint, ok := AfterHint(err); ok {
+			if p.MaxDelay > 0 && hint > p.MaxDelay {
+				hint = p.MaxDelay // cap the server's ask at our own ceiling
+			}
+			if hint > backoff {
+				backoff = hint
+			}
+		}
+		if serr := p.sleep(ctx, backoff); serr != nil {
+			return serr
+		}
 	}
-	return err
 }
 
 func (p Policy) delay(n int) time.Duration {
@@ -106,7 +153,14 @@ func (p Policy) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-type retryableError struct{ err error }
+type retryableError struct {
+	err error
+	// after is the server-provided Retry-After hint (0 = none).
+	after time.Duration
+	// throttled marks a deliberate load-shed answer (429): retried against
+	// the throttle budget, not the failure budget.
+	throttled bool
+}
 
 func (e retryableError) Error() string { return e.err.Error() }
 func (e retryableError) Unwrap() error { return e.err }
@@ -116,11 +170,70 @@ func Mark(err error) error {
 	if err == nil {
 		return nil
 	}
-	return retryableError{err}
+	return retryableError{err: err}
+}
+
+// MarkAfter wraps err retryable with the server's Retry-After hint: Do
+// sleeps at least that long (capped at the policy's MaxDelay) before the
+// next try. Marking nil returns nil.
+func MarkAfter(err error, after time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return retryableError{err: err, after: after}
+}
+
+// MarkThrottled wraps err as a deliberate load-shed answer (HTTP 429):
+// retryable, honouring the Retry-After hint, and budget-exempt — it
+// consumes the policy's ThrottleAttempts budget instead of Attempts.
+// Marking nil returns nil.
+func MarkThrottled(err error, after time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return retryableError{err: err, after: after, throttled: true}
 }
 
 // IsRetryable reports whether err (or anything it wraps) was Marked.
 func IsRetryable(err error) bool {
 	var r retryableError
 	return errors.As(err, &r)
+}
+
+// IsThrottled reports whether err was marked as a throttled (429) answer.
+func IsThrottled(err error) bool {
+	var r retryableError
+	return errors.As(err, &r) && r.throttled
+}
+
+// AfterHint returns the Retry-After hint carried by err, when one is.
+func AfterHint(err error) (time.Duration, bool) {
+	var r retryableError
+	if errors.As(err, &r) && r.after > 0 {
+		return r.after, true
+	}
+	return 0, false
+}
+
+// ParseRetryAfter parses an HTTP Retry-After header value — delay-seconds
+// or an HTTP-date — into a duration. ok is false for absent or malformed
+// values; a date in the past parses as 0 (retry immediately).
+func ParseRetryAfter(header string) (time.Duration, bool) {
+	if header == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(header); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(header); err == nil {
+		d := time.Until(at)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"testing"
 	"time"
 )
@@ -100,6 +101,115 @@ func TestDoStopsOnContextCancel(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("calls = %d, want 1 (no retry after cancel)", calls)
+	}
+}
+
+func TestDoHonorsRetryAfterHint(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{Attempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 5 * time.Second, Sleep: noSleep(&delays)}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return MarkAfter(errors.New("503 busy"), 2*time.Second)
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// The server's 2s hint dominates the 10ms backoff.
+	if len(delays) != 1 || delays[0] != 2*time.Second {
+		t.Fatalf("delays = %v, want [2s]", delays)
+	}
+}
+
+func TestDoCapsRetryAfterAtMaxDelay(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{Attempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Sleep: noSleep(&delays)}
+	calls := 0
+	_ = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return MarkAfter(errors.New("503 busy"), time.Hour)
+		}
+		return nil
+	})
+	if len(delays) != 1 || delays[0] != time.Second {
+		t.Fatalf("delays = %v, want the hint capped at MaxDelay [1s]", delays)
+	}
+}
+
+func TestThrottledDoesNotConsumeFailureBudget(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{Attempts: 2, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Sleep: noSleep(&delays)}
+	// 5 throttled answers then success: a 2-attempt failure budget would
+	// have given up long before, but throttles burn the (4×) throttle
+	// budget instead.
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls <= 5 {
+			return MarkThrottled(errors.New("429 shed"), 20*time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil || calls != 6 {
+		t.Fatalf("err=%v calls=%d, want success on 6th try", err, calls)
+	}
+	for i, d := range delays {
+		if d != 20*time.Millisecond {
+			t.Fatalf("delay %d = %v, want the 20ms server hint", i, d)
+		}
+	}
+
+	// The throttle budget is itself bounded: endless 429s eventually give up.
+	calls = 0
+	err = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return MarkThrottled(errors.New("429 forever"), 0)
+	})
+	if err == nil || calls != 8 { // ThrottleAttempts defaults to 4×Attempts
+		t.Fatalf("err=%v calls=%d, want failure after 8 throttled tries", err, calls)
+	}
+	if !IsThrottled(err) {
+		t.Fatal("exhausted throttle error must stay identifiable")
+	}
+
+	// A mix: failures still bounded by Attempts regardless of throttles.
+	calls = 0
+	err = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return MarkThrottled(errors.New("429"), 0)
+		}
+		return Mark(errors.New("transport down"))
+	})
+	if err == nil || calls != 3 { // 1 throttle + 2 failures (Attempts=2)
+		t.Fatalf("err=%v calls=%d, want 3 calls", err, calls)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d, ok := ParseRetryAfter("7"); !ok || d != 7*time.Second {
+		t.Fatalf("seconds form: %v %v", d, ok)
+	}
+	if _, ok := ParseRetryAfter(""); ok {
+		t.Fatal("empty header must not parse")
+	}
+	if _, ok := ParseRetryAfter("soon"); ok {
+		t.Fatal("garbage must not parse")
+	}
+	if _, ok := ParseRetryAfter("-3"); ok {
+		t.Fatal("negative seconds must not parse")
+	}
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if d, ok := ParseRetryAfter(future); !ok || d <= 0 || d > 10*time.Second {
+		t.Fatalf("http-date form: %v %v", d, ok)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d, ok := ParseRetryAfter(past); !ok || d != 0 {
+		t.Fatalf("past http-date must parse as 0: %v %v", d, ok)
 	}
 }
 

@@ -304,6 +304,17 @@ func (l *Log) EnsureSeq(n uint64) {
 	}
 }
 
+// Err returns the sticky error set when the on-disk tail state became
+// unknown (a failed append whose rollback also failed). A non-nil Err
+// means the journal refuses further appends and the process should be
+// restarted to re-scan the tail — serve's readiness probe reports it so an
+// orchestrator does exactly that.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
 // Size returns the journal's intact byte length.
 func (l *Log) Size() int64 {
 	l.mu.Lock()
