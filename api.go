@@ -470,6 +470,14 @@ func (p *Pipeline) RestoreEngine(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("malgraph: restore: %w", err)
 	}
+	p.adoptEngineLocked(eng)
+	return nil
+}
+
+// adoptEngineLocked swaps the restored engine in and republishes: views,
+// sequence stamp, feed cursor, journal floor and a full-dirty epoch. Caller
+// holds p.mu.
+func (p *Pipeline) adoptEngineLocked(eng *core.Engine) {
 	p.Engine = eng
 	p.Dataset = eng.Dataset()
 	p.Reports = eng.Reports()
@@ -486,7 +494,6 @@ func (p *Pipeline) RestoreEngine(r io.Reader) error {
 	}
 	p.dirty = allDirty()
 	p.publishLocked()
-	return nil
 }
 
 // Analyze computes the Results for the current epoch, lock-free: it loads

@@ -109,6 +109,11 @@ func (lc *lifecycle) shutdown() error {
 			fmt.Fprintf(lc.out, "shutdown: final checkpoint at %s (seq %d)\n", lc.srv.snapshotPath, seq)
 		}
 	}
+	// Wait out any background store compaction the final checkpoint may
+	// have scheduled. Killing it would still be safe — compaction is
+	// crash-tolerant and retried after a later checkpoint — but a clean
+	// shutdown should leave no worker mid-sweep.
+	lc.srv.compactWG.Wait()
 	if lc.srv.wal != nil {
 		if err := lc.srv.wal.Close(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("close journal: %w", err)

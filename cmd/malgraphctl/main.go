@@ -7,6 +7,7 @@
 //	malgraphctl graph   [-scale 0.05] [-seed N] [-out graph.json]
 //	malgraphctl crawl   [-scale 0.05] [-seed N]
 //	malgraphctl serve   [-scale 0.05] [-seed N] [-addr :8080] [-batches 10] [-snapshot state.json]
+//	                    [-store dir] [-snapshot-retain 2]
 //	                    [-wal dir] [-checkpoint-bytes N] [-pprof localhost:6060]
 //	                    [-remote-root URL[,URL...]] [-remote-mirror URL[,URL...]]
 //	                    [-max-inflight 64] [-admission-wait 1s] [-max-body-bytes N]
@@ -43,6 +44,7 @@ import (
 
 	"malgraph"
 	"malgraph/internal/admission"
+	"malgraph/internal/castore"
 	"malgraph/internal/collect"
 	"malgraph/internal/registry"
 	"malgraph/internal/wal"
@@ -71,6 +73,8 @@ func run(args []string) error {
 	maxPages := fs.Int("maxpages", 0, "crawl page budget (0 = library default)")
 	batches := fs.Int("batches", 10, "ingest batches the feed is partitioned into (serve/push)")
 	snapshot := fs.String("snapshot", "", "engine snapshot file for warm restarts (serve only)")
+	storeDir := fs.String("store", "", "content-addressed chunk store directory: checkpoints become a small manifest at -snapshot plus delta segments here, so checkpoint cost tracks the ingest delta (serve only; requires -snapshot)")
+	snapshotRetain := fs.Int("snapshot-retain", 2, "how many snapshots to keep: the live one plus N-1 archives, pruned after each checkpoint (serve only; needs -store)")
 	walDir := fs.String("wal", "", "write-ahead journal directory: accepted ingests are journaled before apply and replayed on restart (serve only)")
 	checkpointBytes := fs.Int64("checkpoint-bytes", 4<<20, "auto-checkpoint once this many journal bytes accumulate (serve only; needs -wal and -snapshot; 0 disables)")
 	from := fs.Int("from", 1, "first batch to push, 1-based — resume an interrupted push from its last acknowledged batch (push only)")
@@ -105,7 +109,8 @@ func run(args []string) error {
 		return cmdServe(cfg, serveFlags{
 			addr: *addr, batches: *batches, snapshotPath: *snapshot, walDir: *walDir,
 			checkpointBytes: *checkpointBytes,
-			remoteRoots:     splitList(*remoteRoots), remoteMirrors: splitList(*remoteMirrors),
+			storeDir:        *storeDir, snapshotRetain: *snapshotRetain,
+			remoteRoots: splitList(*remoteRoots), remoteMirrors: splitList(*remoteMirrors),
 			pprofAddr:   *pprofAddr,
 			maxInflight: *maxInflight, admissionWait: *admissionWait,
 			maxBodyBytes: *maxBodyBytes, memWatermark: *memWatermark,
@@ -214,6 +219,8 @@ type serveFlags struct {
 	snapshotPath    string
 	walDir          string
 	checkpointBytes int64
+	storeDir        string
+	snapshotRetain  int
 	remoteRoots     []string
 	remoteMirrors   []string
 	pprofAddr       string
@@ -234,7 +241,13 @@ type serveFlags struct {
 // ingest is journaled (fsync'd) before the engine applies it, the journal
 // suffix past the snapshot replays on startup, and -checkpoint-bytes bounds
 // how much journal accumulates before an automatic checkpoint+truncate —
-// recovery is always last snapshot + WAL suffix. With -remote-root /
+// recovery is always last snapshot + WAL suffix. With -store (PR 10), the
+// snapshot file becomes a small manifest over content-addressed delta
+// segments in the store directory: checkpoints write O(ingest delta)
+// instead of re-serialising the corpus, the last -snapshot-retain
+// manifests are kept (pruned after each checkpoint), a background sweep
+// compacts the store once it accretes enough segments, and GET
+// /api/v1/snapshot streams manifest + segments with per-segment CRCs. With -remote-root /
 // -remote-mirror, artifact recovery for externally POSTed observations goes
 // through a registry.RemoteFleet against those live base URLs instead of
 // the in-process fleet. With -pprof, net/http/pprof is exposed on a side
@@ -270,11 +283,28 @@ func cmdServe(cfg malgraph.Config, sf serveFlags) error {
 		p.SetExternalView(rf)
 		fmt.Printf("external-observation recovery via remote fleet: %v\n", rf.Endpoints())
 	}
+	var store *castore.Store
+	if sf.storeDir != "" {
+		if sf.snapshotPath == "" {
+			return fmt.Errorf("serve -store requires -snapshot (the store holds chunks; the snapshot file is the manifest that references them)")
+		}
+		store, err = castore.Open(sf.storeDir, nil)
+		if err != nil {
+			return fmt.Errorf("serve -store: %w", err)
+		}
+		fmt.Printf("chunk store at %s: %d blob(s) in %d segment(s)\n",
+			sf.storeDir, store.Len(), store.SegmentCount())
+	}
 	if sf.snapshotPath != "" {
 		f, err := os.Open(sf.snapshotPath)
 		switch {
 		case err == nil:
-			restoreErr := p.RestoreEngine(f)
+			var restoreErr error
+			if store != nil {
+				restoreErr = p.RestoreEngineWithStore(f, store)
+			} else {
+				restoreErr = p.RestoreEngine(f)
+			}
 			f.Close()
 			if restoreErr != nil {
 				return fmt.Errorf("warm restart from %s: %w", sf.snapshotPath, restoreErr)
@@ -282,6 +312,9 @@ func cmdServe(cfg malgraph.Config, sf serveFlags) error {
 			fmt.Printf("warm restart: %d packages, %d edges from %s (seq %d)\n",
 				len(p.Dataset.Entries), p.Graph.G.EdgeCount(), sf.snapshotPath, p.LastSeq())
 		case os.IsNotExist(err):
+			if store != nil {
+				p.AttachStore(store)
+			}
 			fmt.Printf("cold start: no snapshot at %s yet\n", sf.snapshotPath)
 		default:
 			return fmt.Errorf("warm restart from %s: %w", sf.snapshotPath, err)
@@ -304,6 +337,10 @@ func cmdServe(cfg malgraph.Config, sf serveFlags) error {
 	srv := newServer(p, sf.snapshotPath)
 	srv.wal = journal
 	srv.checkpointBytes = sf.checkpointBytes
+	srv.store = store
+	if sf.snapshotRetain > 0 {
+		srv.snapshotRetain = sf.snapshotRetain
+	}
 	srv.adm = admission.New(admission.Config{
 		MaxInflight:       sf.maxInflight,
 		MaxWait:           sf.admissionWait,

@@ -10,16 +10,19 @@ package main
 // without an O(corpus) rebuild.
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,6 +31,7 @@ import (
 
 	"malgraph"
 	"malgraph/internal/admission"
+	"malgraph/internal/castore"
 	"malgraph/internal/collect"
 	"malgraph/internal/core"
 	"malgraph/internal/ecosys"
@@ -54,6 +58,18 @@ type server struct {
 	wal             *wal.Log
 	checkpointBytes int64
 	checkpointMu    sync.Mutex
+
+	// store is the content-addressed chunk store behind segmented (v5)
+	// checkpoints (nil without -store). With it set, the snapshot file is a
+	// small manifest, checkpoints write only the ingest delta, GET
+	// /api/v1/snapshot streams manifest + segments, and checkpoints retain
+	// the last snapshotRetain manifests (the archives keep their chunks
+	// alive through compaction until retention prunes them).
+	store          *castore.Store
+	snapshotRetain int
+	// compactWG tracks the background compaction worker so shutdown can
+	// wait it out instead of exiting mid-sweep.
+	compactWG sync.WaitGroup
 
 	// adm gates every mutating (POST) request: a bounded in-flight
 	// semaphore plus a memory-watermark shedder. Saturation answers 429
@@ -89,8 +105,9 @@ func newServer(p *malgraph.Pipeline, snapshotPath string) *server {
 	// defaults so every test runs with the armor on.
 	return &server{
 		p: p, snapshotPath: snapshotPath, snapshot: p.SnapshotCached,
-		adm:          admission.New(admission.Config{MaxInflight: 64, MaxWait: time.Second}),
-		maxBodyBytes: 32 << 20,
+		adm:            admission.New(admission.Config{MaxInflight: 64, MaxWait: time.Second}),
+		maxBodyBytes:   32 << 20,
+		snapshotRetain: 2,
 	}
 }
 
@@ -237,9 +254,172 @@ func writeFileAtomic(path string, write func(io.Writer) error) error {
 // between the two just leaves records that replay as sequence-gated
 // no-ops. Returns the sequence the snapshot covers.
 func (s *server) checkpoint() (uint64, error) {
-	return s.p.Checkpoint(func(snapshot func(io.Writer) error) error {
+	seq, err := s.p.Checkpoint(func(snapshot func(io.Writer) error) error {
+		if err := s.archiveSnapshot(); err != nil {
+			return fmt.Errorf("archive snapshot: %w", err)
+		}
 		return writeFileAtomic(s.snapshotPath, snapshot)
 	})
+	if err != nil {
+		return seq, err
+	}
+	if err := s.pruneArchives(); err != nil {
+		// Non-fatal: the checkpoint itself is durable; a stale archive only
+		// costs disk (and keeps its chunks alive) until the next prune.
+		fmt.Fprintf(os.Stderr, "prune snapshot archives: %v\n", err)
+	}
+	s.maybeCompact()
+	return seq, nil
+}
+
+// archiveName is the on-disk name of the gen-th retained snapshot.
+func archiveName(path string, gen int) string {
+	return fmt.Sprintf("%s.%06d", path, gen)
+}
+
+// archiveGens lists the existing snapshot-archive generation numbers next
+// to s.snapshotPath, ascending (oldest first).
+func (s *server) archiveGens() ([]int, error) {
+	ents, err := os.ReadDir(filepath.Dir(s.snapshotPath))
+	if err != nil {
+		return nil, err
+	}
+	base := filepath.Base(s.snapshotPath) + "."
+	var gens []int
+	for _, de := range ents {
+		suffix, ok := strings.CutPrefix(de.Name(), base)
+		if !ok {
+			continue
+		}
+		if g, err := strconv.Atoi(suffix); err == nil && g >= 1 {
+			gens = append(gens, g)
+		}
+	}
+	sort.Ints(gens)
+	return gens, nil
+}
+
+// archiveSnapshot preserves the currently published snapshot under the next
+// archive generation before a new checkpoint renames over it. A hard link
+// suffices — published snapshots are immutable (checkpoints replace by
+// rename, never rewrite). Retention of 1 keeps only the live snapshot.
+func (s *server) archiveSnapshot() error {
+	if s.snapshotRetain <= 1 {
+		return nil
+	}
+	if _, err := os.Stat(s.snapshotPath); err != nil {
+		if os.IsNotExist(err) {
+			return nil // nothing published yet
+		}
+		return err
+	}
+	gens, err := s.archiveGens()
+	if err != nil {
+		return err
+	}
+	next := 1
+	if len(gens) > 0 {
+		next = gens[len(gens)-1] + 1
+	}
+	return os.Link(s.snapshotPath, archiveName(s.snapshotPath, next))
+}
+
+// pruneArchives drops the oldest archives beyond the retention budget
+// (snapshotRetain counts the live snapshot plus its archives) and fsyncs
+// the directory so the unlinks are as durable as the rename that published
+// the snapshot they made room for.
+func (s *server) pruneArchives() error {
+	gens, err := s.archiveGens()
+	if err != nil {
+		return err
+	}
+	keep := s.snapshotRetain - 1
+	if keep < 0 {
+		keep = 0
+	}
+	if len(gens) <= keep {
+		return nil
+	}
+	for _, g := range gens[:len(gens)-keep] {
+		if err := os.Remove(archiveName(s.snapshotPath, g)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	d, err := os.Open(filepath.Dir(s.snapshotPath))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// compactSegmentThreshold is the store segment count past which a
+// successful checkpoint schedules a background compaction: every
+// checkpoint appends one delta segment, so the store accretes segments
+// (and superseded chunks) until a sweep folds them together.
+const compactSegmentThreshold = 8
+
+// maybeCompact schedules a background compaction when the store has
+// accumulated enough delta segments. The worker serializes with
+// checkpoints (checkpointMu): liveness is computed from the engine's
+// current refs plus every retained manifest, and a checkpoint racing that
+// computation could reference a blob the sweep already declared dead
+// (Append dedupes against the index before the sweep unlinks it).
+func (s *server) maybeCompact() {
+	if s.store == nil || s.store.SegmentCount() < compactSegmentThreshold {
+		return
+	}
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		s.checkpointMu.Lock()
+		defer s.checkpointMu.Unlock()
+		if err := s.compactStore(); err != nil {
+			fmt.Fprintf(os.Stderr, "castore compaction failed (will retry after a later checkpoint): %v\n", err)
+		}
+	}()
+}
+
+// compactStore merges the store's segments, keeping every blob referenced
+// by the engine's live manifest state or by any retained snapshot file —
+// archived manifests must stay restorable until retention prunes them.
+// Caller holds checkpointMu.
+func (s *server) compactStore() error {
+	live := s.p.LiveRefs()
+	paths := []string{s.snapshotPath}
+	gens, err := s.archiveGens()
+	if err != nil {
+		return err
+	}
+	for _, g := range gens {
+		paths = append(paths, archiveName(s.snapshotPath, g))
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return err
+		}
+		refs, err := core.CollectManifestRefs(f, s.store)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("manifest %s: %w", path, err)
+		}
+		for h := range refs {
+			live[h] = true
+		}
+	}
+	compacted, err := s.store.Compact(live)
+	if err != nil {
+		return err
+	}
+	if compacted {
+		fmt.Printf("castore compacted: %d blob(s) in %d segment(s)\n",
+			s.store.Len(), s.store.SegmentCount())
+	}
+	return nil
 }
 
 // maybeCheckpoint runs after each accepted ingest: once the journal has
@@ -654,6 +834,14 @@ func (s *server) handleNode(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
+		if s.store != nil {
+			// Segmented mode: stream the last checkpointed manifest plus
+			// the store's segment files. GET must never run the engine's
+			// segmented Snapshot itself — that path mutates (commits chunk
+			// logs, drops the graph journal) and belongs to Checkpoint.
+			s.handleSnapshotBundle(w)
+			return
+		}
 		// Buffer before writing: streaming SnapshotEngine straight into
 		// the response would commit a 200 status on the first byte, and a
 		// mid-stream error would then append a JSON error object to a
@@ -688,4 +876,153 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST required"))
 	}
+}
+
+// The snapshot bundle is the segmented-mode GET /api/v1/snapshot wire
+// format: a JSON header line naming the format, the manifest size and the
+// segment count; the raw manifest bytes; then, per segment, a JSON frame
+// line ({name, size}), the segment's raw bytes streamed straight from
+// disk, and a JSON trailer line carrying the CRC-32 (IEEE) of those bytes.
+// Everything is line-framed (the manifest and every segment file are
+// single JSON lines themselves) and nothing is buffered whole: memory
+// stays O(1) in store size on both ends.
+const bundleFormat = "malgraph-snapshot-bundle/1"
+
+type bundleHeader struct {
+	Format       string `json:"format"`
+	ManifestSize int    `json:"manifestSize"`
+	Segments     int    `json:"segments"`
+}
+
+type bundleFrame struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+type bundleTrailer struct {
+	CRC32 string `json:"crc32"`
+}
+
+// handleSnapshotBundle streams the current segmented checkpoint. The
+// manifest comes from the snapshot file the last checkpoint published (the
+// first GET before any checkpoint runs one); manifest read and segment
+// opens happen under checkpointMu so a concurrent compaction cannot drop a
+// chunk the manifest references — once the segment files are open, a later
+// unlink does not revoke them. A failure after the header has been written
+// aborts the connection; the client detects it through the framing and the
+// per-segment CRCs.
+func (s *server) handleSnapshotBundle(w http.ResponseWriter) {
+	s.checkpointMu.Lock()
+	if _, err := os.Stat(s.snapshotPath); os.IsNotExist(err) {
+		if _, err := s.checkpoint(); err != nil {
+			s.checkpointMu.Unlock()
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	manifest, err := os.ReadFile(s.snapshotPath)
+	if err == nil && (len(manifest) == 0 || manifest[len(manifest)-1] != '\n') {
+		err = fmt.Errorf("snapshot %s is not a line-framed manifest", s.snapshotPath)
+	}
+	if err != nil {
+		s.checkpointMu.Unlock()
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	files, metas, err := s.store.OpenSegments()
+	s.checkpointMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(bundleHeader{Format: bundleFormat, ManifestSize: len(manifest), Segments: len(files)}); err != nil {
+		return
+	}
+	if _, err := w.Write(manifest); err != nil {
+		return
+	}
+	for i, f := range files {
+		info, err := f.Stat()
+		if err != nil {
+			panic(http.ErrAbortHandler) // headers sent; cut the connection
+		}
+		if err := enc.Encode(bundleFrame{Name: metas[i].Name, Size: info.Size()}); err != nil {
+			return
+		}
+		crc := crc32.NewIEEE()
+		if _, err := io.Copy(io.MultiWriter(w, crc), f); err != nil {
+			return
+		}
+		if err := enc.Encode(bundleTrailer{CRC32: fmt.Sprintf("%08x", crc.Sum32())}); err != nil {
+			return
+		}
+	}
+}
+
+// readSnapshotBundle consumes a snapshot bundle stream, verifying every
+// segment's size and CRC, writes the segment files into dir (created if
+// needed — a directory castore.Open accepts as-is) and returns the
+// manifest bytes to hand to RestoreEngineWithStore.
+func readSnapshotBundle(r io.Reader, dir string) ([]byte, error) {
+	br := bufio.NewReader(r)
+	readLine := func(v any) error {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(line, v)
+	}
+	var hdr bundleHeader
+	if err := readLine(&hdr); err != nil {
+		return nil, fmt.Errorf("bundle header: %w", err)
+	}
+	if hdr.Format != bundleFormat {
+		return nil, fmt.Errorf("bundle format %q, want %q", hdr.Format, bundleFormat)
+	}
+	manifest := make([]byte, hdr.ManifestSize)
+	if _, err := io.ReadFull(br, manifest); err != nil {
+		return nil, fmt.Errorf("bundle manifest: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	for i := 0; i < hdr.Segments; i++ {
+		var fr bundleFrame
+		if err := readLine(&fr); err != nil {
+			return nil, fmt.Errorf("bundle frame %d: %w", i, err)
+		}
+		if fr.Name != filepath.Base(fr.Name) || !strings.HasPrefix(fr.Name, "seg-") {
+			return nil, fmt.Errorf("bundle frame %d: suspicious segment name %q", i, fr.Name)
+		}
+		crc := crc32.NewIEEE()
+		f, err := os.Create(filepath.Join(dir, fr.Name))
+		if err != nil {
+			return nil, err
+		}
+		n, err := io.Copy(io.MultiWriter(f, crc), io.LimitReader(br, fr.Size))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bundle segment %s: %w", fr.Name, err)
+		}
+		if n != fr.Size {
+			return nil, fmt.Errorf("bundle segment %s: truncated at %d of %d bytes", fr.Name, n, fr.Size)
+		}
+		var tr bundleTrailer
+		if err := readLine(&tr); err != nil {
+			return nil, fmt.Errorf("bundle segment %s trailer: %w", fr.Name, err)
+		}
+		if got := fmt.Sprintf("%08x", crc.Sum32()); got != tr.CRC32 {
+			return nil, fmt.Errorf("bundle segment %s: crc %s, want %s", fr.Name, got, tr.CRC32)
+		}
+	}
+	return manifest, nil
 }

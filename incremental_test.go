@@ -9,6 +9,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"sort"
@@ -16,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"malgraph/internal/castore"
 	"malgraph/internal/collect"
 	"malgraph/internal/core"
 	"malgraph/internal/graph"
@@ -645,4 +648,51 @@ func TestAnalyzeCacheMatchesFresh(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertResultsEqual(t, cached, fresh, "cache-vs-fresh")
+}
+
+// --- Checkpoint-growth benchmark (ISSUE 10 acceptance) ---
+//
+// The segmented-checkpoint claim is that snapshot cost is O(delta), not
+// O(corpus): after the same held-out batch lands in a 1× and a 10× corpus,
+// the next checkpoint writes only the chunks that batch dirtied, so its
+// cost must stay roughly flat as the corpus grows. Each iteration restores
+// the warmed corpus, attaches a fresh content store, takes one priming
+// checkpoint (the full re-base — deliberately outside the timer), ingests
+// the delta, and times only the delta checkpoint. The CI gate compares the
+// 10× and 1× ns/op via checkpoint_growth_ratio in BENCH_incremental.json.
+func BenchmarkIncremental_CheckpointGrowth(b *testing.B) {
+	for _, size := range []struct {
+		name   string
+		prefix int
+	}{{"1x", 100}, {"4x", 400}, {"10x", 998}} {
+		b.Run("size="+size.name, func(b *testing.B) {
+			st := growthSetup(b, size.prefix)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				store, err := castore.Open(filepath.Join(b.TempDir(), "store"), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := core.RestoreEngineWithStore(bytes.NewReader(st.snap), store)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Snapshot(io.Discard); err != nil { // priming full re-base
+					b.Fatal(err)
+				}
+				if _, err := eng.Ingest(st.delta); err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				b.StartTimer()
+				if err := eng.Snapshot(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// After the loop: ResetTimer clears extra metrics reported
+			// before it.
+			b.ReportMetric(float64(len(st.delta.Entries)), "delta_entries")
+		})
+	}
 }

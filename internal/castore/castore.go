@@ -1,0 +1,565 @@
+// Package castore is a content-addressed blob store persisted as immutable
+// append-only segment files. A blob is an opaque JSON value — an artifact's
+// serialised content, a manifest section chunk — keyed by the SHA-256 of
+// its bytes (KeyOf), so a blob's key commits to its content: duplicate
+// writes dedupe for free, and every read re-verifies the bytes against the
+// key.
+//
+// On-disk layout is one directory of JSON segment files, seg-00000001.json
+// upward. A segment is written once — temp file, fsync, rename, directory
+// fsync, the same crash discipline as the serve checkpoint's
+// writeFileAtomic — and never modified afterwards. A crash mid-write
+// leaves only a .castore-* temp file, which Open deletes; a crash
+// mid-compaction leaves either the old segments, or the merged segment
+// plus some not-yet-unlinked old ones, and because blobs are
+// content-addressed the duplicates are harmless: Open keeps the first
+// segment that mentions a hash and ignores re-mentions.
+//
+// Each segment leads with its hash index ahead of the blob bodies, so
+// Open recovers the full hash→segment index by decoding only the index
+// prefix of each file — opening a large store does not decode artifact
+// bodies.
+package castore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"malgraph/internal/wal"
+)
+
+// KeyOf returns the content key of a blob: the SHA-256 of its bytes, hex
+// encoded. Every blob in the store is addressed — and verified — by it.
+func KeyOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Blob pairs a content key with its bytes. Key must equal KeyOf(Data);
+// Append rejects mismatches rather than store an unverifiable blob.
+type Blob struct {
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data"`
+}
+
+// segment file names are seg-%08d.json; temp files carry the tempPrefix
+// and are garbage from an interrupted write, removed at Open.
+const (
+	segPattern = "seg-%08d.json"
+	tempPrefix = ".castore-"
+)
+
+// segment is the on-disk JSON shape. Hashes is serialized first so Open
+// can stop decoding after the index; Blobs carries the blob bodies in the
+// same order.
+type segment struct {
+	Hashes []string `json:"hashes"`
+	Blobs  []Blob   `json:"blobs"`
+}
+
+// Store is a content-addressed artifact store over one directory of
+// immutable segment files. All exported methods are safe for concurrent
+// use.
+type Store struct {
+	fs  wal.FS
+	dir string
+
+	mu sync.Mutex
+	// known maps blob hash → segment id, guarded by mu.
+	known map[string]int
+	// segs lists live segment ids in ascending order, guarded by mu.
+	segs []int
+	// nextSeg is the id the next written segment takes, guarded by mu.
+	// Strictly greater than every id ever used, including unlinked ones,
+	// so a lingering pre-crash segment can never collide with a new write.
+	nextSeg int
+	// compacting serializes compaction runs, guarded by mu.
+	compacting bool
+}
+
+// Open creates dir if needed, removes interrupted-write temp files, and
+// indexes every segment by decoding only its hash-index prefix. A nil fs
+// uses the real filesystem.
+func Open(dir string, fs wal.FS) (*Store, error) {
+	if fs == nil {
+		fs = wal.OSFS()
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("castore: %w", err)
+	}
+	st := &Store{
+		fs:      fs,
+		dir:     dir,
+		known:   make(map[string]int),
+		nextSeg: 1,
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("castore: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		if strings.HasPrefix(name, tempPrefix) {
+			// Leftover from a write interrupted before rename — never
+			// referenced, safe to drop.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var id int
+		if n, err := fmt.Sscanf(name, segPattern, &id); n != 1 || err != nil {
+			continue
+		}
+		hashes, err := st.readIndex(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("castore: segment %s: %w", name, err)
+		}
+		st.segs = append(st.segs, id)
+		for _, h := range hashes {
+			// First mention wins: after an interrupted compaction the same
+			// blob can appear in the merged segment and in an old one, and
+			// either copy is byte-identical by construction.
+			if _, ok := st.known[h]; !ok {
+				st.known[h] = id
+			}
+		}
+		if id >= st.nextSeg {
+			st.nextSeg = id + 1
+		}
+	}
+	sort.Ints(st.segs)
+	return st, nil
+}
+
+// readIndex decodes just the "hashes" index prefix of a segment file.
+func (st *Store) readIndex(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	// Walk: { "hashes" : [ ... ] — then stop without decoding blobs.
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, err
+	}
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	if key, ok := tok.(string); !ok || key != "hashes" {
+		return nil, fmt.Errorf("malformed segment: expected hashes index, got %v", tok)
+	}
+	var hashes []string
+	if err := dec.Decode(&hashes); err != nil {
+		return nil, err
+	}
+	return hashes, nil
+}
+
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("malformed segment: expected %q, got %v", want, tok)
+	}
+	return nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Len returns the number of distinct blobs indexed.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.known)
+}
+
+// SegmentCount returns the number of live segment files.
+func (st *Store) SegmentCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.segs)
+}
+
+// Has reports whether the blob with the given hash is stored.
+func (st *Store) Has(hash string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.known[hash]
+	return ok
+}
+
+// Missing returns, preserving order, the subset of hashes not yet stored.
+func (st *Store) Missing(hashes []string) []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []string
+	seen := make(map[string]bool, len(hashes))
+	for _, h := range hashes {
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		if _, ok := st.known[h]; !ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Append durably stores every blob not already present as one new
+// segment, and returns the number of blobs written. Blobs whose key is
+// already indexed are skipped (content-addressing makes the stored copy
+// equivalent). An all-duplicates or empty batch writes nothing. The
+// segment is crash-safe: temp → write → fsync → rename → directory fsync,
+// so after Append returns the blobs survive power loss, and a crash
+// before the rename leaves no trace beyond a temp file Open removes.
+func (st *Store) Append(blobs []Blob) (int, error) {
+	for _, b := range blobs {
+		if got := KeyOf(b.Data); got != b.Key {
+			return 0, fmt.Errorf("castore: blob key %s does not match content key %s", b.Key, got)
+		}
+	}
+	st.mu.Lock()
+	seg := segment{}
+	inSeg := make(map[string]bool, len(blobs))
+	for _, b := range blobs {
+		h := b.Key
+		if _, ok := st.known[h]; ok {
+			continue
+		}
+		if inSeg[h] {
+			continue
+		}
+		inSeg[h] = true
+		seg.Hashes = append(seg.Hashes, h)
+		seg.Blobs = append(seg.Blobs, b)
+	}
+	if len(seg.Hashes) == 0 {
+		st.mu.Unlock()
+		return 0, nil
+	}
+	id := st.nextSeg
+	st.nextSeg++
+	st.mu.Unlock()
+
+	if err := st.writeSegment(id, &seg); err != nil {
+		return 0, err
+	}
+
+	st.mu.Lock()
+	st.segs = append(st.segs, id)
+	sort.Ints(st.segs)
+	for _, h := range seg.Hashes {
+		if _, ok := st.known[h]; !ok {
+			st.known[h] = id
+		}
+	}
+	st.mu.Unlock()
+	return len(seg.Hashes), nil
+}
+
+// writeSegment writes one segment file with full crash discipline.
+func (st *Store) writeSegment(id int, seg *segment) (err error) {
+	name := fmt.Sprintf(segPattern, id)
+	tmp := filepath.Join(st.dir, tempPrefix+name)
+	final := filepath.Join(st.dir, name)
+	f, err := st.fs.OpenFile(tmp)
+	if err != nil {
+		return fmt.Errorf("castore: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	enc := json.NewEncoder(f)
+	if err = enc.Encode(seg); err != nil {
+		return fmt.Errorf("castore: encode segment: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("castore: sync segment: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("castore: close segment: %w", err)
+	}
+	if err = os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("castore: publish segment: %w", err)
+	}
+	if err = st.fs.SyncDir(st.dir); err != nil {
+		return fmt.Errorf("castore: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Fetch resolves content keys to blob bytes, decoding only the segments
+// that contain at least one requested blob. Every returned blob is
+// re-verified against its key. Unknown keys are an error.
+func (st *Store) Fetch(hashes []string) (map[string]json.RawMessage, error) {
+	out := make(map[string]json.RawMessage, len(hashes))
+	// A concurrent compaction can unlink a segment between the index
+	// lookup and the file open; the blobs then live in the merged segment
+	// the updated index points at, so re-resolve and retry. Two rounds
+	// always suffice — only one compaction runs at a time, and the merged
+	// segment is published before the old ones are unlinked.
+	for attempt := 0; ; attempt++ {
+		st.mu.Lock()
+		want := make(map[string]bool, len(hashes))
+		segsNeeded := make(map[int]bool)
+		for _, h := range hashes {
+			if want[h] || out[h] != nil {
+				continue
+			}
+			id, ok := st.known[h]
+			if !ok {
+				st.mu.Unlock()
+				return nil, fmt.Errorf("castore: unknown blob %s", h)
+			}
+			want[h] = true
+			segsNeeded[id] = true
+		}
+		st.mu.Unlock()
+		if len(want) == 0 {
+			return out, nil
+		}
+
+		ids := make([]int, 0, len(segsNeeded))
+		for id := range segsNeeded {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		retry := false
+		for _, id := range ids {
+			err := st.fetchFromSegment(id, want, out)
+			if errors.Is(err, os.ErrNotExist) {
+				retry = true
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		missing := false
+		for h := range want {
+			if _, ok := out[h]; !ok {
+				missing = true
+			}
+		}
+		if !missing {
+			return out, nil
+		}
+		if !retry || attempt >= 3 {
+			return nil, fmt.Errorf("castore: indexed blob missing from its segment")
+		}
+	}
+}
+
+func (st *Store) fetchFromSegment(id int, want map[string]bool, out map[string]json.RawMessage) error {
+	path := filepath.Join(st.dir, fmt.Sprintf(segPattern, id))
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		return fmt.Errorf("castore: %w", err)
+	}
+	defer f.Close()
+	var seg segment
+	if err := json.NewDecoder(f).Decode(&seg); err != nil {
+		return fmt.Errorf("castore: segment %d: %w", id, err)
+	}
+	for _, b := range seg.Blobs {
+		if len(b.Data) == 0 || !want[b.Key] {
+			continue
+		}
+		if _, ok := out[b.Key]; ok {
+			continue
+		}
+		if got := KeyOf(b.Data); got != b.Key {
+			return fmt.Errorf("castore: segment %d: blob %s content hashes to %s", id, b.Key, got)
+		}
+		out[b.Key] = b.Data
+	}
+	return nil
+}
+
+// SegmentFile names one live segment for streaming: its file name (within
+// the store directory) and the blob hashes it carries.
+type SegmentFile struct {
+	Name   string
+	Hashes []string
+}
+
+// OpenSegments opens every live segment for reading and returns the open
+// files alongside the set of hashes they cover. The files stay readable
+// even if a concurrent compaction unlinks them (POSIX semantics), so a
+// streaming reader gets a consistent snapshot of the store without
+// blocking writers. The caller closes the files.
+func (st *Store) OpenSegments() ([]*os.File, []SegmentFile, error) {
+	st.mu.Lock()
+	ids := append([]int(nil), st.segs...)
+	st.mu.Unlock()
+
+	var files []*os.File
+	var metas []SegmentFile
+	for _, id := range ids {
+		name := fmt.Sprintf(segPattern, id)
+		f, err := os.Open(filepath.Join(st.dir, name))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// Compacted away between snapshot of ids and open; its blobs
+				// live on in the merged segment, which a fresh OpenSegments
+				// would return. Callers treat covered-hash sets as advisory.
+				continue
+			}
+			closeAll(files)
+			return nil, nil, fmt.Errorf("castore: %w", err)
+		}
+		hashes, err := st.readIndex(filepath.Join(st.dir, name))
+		if err != nil {
+			f.Close()
+			closeAll(files)
+			return nil, nil, fmt.Errorf("castore: segment %s: %w", name, err)
+		}
+		files = append(files, f)
+		metas = append(metas, SegmentFile{Name: name, Hashes: hashes})
+	}
+	return files, metas, nil
+}
+
+func closeAll(files []*os.File) {
+	for _, f := range files {
+		f.Close()
+	}
+}
+
+// Compact merges every live segment into one new segment carrying only
+// the blobs in live, then unlinks the old segments. At most one
+// compaction runs at a time; a concurrent call returns immediately with
+// compacted=false. Appends may proceed concurrently — the merged segment
+// covers exactly the segments captured at entry, and segments appended
+// later are untouched.
+//
+// Crash safety: the merged segment is published atomically before any old
+// segment is unlinked, so every crash point leaves all live blobs
+// reachable — the worst case is duplicate copies of a blob across the
+// merged and not-yet-unlinked old segments, which Open dedupes by hash.
+func (st *Store) Compact(live map[string]bool) (compacted bool, err error) {
+	st.mu.Lock()
+	if st.compacting {
+		st.mu.Unlock()
+		return false, nil
+	}
+	st.compacting = true
+	oldIDs := append([]int(nil), st.segs...)
+	id := st.nextSeg
+	st.nextSeg++
+	st.mu.Unlock()
+	defer func() {
+		st.mu.Lock()
+		st.compacting = false
+		st.mu.Unlock()
+	}()
+
+	if len(oldIDs) == 0 {
+		return false, nil
+	}
+
+	// Gather the retained blobs from the old segments, first mention wins.
+	merged := segment{}
+	kept := make(map[string]bool)
+	for _, oid := range oldIDs {
+		path := filepath.Join(st.dir, fmt.Sprintf(segPattern, oid))
+		f, err := os.Open(path)
+		if err != nil {
+			return false, fmt.Errorf("castore: %w", err)
+		}
+		var seg segment
+		err = json.NewDecoder(f).Decode(&seg)
+		f.Close()
+		if err != nil {
+			return false, fmt.Errorf("castore: segment %d: %w", oid, err)
+		}
+		for _, b := range seg.Blobs {
+			if len(b.Data) == 0 || kept[b.Key] {
+				continue
+			}
+			if live != nil && !live[b.Key] {
+				continue
+			}
+			kept[b.Key] = true
+			merged.Hashes = append(merged.Hashes, b.Key)
+			merged.Blobs = append(merged.Blobs, b)
+		}
+	}
+
+	replace := func(newSegs []int) {
+		st.mu.Lock()
+		// Keep segments appended while we compacted; drop the merged-away
+		// ids and re-point every kept hash at the merged segment. Hashes
+		// dropped as dead are deleted unless a concurrent append re-added
+		// them into a newer segment.
+		retain := newSegs
+		for _, sid := range st.segs {
+			if !containsInt(oldIDs, sid) {
+				retain = append(retain, sid)
+			}
+		}
+		sort.Ints(retain)
+		st.segs = retain
+		for h, sid := range st.known {
+			if !containsInt(oldIDs, sid) {
+				continue
+			}
+			if kept[h] && len(newSegs) > 0 {
+				st.known[h] = newSegs[0]
+			} else {
+				delete(st.known, h)
+			}
+		}
+		st.mu.Unlock()
+	}
+
+	if len(merged.Hashes) == 0 {
+		// Nothing retained: just drop the old segments.
+		replace(nil)
+	} else {
+		if err := st.writeSegment(id, &merged); err != nil {
+			return false, err
+		}
+		replace([]int{id})
+	}
+
+	// Unlink the merged-away segments only after the merged segment is
+	// durable and the in-memory index no longer references them.
+	for _, oid := range oldIDs {
+		if err := os.Remove(filepath.Join(st.dir, fmt.Sprintf(segPattern, oid))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return false, fmt.Errorf("castore: %w", err)
+		}
+	}
+	if err := st.fs.SyncDir(st.dir); err != nil {
+		return false, fmt.Errorf("castore: sync dir: %w", err)
+	}
+	return true, nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -231,6 +231,13 @@ func (r *Result) Entry(coord ecosys.Coord) (*Entry, bool) {
 	return e, ok
 }
 
+// EntryByKey returns the dataset entry for a coordinate key — the lookup the
+// segmented checkpoint uses to resolve dirty keys back to live entries.
+func (r *Result) EntryByKey(key string) (*Entry, bool) {
+	e, ok := r.byKey[key]
+	return e, ok
+}
+
 // View returns a read-only snapshot of the dataset for concurrent readers.
 // The entry slice, lookup index and per-source aggregates are copied;
 // *Entry values are shared — Upsert never mutates a stored entry in place

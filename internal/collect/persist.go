@@ -37,6 +37,9 @@ type persistedEntry struct {
 	RemovedAt     time.Time        `json:"removedAt"`
 	Hash          string           `json:"hash,omitempty"`
 	Artifact      *ecosys.Artifact `json:"artifact,omitempty"`
+	// Blob references the artifact's bytes in a content-addressed store;
+	// used by the manifest encoding (see manifest.go), never by WriteJSON.
+	Blob string `json:"blob,omitempty"`
 	// Stats preserves the entry's exact per-source accounting so a restored
 	// dataset (engine warm restart) keeps applying correct accounting
 	// deltas when later batches extend the entry. Absent in legacy exports;

@@ -49,6 +49,7 @@ import (
 	"sync"
 	"time"
 
+	"malgraph/internal/castore"
 	"malgraph/internal/collect"
 	"malgraph/internal/depscan"
 	"malgraph/internal/ecosys"
@@ -162,6 +163,10 @@ type ecoShard struct {
 	// items caches the §III-B per-artifact products, sorted by node ID (the
 	// order a one-shot Build clusters in).
 	items []textsim.Item
+	// flat caches the shard's flattened cluster list between ingests so a
+	// dirty batch re-copies only the suffix from the first changed partition
+	// key onward instead of rebuilding the whole list (see flattenLocked).
+	flat flatClusters
 	// lsh partitions the shard's items by verified band-candidate
 	// connectivity under cfg.Cluster (LSHBands, Threshold) — the unit of
 	// incremental re-clustering. Partition identity is content-derived
@@ -172,6 +177,42 @@ type ecoShard struct {
 	// canonical key; flattening the map in key order yields the ecosystem's
 	// cluster list exactly as a one-shot build derives it.
 	clustersByPart map[string][]textsim.Cluster
+
+	// Segmented-checkpoint dirty state, populated only while the engine has
+	// a content store attached (Engine.track non-nil). Each shard is owned
+	// by one goroutine during the parallel plan phase, so these need no
+	// locking beyond the engine mutex the commit phase already holds.
+	newItems     []textsim.Item
+	dirtyImports map[string]bool
+	dirtyParts   map[string]bool
+	delParts     map[string]bool
+}
+
+// markImportDirty records that front's import scan changed since the last
+// checkpoint. Only called while tracking is enabled.
+func (sh *ecoShard) markImportDirty(front string) {
+	if sh.dirtyImports == nil {
+		sh.dirtyImports = make(map[string]bool)
+	}
+	sh.dirtyImports[front] = true
+}
+
+// markPartSet records a partition cache write; a later delete supersedes it.
+func (sh *ecoShard) markPartSet(key string) {
+	if sh.dirtyParts == nil {
+		sh.dirtyParts = make(map[string]bool)
+	}
+	sh.dirtyParts[key] = true
+	delete(sh.delParts, key)
+}
+
+// markPartDel records a partition cache delete; a later write supersedes it.
+func (sh *ecoShard) markPartDel(key string) {
+	if sh.delParts == nil {
+		sh.delParts = make(map[string]bool)
+	}
+	sh.delParts[key] = true
+	delete(sh.dirtyParts, key)
 }
 
 func newEcoShard() *ecoShard {
@@ -228,6 +269,23 @@ type Engine struct {
 	// (feed records only live in the journal) and a restarted server would
 	// re-report every batch as pending. guarded by mu.
 	feedPos int
+
+	// Segmented persistence (snapshot v5). When a content store is attached,
+	// Snapshot writes a small manifest plus delta chunks into the store —
+	// O(changes since the last checkpoint) — instead of re-serialising the
+	// corpus; without one, Snapshot keeps emitting the monolithic v4 stream.
+	store *castore.Store // guarded by mu
+	// track records the dirty keys of every delta-logged section since the
+	// last checkpoint; non-nil exactly when store is. guarded by mu.
+	track *tracker
+	// logs holds each section's durable chunk references (the manifest's
+	// pointer lists) plus the accounting the re-base policy reads.
+	// guarded by mu.
+	logs map[string]*sectionLog
+	// artifactRefs caches, per coordinate key, the durable blob holding the
+	// entry's artifact — populated only after the blob's segment is fsynced,
+	// so a cached ref always resolves. guarded by mu.
+	artifactRefs map[string]artifactRef
 }
 
 // SetAppliedSeq records the durable ingest sequence the engine's state now
@@ -435,6 +493,9 @@ func (e *Engine) mergeEntries(entries []*collect.Entry, st *IngestStats) []entry
 			st.NewArtifacts++
 		}
 		e.mg.entryByID[NodeID(merged.Coord)] = merged
+		if e.track != nil {
+			e.track.entries[merged.Coord.Key()] = true
+		}
 		changes = append(changes, ch)
 	}
 	return changes
@@ -689,6 +750,9 @@ func (e *Engine) planShardLocked(eco ecosys.Ecosystem, changes []entryChange) *s
 		}
 		front := NodeID(ch.entry.Coord)
 		sh.importsOf[front] = scans[i].deps
+		if e.track != nil {
+			sh.markImportDirty(front)
+		}
 		for _, dep := range scans[i].deps {
 			sh.importers[dep] = append(sh.importers[dep], front)
 			for _, target := range sh.byName[dep] {
@@ -739,14 +803,20 @@ func (e *Engine) planShardLocked(eco ecosys.Ecosystem, changes []entryChange) *s
 			Hash:   textsim.SimHashHashed(sc.hashed),
 		}
 	})
+	// One batched merge: the batch's new items are sorted and spliced into
+	// the ID-sorted cache in a single pass instead of an O(items) shift per
+	// insertion (the former insertItem loop the ROADMAP flagged).
+	sh.items = mergeItems(sh.items, items)
 	dirty := make([]string, 0, len(items))
 	for _, it := range items {
-		sh.items = insertItem(sh.items, it)
 		if sh.lsh == nil {
 			sh.lsh = textsim.NewLSHIndex(e.cfg.Cluster)
 		}
 		sh.lsh.Add(it.ID, it.Hash, it.Vector)
 		dirty = append(dirty, it.ID)
+	}
+	if e.track != nil {
+		sh.newItems = append(sh.newItems, items...)
 	}
 	if len(dirty) == 0 {
 		return plan
@@ -757,6 +827,10 @@ func (e *Engine) planShardLocked(eco ecosys.Ecosystem, changes []entryChange) *s
 	// so dropping its cached clusters loses nothing.
 	for _, retiredKey := range sh.lsh.DrainRetired() {
 		delete(sh.clustersByPart, retiredKey)
+		sh.flat.invalidate(retiredKey)
+		if e.track != nil {
+			sh.markPartDel(retiredKey)
+		}
 	}
 	type partJob struct {
 		key   string
@@ -804,10 +878,17 @@ func (e *Engine) planShardLocked(eco ecosys.Ecosystem, changes []entryChange) *s
 	})
 	for i, job := range jobs {
 		clusters := clustersByJob[i]
+		sh.flat.invalidate(job.key)
 		if len(clusters) == 0 {
 			delete(sh.clustersByPart, job.key)
+			if e.track != nil {
+				sh.markPartDel(job.key)
+			}
 		} else {
 			sh.clustersByPart[job.key] = clusters
+			if e.track != nil {
+				sh.markPartSet(job.key)
+			}
 		}
 		for ci, cluster := range clusters {
 			plan.groups = append(plan.groups, plannedGroup{
@@ -822,9 +903,10 @@ func (e *Engine) planShardLocked(eco ecosys.Ecosystem, changes []entryChange) *s
 		}
 	}
 	// Re-derive the flat cluster list in canonical partition-key order —
-	// the order a one-shot build yields.
+	// the order a one-shot build yields. The incremental flatten reuses the
+	// prefix of the previous list before the first changed partition key.
 	plan.reclustered = true
-	plan.clusters = flattenClusters(sh.clustersByPart)
+	plan.clusters = sh.flat.flatten(sh.clustersByPart)
 	plan.partitions = len(jobs)
 	plan.artifacts = len(plan.dirtyMembers)
 	plan.dirtyItems = len(sh.items)
@@ -839,6 +921,68 @@ func (sh *ecoShard) itemAt(id string) (textsim.Item, bool) {
 		return sh.items[i], true
 	}
 	return textsim.Item{}, false
+}
+
+// flatClusters incrementally maintains one ecosystem's flattened cluster
+// list in canonical partition-key order. keys mirrors the partition map's
+// sorted keys, offsets[i] is key i's first cluster index, and list is the
+// flat slice published to SimilarClusters. A dirty batch reuses the prefix
+// before the smallest invalidated key (shared backing array, copy-on-append
+// so published views stay immutable) and re-flattens only the suffix —
+// replacing the former full sort-and-copy per dirty ecosystem.
+type flatClusters struct {
+	keys    []string
+	offsets []int
+	list    []textsim.Cluster
+	// firstDirty is the smallest partition key invalidated since the last
+	// flatten; meaningful only while dirty. ready distinguishes a built
+	// cache from the zero value (which must do a full build).
+	firstDirty string
+	dirty      bool
+	ready      bool
+}
+
+// invalidate records that the partition's cached clusters changed (set,
+// replaced or deleted).
+func (f *flatClusters) invalidate(key string) {
+	if !f.dirty || key < f.firstDirty {
+		f.firstDirty = key
+		f.dirty = true
+	}
+}
+
+// flatten returns the ecosystem's flat cluster list for the current
+// partition map, rebuilding only from the first invalidated key onward.
+func (f *flatClusters) flatten(parts map[string][]textsim.Cluster) []textsim.Cluster {
+	if f.ready && !f.dirty {
+		return f.list
+	}
+	keep := 0
+	if f.ready {
+		keep = sort.SearchStrings(f.keys, f.firstDirty)
+	}
+	sufKeys := make([]string, 0, len(parts)-keep)
+	for k := range parts {
+		if f.ready && k < f.firstDirty {
+			continue
+		}
+		sufKeys = append(sufKeys, k)
+	}
+	sort.Strings(sufKeys)
+	cut := len(f.list)
+	if keep < len(f.keys) {
+		cut = f.offsets[keep]
+	}
+	next := f.list[:cut:cut]
+	keys := append(f.keys[:keep:keep], sufKeys...)
+	offsets := f.offsets[:keep:keep]
+	for _, k := range sufKeys {
+		offsets = append(offsets, len(next))
+		next = append(next, parts[k]...)
+	}
+	f.keys, f.offsets, f.list = keys, offsets, next
+	f.dirty, f.firstDirty, f.ready = false, "", true
+	return f.list
 }
 
 // flattenClusters serialises a partition→clusters map into one deterministic
@@ -928,6 +1072,9 @@ func (e *Engine) applyCoexistingLocked(newReports []*reports.Report, changes []e
 		}
 		e.reportByURL[rep.URL] = rep
 		fresh[rep.URL] = true
+		if e.track != nil {
+			e.track.reports[rep.URL] = true
+		}
 		for _, coord := range rep.Packages {
 			e.addPostingLocked(coord.Key(), rep.URL)
 		}
@@ -988,6 +1135,9 @@ func (e *Engine) applyCoexistingLocked(newReports []*reports.Report, changes []e
 		e.mg.G.RemoveEdgesWhere(graph.Coexisting, func(graph.Edge) bool { return true })
 		e.mg.ReportsByPackage = make(map[string][]*reports.Report, len(e.mg.ReportsByPackage))
 		e.coexOwner = make(map[string]string, len(e.coexOwner))
+		if e.track != nil {
+			e.track.rebasePairs()
+		}
 		for _, rep := range e.mg.Reports {
 			if err := e.joinReportLocked(rep, nil, st); err != nil {
 				return err
@@ -1003,7 +1153,11 @@ func (e *Engine) applyCoexistingLocked(newReports []*reports.Report, changes []e
 		// ownership; the URL-ordered re-join below re-derives both.
 		for _, id := range hubMembers {
 			for _, nb := range e.mg.G.Neighbors(id, graph.Coexisting) {
-				delete(e.coexOwner, coexPairKey(id, nb))
+				pk := coexPairKey(id, nb)
+				delete(e.coexOwner, pk)
+				if e.track != nil {
+					e.track.pairDel(pk)
+				}
 			}
 		}
 		st.CoexistingEdgesReplaced += e.mg.G.RemoveEdgesIncident(graph.Coexisting, hubMembers)
@@ -1050,6 +1204,9 @@ func (e *Engine) joinReportLocked(rep *reports.Report, members []string, st *Ing
 			st.CoexistingEdgesReplaced++
 		}
 		e.coexOwner[pk] = rep.URL
+		if e.track != nil {
+			e.track.pairSet(pk)
+		}
 		return e.mg.G.AddEdge(a, b, graph.Coexisting, attrs)
 	})
 }
@@ -1159,17 +1316,45 @@ func artifactChanges(changes []entryChange) []entryChange {
 	return out
 }
 
-// insertItem inserts it into the ID-sorted slice, replacing an existing item
-// with the same ID (defensive; artifacts are immutable once ingested).
-func insertItem(items []textsim.Item, it textsim.Item) []textsim.Item {
-	i := sort.Search(len(items), func(i int) bool { return items[i].ID >= it.ID })
-	if i < len(items) && items[i].ID == it.ID {
-		items[i] = it
+// mergeItems splices a batch of new items into the ID-sorted cache with one
+// backwards merge — O(cache + batch) total, replacing the former per-item
+// binary-search-and-shift whose worst case was O(cache) per insertion. Items
+// sharing an ID with a cached one replace it in place (defensive; artifacts
+// are immutable once ingested).
+func mergeItems(items []textsim.Item, batch []textsim.Item) []textsim.Item {
+	if len(batch) == 0 {
 		return items
 	}
-	items = append(items, textsim.Item{})
-	copy(items[i+1:], items[i:])
-	items[i] = it
+	add := make([]textsim.Item, len(batch))
+	copy(add, batch)
+	sort.Slice(add, func(i, j int) bool { return add[i].ID < add[j].ID })
+	fresh := add[:0]
+	for _, it := range add {
+		if n := len(fresh); n > 0 && fresh[n-1].ID == it.ID {
+			fresh[n-1] = it // duplicate within the batch: last wins
+			continue
+		}
+		if i := sort.Search(len(items), func(i int) bool { return items[i].ID >= it.ID }); i < len(items) && items[i].ID == it.ID {
+			items[i] = it // already cached: replace, nothing to splice
+			continue
+		}
+		fresh = append(fresh, it)
+	}
+	if len(fresh) == 0 {
+		return items
+	}
+	old := items
+	items = append(items, fresh...)
+	i, j := len(old)-1, len(fresh)-1
+	for k := len(items) - 1; j >= 0; k-- {
+		if i >= 0 && old[i].ID > fresh[j].ID {
+			items[k] = old[i]
+			i--
+		} else {
+			items[k] = fresh[j]
+			j--
+		}
+	}
 	return items
 }
 

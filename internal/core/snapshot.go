@@ -78,10 +78,16 @@ type engineSnapshot struct {
 
 // Snapshot serialises the engine's full state: merged dataset (with
 // artifacts), report corpus, graph, per-ecosystem cluster state and the
-// cached per-artifact products.
+// cached per-artifact products. With a content store attached (AttachStore)
+// the call writes a segmented v5 manifest instead — the delta chunks go to
+// the store, the manifest to w — at O(changes since the last checkpoint);
+// without one it emits the monolithic v4 stream unchanged.
 func (e *Engine) Snapshot(w io.Writer) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.store != nil {
+		return e.snapshotSegmentedLocked(w)
+	}
 	var ds, g bytes.Buffer
 	if err := e.mg.Dataset.WriteJSON(&ds, collect.ExportFull); err != nil {
 		return fmt.Errorf("snapshot dataset: %w", err)
@@ -139,7 +145,15 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("restore decode: %w", err)
 	}
-	if snap.Version < minSnapshotVersion || snap.Version > snapshotVersion {
+	if snap.Version == snapshotVersionSegmented {
+		return nil, fmt.Errorf("restore: snapshot version %d is a segmented manifest; restore it with its content store (RestoreEngineWithStore / -store)",
+			snap.Version)
+	}
+	if snap.Version < minSnapshotVersion {
+		return nil, fmt.Errorf("restore: snapshot version %d predates the minimum supported version %d",
+			snap.Version, minSnapshotVersion)
+	}
+	if snap.Version > snapshotVersion {
 		return nil, fmt.Errorf("restore: snapshot version %d, want %d..%d",
 			snap.Version, minSnapshotVersion, snapshotVersion)
 	}
@@ -151,6 +165,14 @@ func RestoreEngine(r io.Reader) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("restore graph: %w", err)
 	}
+	return restoreFromParts(ds, g, &snap)
+}
+
+// restoreFromParts rebuilds an engine from decoded snapshot components —
+// the shared tail of the monolithic (v3/v4) and segmented (v5) restore
+// paths. snap supplies everything except the dataset and graph, which the
+// two formats decode differently.
+func restoreFromParts(ds *collect.Result, g *graph.Graph, snap *engineSnapshot) (*Engine, error) {
 	e := NewEngine(snap.Config)
 	e.appliedSeq = snap.AppliedSeq
 	e.feedPos = snap.FeedPos

@@ -102,6 +102,9 @@ type Graph struct {
 	// adjacency rebuild a compaction costs. Tombstones are reclaimed by the
 	// next RemoveEdgesWhere or when they exceed half the slice. guarded by mu.
 	dead int
+	// journal records mutations for delta checkpoints once EnableJournal is
+	// called; nil means recording is off. guarded by mu.
+	journal []Op
 }
 
 // New returns an empty graph.
@@ -125,7 +128,9 @@ func (g *Graph) AddNode(id string, attrs Attrs) error {
 	if _, ok := g.nodes[id]; ok {
 		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
 	}
-	g.nodes[id] = &Node{ID: id, Attrs: attrs.clone()}
+	n := &Node{ID: id, Attrs: attrs.clone()}
+	g.nodes[id] = n
+	g.recordLocked(Op{Kind: "node", ID: id, Attrs: n.Attrs})
 	return nil
 }
 
@@ -157,6 +162,7 @@ func (g *Graph) SetAttr(id, key, value string) error {
 	}
 	next[key] = value
 	n.Attrs = next
+	g.recordLocked(Op{Kind: "attr", ID: id, Key: key, Value: value})
 	return nil
 }
 
@@ -225,10 +231,12 @@ func (g *Graph) AddEdge(from, to string, t EdgeType, attrs Attrs) error {
 	}
 	g.edgeSeen[key] = true
 	idx := len(g.edges)
-	g.edges = append(g.edges, Edge{From: from, To: to, Type: t, Attrs: attrs.clone()})
+	e := Edge{From: from, To: to, Type: t, Attrs: attrs.clone()}
+	g.edges = append(g.edges, e)
 	g.adjacency[t][from] = append(g.adjacency[t][from], idx)
 	g.adjacency[t][to] = append(g.adjacency[t][to], idx)
 	g.countByType[t]++
+	g.recordLocked(Op{Kind: "edge", From: from, To: to, Type: t, Attrs: e.Attrs})
 	return nil
 }
 
@@ -251,6 +259,7 @@ func (g *Graph) RemoveEdgesWhere(t EdgeType, pred func(Edge) bool) int {
 		}
 		if e.Type == t && pred(e) {
 			delete(g.edgeSeen, edgeKey(e.Type, e.From, e.To))
+			g.recordLocked(Op{Kind: "deledge", From: e.From, To: e.To, Type: e.Type})
 			removed++
 			continue
 		}
@@ -286,6 +295,7 @@ func (g *Graph) RemoveEdgesIncident(t EdgeType, nodes []string) int {
 				continue // tombstoned already via an earlier node of this call
 			}
 			delete(g.edgeSeen, edgeKey(t, e.From, e.To))
+			g.recordLocked(Op{Kind: "deledge", From: e.From, To: e.To, Type: t})
 			touched[e.From] = true
 			touched[e.To] = true
 			*e = Edge{}
@@ -357,6 +367,7 @@ func (g *Graph) RemoveEdge(from, to string, t EdgeType) bool {
 		return false
 	}
 	delete(g.edgeSeen, key)
+	g.recordLocked(Op{Kind: "deledge", From: from, To: to, Type: t})
 	for _, idx := range g.adjacency[t][from] {
 		e := &g.edges[idx]
 		if e.Type != t {

@@ -38,10 +38,13 @@ type LSHIndex struct {
 	size    []int
 	minSlot []int
 	members [][]int
-	// buckets lists every member slot per band key; a new item verifies
-	// against each co-bucketed item and unions with the ones that clear the
-	// threshold.
-	buckets map[uint64][]int
+	// buckets lists the member slots per band key in item-ID order; a new
+	// item verifies against each co-bucketed item — up to probeCap of them,
+	// smallest IDs first — and unions with the ones that clear the
+	// threshold. ID order (not insertion order) keeps the capped probe set
+	// canonical for a given bucket population.
+	buckets  map[uint64][]int
+	probeCap int // 0 = unlimited
 	// retired collects canonical keys dethroned by merges since the last
 	// DrainRetired — the signal that their cached per-partition state now
 	// lives under a different (smaller) key.
@@ -61,6 +64,7 @@ func NewLSHIndex(cfg ClusterConfig) *LSHIndex {
 		slot:      make(map[string]int),
 		buckets:   make(map[uint64][]int),
 		retired:   make(map[string]bool),
+		probeCap:  cfg.probeCap(),
 	}
 }
 
@@ -124,7 +128,16 @@ func (x *LSHIndex) Add(id string, hash uint64, vec []float64) {
 	// nibble).
 	for bi := 0; bi < x.bands; bi++ {
 		key := bandKey(hash, x.bands, bi)
-		for _, m := range x.buckets[key] {
+		bucket := x.buckets[key]
+		probe := bucket
+		if x.probeCap > 0 && len(probe) > x.probeCap {
+			// Degenerate bucket: verify only against the ID-smallest members.
+			// Every past member was probed against this same prefix when it
+			// arrived, so a family that clears the threshold still unions
+			// through the prefix; only threshold-marginal merges can be lost.
+			probe = probe[:x.probeCap]
+		}
+		for _, m := range probe {
 			if x.find(m) == x.find(s) {
 				continue
 			}
@@ -133,7 +146,12 @@ func (x *LSHIndex) Add(id string, hash uint64, vec []float64) {
 				x.union(s, m)
 			}
 		}
-		x.buckets[key] = append(x.buckets[key], s)
+		// Insert at the ID-sorted position so capped probing is canonical.
+		i := sort.Search(len(bucket), func(i int) bool { return x.ids[bucket[i]] >= id })
+		bucket = append(bucket, 0)
+		copy(bucket[i+1:], bucket[i:])
+		bucket[i] = s
+		x.buckets[key] = bucket
 	}
 }
 

@@ -34,6 +34,11 @@
 #                           (reports_rejoined, coexisting_edges_replaced,
 #                           coexisting_rebuilt) and their own 10×/1× ratio —
 #                           a wanted arrival must stay flat as reports accrue —
+#                           BenchmarkIncremental_CheckpointGrowth records (the
+#                           same ingested delta checkpointed through the
+#                           content-addressed store at 1×/4×/10× corpus) with
+#                           the checkpoint_growth_ratio (10×/1× ns): segmented
+#                           checkpoints must cost O(delta), not O(corpus) —
 #                           and BenchmarkIncremental_JournaledAppend (the same
 #                           append with a fsync'd WAL record in the measured
 #                           op) with the journaled/in-memory overhead ratio:
@@ -67,7 +72,7 @@ SERVE_TIME="${BENCH_SERVE_TIME:-1x}"
 
 {
   MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
-      -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$|BenchmarkIncremental_FullRebuild$|BenchmarkIncremental_AppendGrowth$|BenchmarkIncremental_ReportAppendGrowth$' \
+      -bench 'BenchmarkTable6_ClusteringStage$|BenchmarkPipeline_EndToEnd$|BenchmarkIncremental_FullRebuild$|BenchmarkIncremental_AppendGrowth$|BenchmarkIncremental_ReportAppendGrowth$|BenchmarkIncremental_CheckpointGrowth$' \
       -benchmem -benchtime "$TIME" .
   MALGRAPH_BENCH_SCALE="$SCALE" go test -run '^$' \
       -bench 'BenchmarkIncremental_Append$|BenchmarkIncremental_JournaledAppend$' \
@@ -112,6 +117,9 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
     if (name == "BenchmarkIncremental_ReportAppendGrowth/size=1x")  { r1_ns = ns;  r1_rec = record(name) }
     if (name == "BenchmarkIncremental_ReportAppendGrowth/size=4x")  { r4_ns = ns;  r4_rec = record(name) }
     if (name == "BenchmarkIncremental_ReportAppendGrowth/size=10x") { r10_ns = ns; r10_rec = record(name) }
+    if (name == "BenchmarkIncremental_CheckpointGrowth/size=1x")  { c1_ns = ns;  c1_rec = record(name) }
+    if (name == "BenchmarkIncremental_CheckpointGrowth/size=4x")  { c4_ns = ns;  c4_rec = record(name) }
+    if (name == "BenchmarkIncremental_CheckpointGrowth/size=10x") { c10_ns = ns; c10_rec = record(name) }
     if (name == "BenchmarkServe_ReadsDuringIngest") {
       serve_rec = record(name)
       for (i = 3; i < NF; i += 2) {
@@ -142,6 +150,10 @@ awk -v scale="$SCALE" -v stamp="$STAMP" -v dir="$OUT_DIR" '
       if (r1_ns != "" && r10_ns != "") {
         line = line sprintf(",\"report_append_growth_10x_vs_1x\":%.2f,\"report_append_growth\":{\"x1\":%s,\"x4\":%s,\"x10\":%s}",
                             r10_ns / r1_ns, r1_rec, r4_rec, r10_rec)
+      }
+      if (c1_ns != "" && c10_ns != "") {
+        line = line sprintf(",\"checkpoint_growth_ratio\":%.2f,\"checkpoint_growth\":{\"x1\":%s,\"x4\":%s,\"x10\":%s}",
+                            c10_ns / c1_ns, c1_rec, c4_rec, c10_rec)
       }
       if (wal_ns != "" && wal_component_ns != "" && wal_min_ns != "" && wal_ns > wal_component_ns) {
         # Overhead ratio from one run: the journaled op minus its timed WAL
